@@ -1,0 +1,190 @@
+"""Shared sweep for the bug-detection experiments (Figures 13 and 14).
+
+The paper compares MTC against Elle (list-append and read-write-register
+workloads) at detecting isolation bugs in PostgreSQL (a WRITESKEW bug that
+violates its claimed SER) and MongoDB (an ABORTEDREAD bug that violates its
+claimed SI), for varying maximum transaction lengths and a fixed testing
+budget per configuration.
+
+We reproduce the defective databases with the simulator's fault-injection
+engines ("pg" = serializable engine that sometimes skips read validation,
+"mongo" = SI engine that sometimes installs the writes of aborted
+transactions) and run repeated trials per configuration, counting the trials
+in which each checker reports a violation and recording the average history
+generation and verification time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.baselines import ElleChecker
+from repro.bench import scaled
+from repro.core.checkers import check_ser, check_si
+from repro.core.result import IsolationLevel
+from repro.db import Database, FaultPlan
+from repro.workloads import (
+    GTWorkloadGenerator,
+    ListAppendWorkloadGenerator,
+    MTWorkloadGenerator,
+    MTWorkloadMix,
+    run_list_append_workload,
+    run_workload,
+)
+
+__all__ = ["TrialOutcome", "run_bug_detection_sweep", "MAX_TXN_LENGTHS"]
+
+#: Maximum operations per transaction swept for the Elle workloads; MTC's
+#: transaction length is fixed at 4 (the MT maximum).
+MAX_TXN_LENGTHS = (2, 4, 8)
+
+#: A mini-transaction mix that favours the read-read-write shape, which is
+#: what exposes write-skew style defects.
+_MT_BUG_MIX = MTWorkloadMix(single_rmw=0.3, double_rmw=0.2, read_only=0.1, read_then_rmw=0.4)
+
+
+@dataclass
+class TrialOutcome:
+    """Aggregated outcome of the trials for one (database, tool, txn-len)."""
+
+    database: str
+    tool: str
+    max_txn_len: int
+    bugs_found: int
+    trials: int
+    gen_seconds: float
+    verify_seconds: float
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "database": self.database,
+            "tool": self.tool,
+            "max_txn_len": self.max_txn_len,
+            "bugs": f"{self.bugs_found}/{self.trials}",
+            "gen_s": round(self.gen_seconds, 4),
+            "verify_s": round(self.verify_seconds, 4),
+        }
+
+
+def _buggy_database(database: str, keys, seed: int) -> Database:
+    if database == "pg":
+        faults = FaultPlan(write_skew_rate=0.8, seed=seed)
+        return Database("serializable", keys=keys, faults=faults)
+    if database == "mongo":
+        faults = FaultPlan(dirty_install_rate=0.5, seed=seed)
+        return Database("si", keys=keys, faults=faults)
+    raise ValueError(f"unknown buggy database {database!r}")
+
+
+def _checker_for(database: str):
+    return check_ser if database == "pg" else check_si
+
+
+def _elle_level(database: str) -> IsolationLevel:
+    return (
+        IsolationLevel.SERIALIZABILITY
+        if database == "pg"
+        else IsolationLevel.SNAPSHOT_ISOLATION
+    )
+
+
+def _trial_mini(database: str, seed: int, txns_per_session: int) -> Dict[str, float]:
+    generator = MTWorkloadGenerator(
+        num_sessions=scaled(6),
+        txns_per_session=txns_per_session,
+        num_objects=10,
+        distribution="exp",
+        mix=_MT_BUG_MIX,
+        seed=seed,
+    )
+    workload = generator.generate()
+    db = _buggy_database(database, workload.keys, seed)
+    started = time.perf_counter()
+    run = run_workload(db, workload, seed=seed + 1)
+    gen_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    result = _checker_for(database)(run.history)
+    verify_seconds = time.perf_counter() - started
+    return {"found": 0.0 if result.satisfied else 1.0, "gen": gen_seconds, "verify": verify_seconds}
+
+
+def _trial_elle_append(database: str, seed: int, max_txn_len: int, txns_per_session: int) -> Dict[str, float]:
+    generator = ListAppendWorkloadGenerator(
+        num_sessions=scaled(6),
+        txns_per_session=txns_per_session,
+        num_objects=10,
+        max_txn_len=max_txn_len,
+        distribution="exp",
+        seed=seed,
+    )
+    db = _buggy_database(database, generator.keys(), seed)
+    started = time.perf_counter()
+    history, _ = run_list_append_workload(db, generator, seed=seed + 1)
+    gen_seconds = time.perf_counter() - started
+    checker = ElleChecker(_elle_level(database))
+    started = time.perf_counter()
+    result = checker.check_list_append(history)
+    verify_seconds = time.perf_counter() - started
+    return {"found": 0.0 if result.satisfied else 1.0, "gen": gen_seconds, "verify": verify_seconds}
+
+
+def _trial_elle_wr(database: str, seed: int, max_txn_len: int, txns_per_session: int) -> Dict[str, float]:
+    generator = GTWorkloadGenerator(
+        num_sessions=scaled(6),
+        txns_per_session=txns_per_session,
+        num_objects=10,
+        ops_per_txn=max_txn_len,
+        distribution="exp",
+        seed=seed,
+    )
+    workload = generator.generate()
+    db = _buggy_database(database, workload.keys, seed)
+    started = time.perf_counter()
+    run = run_workload(db, workload, seed=seed + 1)
+    gen_seconds = time.perf_counter() - started
+    checker = ElleChecker(_elle_level(database))
+    started = time.perf_counter()
+    result = checker.check_registers(run.history)
+    verify_seconds = time.perf_counter() - started
+    return {"found": 0.0 if result.satisfied else 1.0, "gen": gen_seconds, "verify": verify_seconds}
+
+
+def run_bug_detection_sweep(
+    *, trials: int = 3, txns_per_session: int = 40
+) -> List[TrialOutcome]:
+    """Run the full sweep of Figures 13/14 and return aggregated outcomes."""
+    outcomes: List[TrialOutcome] = []
+    for database in ("pg", "mongo"):
+        tools = {
+            "mini": lambda seed, length: _trial_mini(database, seed, txns_per_session),
+            "elle-append": lambda seed, length: _trial_elle_append(
+                database, seed, length, txns_per_session
+            ),
+            "elle-wr": lambda seed, length: _trial_elle_wr(
+                database, seed, length, txns_per_session
+            ),
+        }
+        for tool, trial_fn in tools.items():
+            lengths = (4,) if tool == "mini" else MAX_TXN_LENGTHS
+            for length in lengths:
+                found = 0
+                gen_total = verify_total = 0.0
+                for trial in range(trials):
+                    result = trial_fn(1000 * length + 17 * trial, length)
+                    found += int(result["found"])
+                    gen_total += result["gen"]
+                    verify_total += result["verify"]
+                outcomes.append(
+                    TrialOutcome(
+                        database=database,
+                        tool=tool,
+                        max_txn_len=length,
+                        bugs_found=found,
+                        trials=trials,
+                        gen_seconds=gen_total / trials,
+                        verify_seconds=verify_total / trials,
+                    )
+                )
+    return outcomes

@@ -1,0 +1,48 @@
+"""Shared plumbing for the benchmark suite.
+
+Every ``bench_*`` module reproduces one table or figure of the paper.  The
+helpers here keep the individual files small: checker shorthands, sweep
+runners, and the convention of executing each sweep exactly once under
+``pytest --benchmark-only`` via ``benchmark.pedantic``.
+
+Workload sizes are laptop-scale by default; set ``REPRO_BENCH_SCALE`` (e.g.
+``REPRO_BENCH_SCALE=10``) to move towards the paper's original parameters.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence
+
+from repro.bench import format_table, print_table, scaled
+from repro.core.checkers import check_ser, check_si, check_sser
+from repro.core.lwt import check_linearizability
+
+__all__ = [
+    "run_once",
+    "print_table",
+    "scaled",
+    "check_ser",
+    "check_si",
+    "check_sser",
+    "check_linearizability",
+    "RESULTS_DIR",
+]
+
+#: Directory where every sweep's table is persisted (pytest captures stdout,
+#: so the tables would otherwise be lost on passing runs).
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def run_once(benchmark, fn: Callable[[], List[Dict[str, object]]], title: str):
+    """Run a sweep exactly once under pytest-benchmark, print and persist it."""
+    rows = benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+    table = format_table(rows, title)
+    print()
+    print(table)
+    print()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+    (RESULTS_DIR / f"{slug}.txt").write_text(table + "\n")
+    return rows

@@ -1,0 +1,69 @@
+"""Ablation — BUILDDEPENDENCY with vs. without the WW transitive closure.
+
+Section IV-C proves that the per-object transitive closure of the WW edges
+(lines 12-13 of Algorithm 1) can be omitted without changing any verdict
+(Theorems 1 and 2).  This ablation measures the cost of the unoptimized
+variant and asserts that the two variants agree on both valid and buggy MT
+histories.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import pytest
+
+from repro.bench import generate_mt_history, scaled
+from repro.core.checkers import check_ser, check_si
+from repro.db import FaultPlan
+
+from _common import run_once
+
+
+def _compare(history) -> Dict[str, object]:
+    timings = {}
+    verdicts = {}
+    for label, kwargs in (("optimized", {"transitive_ww": False}), ("closure", {"transitive_ww": True})):
+        started = time.perf_counter()
+        ser = check_ser(history, **kwargs)
+        si = check_si(history, **kwargs)
+        timings[label] = time.perf_counter() - started
+        verdicts[label] = (ser.satisfied, si.satisfied)
+    assert verdicts["optimized"] == verdicts["closure"], "Theorem 1/2: verdicts must agree"
+    return {
+        "ser_si_verdict": verdicts["optimized"],
+        "optimized_s": round(timings["optimized"], 4),
+        "with_closure_s": round(timings["closure"], 4),
+        "overhead": round(timings["closure"] / max(timings["optimized"], 1e-9), 2),
+    }
+
+
+def _sweep() -> List[Dict[str, object]]:
+    rows = []
+    for label, faults in (("valid", None), ("buggy-lostupdate", FaultPlan(lost_update_rate=0.4, seed=3))):
+        for num_objects in (scaled(10), scaled(100)):
+            generated = generate_mt_history(
+                isolation="si",
+                num_sessions=scaled(5),
+                txns_per_session=scaled(60),
+                num_objects=num_objects,
+                distribution="zipf",
+                faults=faults,
+                seed=5,
+            )
+            row = _compare(generated.history)
+            rows.append({"history": label, "objects": num_objects, **row})
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-buildgraph")
+def test_ablation_ww_transitive_closure(benchmark):
+    rows = run_once(benchmark, _sweep, "Ablation — WW transitive closure in BUILDDEPENDENCY")
+    assert all(row["with_closure_s"] >= row["optimized_s"] * 0.5 for row in rows)
+
+
+if __name__ == "__main__":
+    from repro.bench import print_table
+
+    print_table(_sweep(), "Ablation: BUILDDEPENDENCY")

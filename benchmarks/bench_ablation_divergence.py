@@ -1,0 +1,72 @@
+"""Ablation — the early DIVERGENCE exit in CHECKSI.
+
+CHECKSI rejects a history as soon as the DIVERGENCE pattern is found (line 2
+of the algorithm), before building the dependency graph.  This ablation
+measures how much of the verification cost that early exit saves on buggy
+histories (where it short-circuits) and what it costs on valid histories
+(where the scan finds nothing and the graph is built anyway).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import pytest
+
+from repro.bench import generate_mt_history, scaled
+from repro.core.checkers import check_si
+from repro.db import FaultPlan
+
+from _common import run_once
+
+
+def _compare(history) -> Dict[str, object]:
+    started = time.perf_counter()
+    with_exit = check_si(history, early_divergence_exit=True)
+    with_exit_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    without_exit = check_si(history, early_divergence_exit=False)
+    without_exit_seconds = time.perf_counter() - started
+
+    assert with_exit.satisfied == without_exit.satisfied
+    return {
+        "satisfied": with_exit.satisfied,
+        "early_exit_s": round(with_exit_seconds, 4),
+        "no_early_exit_s": round(without_exit_seconds, 4),
+        "saving": round(without_exit_seconds / max(with_exit_seconds, 1e-9), 2),
+    }
+
+
+def _sweep() -> List[Dict[str, object]]:
+    rows = []
+    for label, faults in (
+        ("valid", None),
+        ("buggy-lostupdate", FaultPlan(lost_update_rate=0.5, seed=7)),
+    ):
+        generated = generate_mt_history(
+            isolation="si",
+            num_sessions=scaled(6),
+            txns_per_session=scaled(80),
+            num_objects=scaled(20),
+            distribution="zipf",
+            faults=faults,
+            seed=9,
+        )
+        rows.append({"history": label, **_compare(generated.history)})
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-divergence")
+def test_ablation_divergence_early_exit(benchmark):
+    rows = run_once(benchmark, _sweep, "Ablation — early DIVERGENCE exit in CHECKSI")
+    buggy = [row for row in rows if row["history"] == "buggy-lostupdate"]
+    # On buggy histories the early exit must not be slower than the full pass.
+    assert all(row["early_exit_s"] <= row["no_early_exit_s"] * 1.5 for row in buggy)
+
+
+if __name__ == "__main__":
+    from repro.bench import print_table
+
+    print_table(_sweep(), "Ablation: DIVERGENCE early exit")

@@ -1,0 +1,152 @@
+"""Figure 8 — SI verification performance: MTC-SI vs PolySI on MT histories.
+
+Same four sweeps as Figure 7 (distribution, #objects, #sessions, #txns) but
+for snapshot isolation, comparing the linear-time MTC-SI checker against the
+solver-based PolySI baseline.  The paper's takeaway to reproduce: the gap is
+far larger than for SER (orders of magnitude, growing with skew and with the
+number of transactions), because PolySI leaves every write-write orientation
+to the solver.
+
+PolySI's cost grows quickly, so the default sweep sizes are intentionally
+small; scale up with ``REPRO_BENCH_SCALE``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import pytest
+
+from repro.baselines import PolySIChecker
+from repro.bench import generate_mt_history, scaled
+from repro.core.checkers import check_si
+
+from _common import run_once
+
+
+def _verify_pair(history) -> Dict[str, float]:
+    started = time.perf_counter()
+    mtc = check_si(history)
+    mtc_seconds = time.perf_counter() - started
+
+    polysi = PolySIChecker()
+    started = time.perf_counter()
+    polysi_result = polysi.check(history)
+    polysi_seconds = time.perf_counter() - started
+    assert mtc.satisfied and polysi_result.satisfied, "benchmark histories must be valid"
+    return {"mtc_s": mtc_seconds, "polysi_s": polysi_seconds}
+
+
+def _row(panel: str, x, timing: Dict[str, float]) -> Dict[str, object]:
+    return {
+        "panel": panel,
+        "x": x,
+        "mtc_si_s": round(timing["mtc_s"], 4),
+        "polysi_s": round(timing["polysi_s"], 4),
+        "speedup": round(timing["polysi_s"] / max(timing["mtc_s"], 1e-9), 1),
+    }
+
+
+def _sweep_distributions() -> List[Dict[str, object]]:
+    rows = []
+    for distribution in ("uniform", "zipf", "hotspot", "exp"):
+        generated = generate_mt_history(
+            isolation="si",
+            num_sessions=scaled(4),
+            txns_per_session=scaled(25),
+            num_objects=scaled(40),
+            distribution=distribution,
+            seed=7,
+        )
+        rows.append(_row("a:distribution", distribution, _verify_pair(generated.history)))
+    return rows
+
+
+def _sweep_objects() -> List[Dict[str, object]]:
+    rows = []
+    for num_objects in (scaled(20), scaled(60), scaled(200)):
+        generated = generate_mt_history(
+            isolation="si",
+            num_sessions=scaled(4),
+            txns_per_session=scaled(25),
+            num_objects=num_objects,
+            distribution="uniform",
+            seed=11,
+        )
+        rows.append(_row("b:#objects", num_objects, _verify_pair(generated.history)))
+    return rows
+
+
+def _sweep_sessions() -> List[Dict[str, object]]:
+    rows = []
+    for num_sessions in (scaled(4), scaled(8), scaled(16)):
+        generated = generate_mt_history(
+            isolation="si",
+            num_sessions=num_sessions,
+            txns_per_session=scaled(12),
+            num_objects=scaled(60),
+            distribution="uniform",
+            seed=13,
+        )
+        rows.append(_row("c:#sessions", num_sessions, _verify_pair(generated.history)))
+    return rows
+
+
+def _sweep_txns() -> List[Dict[str, object]]:
+    rows = []
+    for total_txns in (scaled(50), scaled(100), scaled(200)):
+        generated = generate_mt_history(
+            isolation="si",
+            num_sessions=scaled(4),
+            txns_per_session=max(1, total_txns // scaled(4)),
+            num_objects=scaled(60),
+            distribution="uniform",
+            seed=17,
+        )
+        rows.append(_row("d:#txns", total_txns, _verify_pair(generated.history)))
+    return rows
+
+
+@pytest.mark.benchmark(group="fig08-si-verification")
+def test_fig08a_distributions(benchmark):
+    rows = run_once(benchmark, _sweep_distributions, "Figure 8a — SI verification vs distribution")
+    assert all(row["polysi_s"] >= row["mtc_si_s"] for row in rows)
+
+
+@pytest.mark.benchmark(group="fig08-si-verification")
+def test_fig08b_objects(benchmark):
+    run_once(benchmark, _sweep_objects, "Figure 8b — SI verification vs #objects")
+
+
+@pytest.mark.benchmark(group="fig08-si-verification")
+def test_fig08c_sessions(benchmark):
+    run_once(benchmark, _sweep_sessions, "Figure 8c — SI verification vs #sessions")
+
+
+@pytest.mark.benchmark(group="fig08-si-verification")
+def test_fig08d_txns(benchmark):
+    rows = run_once(benchmark, _sweep_txns, "Figure 8d — SI verification vs #txns")
+    assert rows[-1]["speedup"] >= 1.0
+
+
+@pytest.mark.benchmark(group="fig08-si-verification")
+def test_fig08_mtc_si_single_history(benchmark):
+    """Raw MTC-SI verification latency on a representative MT history."""
+    generated = generate_mt_history(
+        isolation="si",
+        num_sessions=scaled(5),
+        txns_per_session=scaled(60),
+        num_objects=scaled(50),
+        distribution="zipf",
+        seed=23,
+    )
+    result = benchmark(check_si, generated.history)
+    assert result.satisfied
+
+
+if __name__ == "__main__":
+    from repro.bench import print_table
+
+    for sweep in (_sweep_distributions, _sweep_objects, _sweep_sessions, _sweep_txns):
+        print_table(sweep(), sweep.__name__)

@@ -1,0 +1,117 @@
+"""Figure 9 — SSER/linearizability verification: MTC-SSER vs Porcupine.
+
+Synthetic lightweight-transaction (read&write) histories are generated with
+a parametric concurrency level; both checkers verify the same histories.
+The paper's takeaways to reproduce: MTC-SSER (the linear-time chain
+algorithm) is substantially faster than Porcupine's search and stays stable
+as concurrency grows.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+import pytest
+
+from repro.baselines import PorcupineChecker
+from repro.bench import scaled
+from repro.core.lwt import check_linearizability
+from repro.workloads import LWTHistoryGenerator
+
+from _common import run_once
+
+
+def _verify_pair(history) -> Dict[str, float]:
+    started = time.perf_counter()
+    mtc = check_linearizability(history)
+    mtc_seconds = time.perf_counter() - started
+
+    porcupine = PorcupineChecker()
+    started = time.perf_counter()
+    porcupine_result = porcupine.check(history)
+    porcupine_seconds = time.perf_counter() - started
+    assert mtc.satisfied and porcupine_result.satisfied
+    return {"mtc_s": mtc_seconds, "porcupine_s": porcupine_seconds}
+
+
+def _sweep_concurrency() -> List[Dict[str, object]]:
+    rows = []
+    for concurrent in (0.25, 0.5, 1.0):
+        generator = LWTHistoryGenerator(
+            num_sessions=scaled(10),
+            txns_per_session=scaled(60),
+            num_objects=2,
+            concurrent_fraction=concurrent,
+            seed=5,
+        )
+        timing = _verify_pair(generator.generate())
+        rows.append(
+            {
+                "panel": "a:concurrent-sessions",
+                "x": f"{int(concurrent * 100)}%",
+                "mtc_sser_s": round(timing["mtc_s"], 4),
+                "porcupine_s": round(timing["porcupine_s"], 4),
+                "speedup": round(timing["porcupine_s"] / max(timing["mtc_s"], 1e-9), 1),
+            }
+        )
+    return rows
+
+
+def _sweep_txns_per_session() -> List[Dict[str, object]]:
+    rows = []
+    for txns_per_session in (scaled(20), scaled(40), scaled(80)):
+        generator = LWTHistoryGenerator(
+            num_sessions=scaled(10),
+            txns_per_session=txns_per_session,
+            num_objects=2,
+            concurrent_fraction=1.0,
+            seed=9,
+        )
+        timing = _verify_pair(generator.generate())
+        rows.append(
+            {
+                "panel": "b:#txns/session",
+                "x": txns_per_session,
+                "mtc_sser_s": round(timing["mtc_s"], 4),
+                "porcupine_s": round(timing["porcupine_s"], 4),
+                "speedup": round(timing["porcupine_s"] / max(timing["mtc_s"], 1e-9), 1),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig09-sser-verification")
+def test_fig09a_concurrency(benchmark):
+    rows = run_once(benchmark, _sweep_concurrency, "Figure 9a — SSER verification vs concurrency")
+    assert all(row["porcupine_s"] >= row["mtc_sser_s"] for row in rows)
+
+
+@pytest.mark.benchmark(group="fig09-sser-verification")
+def test_fig09b_txns_per_session(benchmark):
+    rows = run_once(
+        benchmark, _sweep_txns_per_session, "Figure 9b — SSER verification vs #txns/session"
+    )
+    assert rows[-1]["speedup"] >= 1.0
+
+
+@pytest.mark.benchmark(group="fig09-sser-verification")
+def test_fig09_mtc_sser_single_history(benchmark):
+    """Raw MTC-SSER (VL-LWT) latency on a representative LWT history."""
+    generator = LWTHistoryGenerator(
+        num_sessions=scaled(10),
+        txns_per_session=scaled(100),
+        num_objects=2,
+        concurrent_fraction=1.0,
+        seed=13,
+    )
+    history = generator.generate()
+    result = benchmark(check_linearizability, history)
+    assert result.satisfied
+
+
+if __name__ == "__main__":
+    from repro.bench import print_table
+
+    for sweep in (_sweep_concurrency, _sweep_txns_per_session):
+        print_table(sweep(), sweep.__name__)

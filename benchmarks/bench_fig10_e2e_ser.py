@@ -1,0 +1,109 @@
+"""Figure 10 — end-to-end SER checking: MTC (MT workloads) vs Cobra (GT).
+
+End-to-end cost = history generation + verification.  MTC generates MT
+workloads and verifies with MTC-SER; the Cobra baseline generates Cobra-style
+GT workloads (20% read-only / 40% write-only / 40% RMW) and verifies with
+the polygraph + solver pipeline.  Panels sweep the number of transactions,
+operations per transaction (GT only), and the number of objects; memory is
+the verification-stage peak (Figures 10d-f).
+
+Takeaways to reproduce: MTC wins on both stages, the verification gap grows
+with concurrency (more txns / more ops per txn / fewer objects), and MTC
+uses considerably less memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.baselines import CobraChecker
+from repro.bench import end_to_end, generate_gt_history, generate_mt_history, scaled
+from repro.core.checkers import check_ser
+
+from _common import run_once
+
+
+def _compare(total_txns: int, ops_per_txn: int, num_objects: int, seed: int) -> Dict[str, object]:
+    sessions = scaled(5)
+    mt = generate_mt_history(
+        isolation="serializable",
+        num_sessions=sessions,
+        txns_per_session=max(1, total_txns // sessions),
+        num_objects=num_objects,
+        distribution="uniform",
+        seed=seed,
+    )
+    gt = generate_gt_history(
+        isolation="serializable",
+        num_sessions=sessions,
+        txns_per_session=max(1, total_txns // sessions),
+        num_objects=num_objects,
+        ops_per_txn=ops_per_txn,
+        distribution="uniform",
+        seed=seed,
+    )
+    mtc_run = end_to_end("mtc", mt, check_ser)
+    cobra = CobraChecker()
+    cobra_run = end_to_end("cobra", gt, cobra.check)
+    return {
+        "txns": total_txns,
+        "ops/txn(GT)": ops_per_txn,
+        "objects": num_objects,
+        "mtc_gen_s": round(mtc_run.generation_seconds, 4),
+        "mtc_verify_s": round(mtc_run.verification_seconds, 4),
+        "mtc_mem_mb": round(mtc_run.verification_memory_mb, 2),
+        "cobra_gen_s": round(cobra_run.generation_seconds, 4),
+        "cobra_verify_s": round(cobra_run.verification_seconds, 4),
+        "cobra_mem_mb": round(cobra_run.verification_memory_mb, 2),
+        "total_speedup": round(
+            cobra_run.total_seconds / max(mtc_run.total_seconds, 1e-9), 1
+        ),
+    }
+
+
+def _sweep_txns() -> List[Dict[str, object]]:
+    return [
+        _compare(total_txns=txns, ops_per_txn=10, num_objects=scaled(100), seed=3)
+        for txns in (scaled(50), scaled(100), scaled(200))
+    ]
+
+
+def _sweep_ops_per_txn() -> List[Dict[str, object]]:
+    return [
+        _compare(total_txns=scaled(100), ops_per_txn=ops, num_objects=scaled(100), seed=5)
+        for ops in (4, 12, 20)
+    ]
+
+
+def _sweep_objects() -> List[Dict[str, object]]:
+    return [
+        _compare(total_txns=scaled(100), ops_per_txn=10, num_objects=objects, seed=7)
+        for objects in (scaled(50), scaled(200), scaled(1000))
+    ]
+
+
+@pytest.mark.benchmark(group="fig10-e2e-ser")
+def test_fig10a_txns(benchmark):
+    rows = run_once(benchmark, _sweep_txns, "Figure 10a/d — end-to-end SER vs #txns")
+    assert all(row["total_speedup"] >= 1.0 for row in rows)
+
+
+@pytest.mark.benchmark(group="fig10-e2e-ser")
+def test_fig10b_ops_per_txn(benchmark):
+    rows = run_once(benchmark, _sweep_ops_per_txn, "Figure 10b/e — end-to-end SER vs #ops/txn")
+    # The baseline's verification cost should grow with the transaction size.
+    assert rows[-1]["cobra_verify_s"] >= rows[0]["cobra_verify_s"] * 0.5
+
+
+@pytest.mark.benchmark(group="fig10-e2e-ser")
+def test_fig10c_objects(benchmark):
+    run_once(benchmark, _sweep_objects, "Figure 10c/f — end-to-end SER vs #objects")
+
+
+if __name__ == "__main__":
+    from repro.bench import print_table
+
+    for sweep in (_sweep_txns, _sweep_ops_per_txn, _sweep_objects):
+        print_table(sweep(), sweep.__name__)

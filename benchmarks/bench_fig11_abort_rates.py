@@ -1,0 +1,100 @@
+"""Figure 11 — abort rates of MT vs GT workloads under SER and SI.
+
+The effectiveness of stress testing depends on committing many transactions;
+this benchmark measures the fraction of aborted transaction attempts when
+executing MT and GT workloads against the simulator's SI and serializable
+engines, sweeping (a) the number of sessions and (b) the skewness expressed
+as #txns per object.
+
+Takeaways to reproduce: GT workloads abort far more often (approaching or
+exceeding half the attempts as concurrency grows), GT-SER aborts more than
+GT-SI, and MT workloads stay comparatively robust in both sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.bench import generate_gt_history, generate_mt_history, scaled
+
+from _common import run_once
+
+#: Operations per GT transaction (the paper uses a moderate size of 20).
+GT_OPS_PER_TXN = 20
+
+
+def _abort_rates(num_sessions: int, num_objects: int, txns_per_session: int, seed: int) -> Dict[str, float]:
+    rates: Dict[str, float] = {}
+    for label, isolation in (("SER", "serializable"), ("SI", "si")):
+        mt = generate_mt_history(
+            isolation=isolation,
+            num_sessions=num_sessions,
+            txns_per_session=txns_per_session,
+            num_objects=num_objects,
+            distribution="uniform",
+            seed=seed,
+        )
+        gt = generate_gt_history(
+            isolation=isolation,
+            num_sessions=num_sessions,
+            txns_per_session=txns_per_session,
+            num_objects=num_objects,
+            ops_per_txn=GT_OPS_PER_TXN,
+            distribution="uniform",
+            seed=seed,
+        )
+        rates[f"mt_{label.lower()}"] = round(mt.stats.abort_rate, 3)
+        rates[f"gt_{label.lower()}"] = round(gt.stats.abort_rate, 3)
+    return rates
+
+
+def _sweep_sessions() -> List[Dict[str, object]]:
+    rows = []
+    for num_sessions in (scaled(5), scaled(10), scaled(20)):
+        rates = _abort_rates(
+            num_sessions=num_sessions,
+            num_objects=scaled(40),
+            txns_per_session=scaled(40),
+            seed=3,
+        )
+        rows.append({"panel": "a:#sessions", "x": num_sessions, **rates})
+    return rows
+
+
+def _sweep_skewness() -> List[Dict[str, object]]:
+    rows = []
+    total_txns = scaled(200)
+    for txns_per_object in (2, 10, 20):
+        num_objects = max(2, total_txns // txns_per_object)
+        rates = _abort_rates(
+            num_sessions=scaled(10),
+            num_objects=num_objects,
+            txns_per_session=max(1, total_txns // scaled(10)),
+            seed=5,
+        )
+        rows.append({"panel": "b:skewness", "x": f"{txns_per_object} txns/obj", **rates})
+    return rows
+
+
+@pytest.mark.benchmark(group="fig11-abort-rates")
+def test_fig11a_sessions(benchmark):
+    rows = run_once(benchmark, _sweep_sessions, "Figure 11a — abort rate vs #sessions")
+    # GT workloads must abort more than MT workloads at every point.
+    assert all(row["gt_ser"] >= row["mt_ser"] for row in rows)
+    assert all(row["gt_si"] >= row["mt_si"] for row in rows)
+
+
+@pytest.mark.benchmark(group="fig11-abort-rates")
+def test_fig11b_skewness(benchmark):
+    rows = run_once(benchmark, _sweep_skewness, "Figure 11b — abort rate vs skewness")
+    # Abort rates of GT workloads should grow with skewness.
+    assert rows[-1]["gt_ser"] >= rows[0]["gt_ser"]
+
+
+if __name__ == "__main__":
+    from repro.bench import print_table
+
+    for sweep in (_sweep_sessions, _sweep_skewness):
+        print_table(sweep(), sweep.__name__)

@@ -1,0 +1,53 @@
+"""Figure 14 — end-to-end checking time: MTC vs Elle on buggy databases.
+
+Same trials as Figure 13, but reporting the average history-generation and
+verification time per configuration instead of the detection counts.
+
+Takeaways to reproduce: MTC's generation time is comparable or lower than
+Elle's (its transactions are shorter, so fewer aborts/retries), and its
+verification time is dramatically lower and essentially independent of the
+transaction length knob that dominates Elle's cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from _bug_detection import run_bug_detection_sweep
+from _common import run_once
+
+
+def _sweep() -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for outcome in run_bug_detection_sweep(trials=2):
+        rows.append(
+            {
+                "database": outcome.database,
+                "tool": outcome.tool,
+                "max_txn_len": outcome.max_txn_len,
+                "gen_s": round(outcome.gen_seconds, 4),
+                "verify_s": round(outcome.verify_seconds, 4),
+                "total_s": round(outcome.gen_seconds + outcome.verify_seconds, 4),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig14-e2e-elle")
+def test_fig14_end_to_end_times(benchmark):
+    rows = run_once(benchmark, _sweep, "Figure 14 — end-to-end time per tool and txn length")
+    mini = {row["database"]: row for row in rows if row["tool"] == "mini"}
+    elle_append = [row for row in rows if row["tool"] == "elle-append"]
+    # MTC's verification should not be slower than Elle's largest-transaction
+    # configuration on the same database.
+    for row in elle_append:
+        if row["max_txn_len"] == max(r["max_txn_len"] for r in elle_append):
+            assert mini[row["database"]]["verify_s"] <= row["verify_s"] * 5
+
+
+if __name__ == "__main__":
+    from repro.bench import print_table
+
+    print_table(_sweep(), "Figure 14")

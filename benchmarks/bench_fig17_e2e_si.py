@@ -1,0 +1,106 @@
+"""Figure 17 (Appendix D) — end-to-end SI checking: MTC-SI vs PolySI.
+
+The SI counterpart of Figure 10: MTC generates MT workloads and verifies
+with MTC-SI; the PolySI baseline generates Cobra-style GT workloads and
+verifies with the solver in SI mode.  Panels sweep the number of
+transactions, operations per transaction (GT only), and objects, reporting
+the generation/verification split and the verification-stage peak memory.
+
+Takeaway to reproduce: MTC-SI wins both stages by a wide margin and in
+memory, with the gap widening as concurrency grows.  PolySI's cost explodes
+quickly, so the default sizes here are deliberately tiny.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.baselines import PolySIChecker
+from repro.bench import end_to_end, generate_gt_history, generate_mt_history, scaled
+from repro.core.checkers import check_si
+
+from _common import run_once
+
+
+def _compare(total_txns: int, ops_per_txn: int, num_objects: int, seed: int) -> Dict[str, object]:
+    sessions = scaled(4)
+    mt = generate_mt_history(
+        isolation="si",
+        num_sessions=sessions,
+        txns_per_session=max(1, total_txns // sessions),
+        num_objects=num_objects,
+        distribution="uniform",
+        seed=seed,
+    )
+    gt = generate_gt_history(
+        isolation="si",
+        num_sessions=sessions,
+        txns_per_session=max(1, total_txns // sessions),
+        num_objects=num_objects,
+        ops_per_txn=ops_per_txn,
+        distribution="uniform",
+        seed=seed,
+    )
+    mtc_run = end_to_end("mtc-si", mt, check_si)
+    polysi = PolySIChecker()
+    polysi_run = end_to_end("polysi", gt, polysi.check)
+    return {
+        "txns": total_txns,
+        "ops/txn(GT)": ops_per_txn,
+        "objects": num_objects,
+        "mtc_gen_s": round(mtc_run.generation_seconds, 4),
+        "mtc_verify_s": round(mtc_run.verification_seconds, 4),
+        "mtc_mem_mb": round(mtc_run.verification_memory_mb, 2),
+        "polysi_gen_s": round(polysi_run.generation_seconds, 4),
+        "polysi_verify_s": round(polysi_run.verification_seconds, 4),
+        "polysi_mem_mb": round(polysi_run.verification_memory_mb, 2),
+        "total_speedup": round(
+            polysi_run.total_seconds / max(mtc_run.total_seconds, 1e-9), 1
+        ),
+    }
+
+
+def _sweep_txns() -> List[Dict[str, object]]:
+    return [
+        _compare(total_txns=txns, ops_per_txn=6, num_objects=scaled(80), seed=3)
+        for txns in (scaled(40), scaled(80), scaled(120))
+    ]
+
+
+def _sweep_ops_per_txn() -> List[Dict[str, object]]:
+    return [
+        _compare(total_txns=scaled(60), ops_per_txn=ops, num_objects=scaled(80), seed=5)
+        for ops in (4, 8, 12)
+    ]
+
+
+def _sweep_objects() -> List[Dict[str, object]]:
+    return [
+        _compare(total_txns=scaled(60), ops_per_txn=6, num_objects=objects, seed=7)
+        for objects in (scaled(60), scaled(150), scaled(400))
+    ]
+
+
+@pytest.mark.benchmark(group="fig17-e2e-si")
+def test_fig17a_txns(benchmark):
+    rows = run_once(benchmark, _sweep_txns, "Figure 17a/d — end-to-end SI vs #txns")
+    assert all(row["total_speedup"] >= 1.0 for row in rows)
+
+
+@pytest.mark.benchmark(group="fig17-e2e-si")
+def test_fig17b_ops_per_txn(benchmark):
+    run_once(benchmark, _sweep_ops_per_txn, "Figure 17b/e — end-to-end SI vs #ops/txn")
+
+
+@pytest.mark.benchmark(group="fig17-e2e-si")
+def test_fig17c_objects(benchmark):
+    run_once(benchmark, _sweep_objects, "Figure 17c/f — end-to-end SI vs #objects")
+
+
+if __name__ == "__main__":
+    from repro.bench import print_table
+
+    for sweep in (_sweep_txns, _sweep_ops_per_txn, _sweep_objects):
+        print_table(sweep(), sweep.__name__)

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable even without installation.
+
+Installing the package (``pip install -e .``) is the normal route; this
+fallback lets the test and benchmark suites run directly from a source
+checkout (e.g. on machines without network access for build tooling).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

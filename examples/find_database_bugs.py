@@ -1,0 +1,59 @@
+"""Rediscovering real-world isolation bugs on buggy databases (Table II).
+
+The paper rediscovers six isolation bugs in five production databases.  This
+example reproduces each failure mode with the simulator's fault-injection
+engines, stresses the buggy database with a mini-transaction workload, and
+lets MTC report the violation with a compact counterexample — exactly the
+black-box workflow used against the real systems.
+
+Run with:  python examples/find_database_bugs.py
+"""
+
+from repro import Database, FaultPlan, MTWorkloadGenerator, run_workload
+from repro.core.checkers import check_ser, check_si, check_sser
+from repro.workloads import MTWorkloadMix
+
+#: The simulated counterparts of the Table II bugs.
+BUGGY_DATABASES = (
+    ("MariaDB Galera 10.7.3 (claimed SI)", "si", FaultPlan(lost_update_rate=0.5, seed=1), check_si),
+    ("MongoDB 4.2.6 (claimed SI)", "si", FaultPlan(dirty_install_rate=0.5, seed=2), check_si),
+    ("Dgraph 1.1.1 (claimed SI)", "si", FaultPlan(stale_read_rate=0.3, seed=3), check_si),
+    ("PostgreSQL 12.3 (claimed SER)", "serializable", FaultPlan(write_skew_rate=0.9, seed=4), check_ser),
+    ("Cassandra 2.0.1 (claimed SSER)", "s2pl", FaultPlan(dirty_install_rate=0.5, seed=5), check_sser),
+)
+
+#: Mini-transaction mix that also produces write-skew-prone shapes.
+MIX = MTWorkloadMix(single_rmw=0.35, double_rmw=0.2, read_only=0.1, read_then_rmw=0.35)
+
+
+def main() -> None:
+    for label, engine, faults, checker in BUGGY_DATABASES:
+        generator = MTWorkloadGenerator(
+            num_sessions=6,
+            txns_per_session=80,
+            num_objects=10,
+            distribution="exp",
+            mix=MIX,
+            seed=faults.seed,
+        )
+        workload = generator.generate()
+        database = Database(engine, keys=workload.keys, faults=faults)
+        run = run_workload(database, workload, seed=faults.seed + 1)
+        result = checker(run.history)
+
+        print(f"=== {label} ===")
+        print(
+            f"committed={run.stats.committed}  aborted={run.stats.aborted}  "
+            f"defects injected={database.injected_anomalies}"
+        )
+        if result.satisfied:
+            print("no violation detected (try a larger workload or higher fault rate)")
+        else:
+            print(f"VIOLATION of {result.level.short_name} "
+                  f"(verification took {result.elapsed_seconds:.3f}s):")
+            print("  " + result.violation.format().replace("\n", "\n  "))
+        print()
+
+
+if __name__ == "__main__":
+    main()

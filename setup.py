@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 660 editable-install support.
+
+The project is configured through ``pyproject.toml``; this file only exists
+so that ``pip install -e . --no-use-pep517`` (legacy develop mode) works on
+machines without the ``wheel`` package or network access.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,94 @@
+"""repro — a from-scratch reproduction of "Boosting End-to-End Database
+Isolation Checking via Mini-Transactions" (ICDE 2025).
+
+The package provides:
+
+* :mod:`repro.core` — the MTC checkers (SSER, SER, SI, linearizability),
+  the history/dependency-graph model, and the anomaly catalog;
+* :mod:`repro.db` — an in-memory transactional key-value database simulator
+  with pluggable isolation engines and fault injection;
+* :mod:`repro.workloads` — MT, GT, list-append, and LWT workload generators
+  plus the runner that records histories;
+* :mod:`repro.baselines` — reimplementations of the baseline checkers
+  (Cobra, PolySI, Porcupine, Elle, dbcop) used for comparison;
+* :mod:`repro.bench` — the experiment harness behind the ``benchmarks/``
+  suite reproducing the paper's tables and figures.
+"""
+
+from .core import (
+    AnomalyKind,
+    CheckResult,
+    DependencyGraph,
+    History,
+    IsolationLevel,
+    LWTHistory,
+    LWTOperation,
+    MTChecker,
+    Operation,
+    OpType,
+    Session,
+    Transaction,
+    TransactionStatus,
+    Violation,
+    anomaly_catalog,
+    anomaly_history,
+    build_dependency,
+    check_linearizability,
+    check_ser,
+    check_si,
+    check_sser,
+    is_mini_transaction,
+    is_mt_history,
+    read,
+    write,
+)
+from .db import Database, DatabaseStats, FaultPlan, TransactionAborted
+from .workloads import (
+    GTWorkloadGenerator,
+    LWTHistoryGenerator,
+    ListAppendWorkloadGenerator,
+    MTWorkloadGenerator,
+    WorkloadRunner,
+    run_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnomalyKind",
+    "CheckResult",
+    "Database",
+    "DatabaseStats",
+    "DependencyGraph",
+    "FaultPlan",
+    "GTWorkloadGenerator",
+    "History",
+    "IsolationLevel",
+    "LWTHistory",
+    "LWTHistoryGenerator",
+    "LWTOperation",
+    "ListAppendWorkloadGenerator",
+    "MTChecker",
+    "MTWorkloadGenerator",
+    "Operation",
+    "OpType",
+    "Session",
+    "Transaction",
+    "TransactionAborted",
+    "TransactionStatus",
+    "Violation",
+    "WorkloadRunner",
+    "anomaly_catalog",
+    "anomaly_history",
+    "build_dependency",
+    "check_linearizability",
+    "check_ser",
+    "check_si",
+    "check_sser",
+    "is_mini_transaction",
+    "is_mt_history",
+    "read",
+    "run_workload",
+    "write",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Reimplementations of the state-of-the-art baseline checkers the paper
+compares against: Cobra (SER), PolySI (SI), Porcupine (linearizability),
+Elle (list-append / registers), and dbcop (session-frontier SER)."""
+
+from .cobra import CobraChecker, CobraReport
+from .dbcop import DbcopChecker
+from .elle import ElleChecker
+from .polygraph import Constraint, Polygraph, build_polygraph
+from .polysi import PolySIChecker, PolySIReport
+from .porcupine import PorcupineChecker
+from .solver import PolygraphSolver, SolveResult
+
+__all__ = [
+    "CobraChecker",
+    "CobraReport",
+    "Constraint",
+    "DbcopChecker",
+    "ElleChecker",
+    "Polygraph",
+    "PolySIChecker",
+    "PolySIReport",
+    "PolygraphSolver",
+    "PorcupineChecker",
+    "SolveResult",
+    "build_polygraph",
+]

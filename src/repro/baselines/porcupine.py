@@ -1,0 +1,111 @@
+"""Porcupine-style linearizability checker (search-based baseline).
+
+Porcupine (Athalye) checks linearizability of operation histories with the
+Wing & Gong / Lowe algorithm: a depth-first search over linearization
+prefixes with memoisation on the pair (set of linearised operations, object
+state), partitioned per object (P-compositionality, a generalisation of the
+locality principle).  This reimplementation targets the same
+lightweight-transaction histories as MTC-SSER, so the two can be compared
+head-to-head as in the paper's Figure 9.
+
+The search is exponential in the worst case; on the valid, highly-concurrent
+histories of the benchmark it is substantially slower than the linear-time
+chain construction of :func:`repro.core.lwt.check_linearizability`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..core.lwt import LWTHistory, LWTOperation
+from ..core.result import AnomalyKind, CheckResult, IsolationLevel, Violation
+
+__all__ = ["PorcupineChecker"]
+
+
+class PorcupineChecker:
+    """Checks linearizability of lightweight-transaction histories by search."""
+
+    def __init__(self, *, max_states: int = 5_000_000) -> None:
+        #: Safety valve for the memoisation table; exceeding it aborts the
+        #: search and reports the history as undecided (treated as invalid).
+        self.max_states = max_states
+
+    # ------------------------------------------------------------------
+    def check(self, history: LWTHistory) -> CheckResult:
+        """Verify the history; partitioned per object (P-compositionality)."""
+        started = time.perf_counter()
+        level = IsolationLevel.LINEARIZABILITY
+        violations: List[Violation] = []
+        for key, operations in sorted(history.per_key().items()):
+            ok = self._check_object(operations)
+            if not ok:
+                violations.append(
+                    Violation(
+                        kind=AnomalyKind.NON_LINEARIZABLE,
+                        description=f"no linearization exists for object {key}",
+                        key=key,
+                    )
+                )
+        if violations:
+            result = CheckResult.violated(level, violations, num_transactions=len(history))
+        else:
+            result = CheckResult.ok(level, num_transactions=len(history))
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    # ------------------------------------------------------------------
+    def _check_object(self, operations: Sequence[LWTOperation]) -> bool:
+        """Wing & Gong search over one object's operations."""
+        ops = list(operations)
+        total = len(ops)
+        if total == 0:
+            return True
+        indices = {op.op_id: i for i, op in enumerate(ops)}
+
+        # Precedence: op A must be linearised before op B if A finishes
+        # before B starts.  An operation is *minimal* (a candidate to
+        # linearise next) when no unlinearised operation finishes before it
+        # starts.
+        predecessors: List[Set[int]] = [set() for _ in ops]
+        for i, a in enumerate(ops):
+            for j, b in enumerate(ops):
+                if i != j and a.finish_ts < b.start_ts:
+                    predecessors[j].add(i)
+
+        #: Memoised configurations: (frozenset of linearised ops, state value).
+        seen: Set[Tuple[FrozenSet[int], Optional[int]]] = set()
+
+        # Iterative DFS over (linearised-set, current value) configurations.
+        initial_state: Optional[int] = None
+        stack: List[Tuple[FrozenSet[int], Optional[int]]] = [(frozenset(), initial_state)]
+        while stack:
+            done, state = stack.pop()
+            if len(done) == total:
+                return True
+            if (done, state) in seen:
+                continue
+            seen.add((done, state))
+            if len(seen) > self.max_states:
+                return False
+            for i, op in enumerate(ops):
+                if i in done:
+                    continue
+                if predecessors[i] - done:
+                    continue  # a real-time predecessor is not linearised yet
+                next_state = self._apply(op, state)
+                if next_state is None:
+                    continue  # not applicable in the current state
+                stack.append((done | {i}, next_state))
+        return False
+
+    @staticmethod
+    def _apply(op: LWTOperation, state: Optional[int]) -> Optional[int]:
+        """Sequential semantics of the register: returns the new state or
+        ``None`` when the operation cannot occur in ``state``."""
+        if op.is_insert:
+            return op.written if state is None else None
+        if state is not None and op.expected == state:
+            return op.written
+        return None

@@ -1,0 +1,30 @@
+"""Benchmark harness: measurement, canned pipelines, and reporting used by
+the ``benchmarks/`` suite that reproduces the paper's tables and figures."""
+
+from .harness import (
+    BENCH_SCALE,
+    EndToEndResult,
+    GeneratedHistory,
+    end_to_end,
+    generate_gt_history,
+    generate_mt_history,
+    scaled,
+)
+from .metrics import Measurement, measure, measure_memory
+from .reporting import format_table, print_series, print_table
+
+__all__ = [
+    "BENCH_SCALE",
+    "EndToEndResult",
+    "GeneratedHistory",
+    "Measurement",
+    "end_to_end",
+    "format_table",
+    "generate_gt_history",
+    "generate_mt_history",
+    "measure",
+    "measure_memory",
+    "print_series",
+    "print_table",
+    "scaled",
+]

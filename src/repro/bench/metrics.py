@@ -1,0 +1,51 @@
+"""Measurement utilities for the experiment harness.
+
+The paper reports wall-clock time (split into history generation and
+verification) and peak memory for end-to-end checking.  This module wraps
+``time.perf_counter`` and ``tracemalloc`` so every benchmark reports the
+same quantities.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple
+
+__all__ = ["Measurement", "measure", "measure_memory"]
+
+
+@dataclass
+class Measurement:
+    """Result of measuring one callable."""
+
+    seconds: float
+    peak_memory_mb: float
+    value: Any = None
+
+
+def measure(fn: Callable[[], Any], *, with_memory: bool = True) -> Measurement:
+    """Run ``fn`` once, measuring wall-clock time and peak memory.
+
+    Peak memory is the Python-allocator high-water mark during the call (via
+    ``tracemalloc``); it tracks the relative memory behaviour the paper
+    reports, not RSS.
+    """
+    if with_memory:
+        tracemalloc.start()
+    started = time.perf_counter()
+    value = fn()
+    elapsed = time.perf_counter() - started
+    peak_mb = 0.0
+    if with_memory:
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        peak_mb = peak / (1024 * 1024)
+    return Measurement(seconds=elapsed, peak_memory_mb=peak_mb, value=value)
+
+
+def measure_memory(fn: Callable[[], Any]) -> Tuple[Any, float]:
+    """Run ``fn`` and return ``(result, peak_memory_mb)``."""
+    result = measure(fn, with_memory=True)
+    return result.value, result.peak_memory_mb

@@ -1,0 +1,150 @@
+"""Command-line interface for the MTC reproduction.
+
+Mirrors how the paper's MTC tool is used in practice: generate a workload
+and a history from a (simulated) database, verify saved histories against an
+isolation level, and inspect the anomaly catalog.
+
+Usage examples::
+
+    # Generate an MT workload, run it against the SI engine, save the history.
+    python -m repro generate --isolation si --sessions 8 --txns 100 \
+        --objects 50 --distribution zipf --output history.json
+
+    # Generate a history from a buggy database (lost-update defect).
+    python -m repro generate --isolation si --fault lostupdate --fault-rate 0.5 \
+        --output buggy.json
+
+    # Verify a saved history.
+    python -m repro check --level si history.json
+    python -m repro check --level ser buggy.json
+
+    # Show the canonical MT history for an anomaly.
+    python -m repro anomaly LostUpdate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core.anomalies import ANOMALY_NAMES, anomaly_catalog
+from .core.checker import MTChecker
+from .core.result import IsolationLevel
+from .db.database import Database
+from .db.faults import FaultPlan
+from .history.serialization import load_history, save_history
+from .workloads.mt_generator import MTWorkloadGenerator
+from .workloads.runner import run_workload
+
+__all__ = ["main", "build_parser"]
+
+_LEVELS = {
+    "si": IsolationLevel.SNAPSHOT_ISOLATION,
+    "ser": IsolationLevel.SERIALIZABILITY,
+    "sser": IsolationLevel.STRICT_SERIALIZABILITY,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Black-box isolation checking with mini-transactions (MTC reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    check = subparsers.add_parser("check", help="verify a saved history against an isolation level")
+    check.add_argument("history", help="path to a history JSON file")
+    check.add_argument("--level", choices=sorted(_LEVELS), default="ser", help="isolation level to check")
+    check.add_argument("--strict-mt", action="store_true", help="reject non-MT histories")
+
+    generate = subparsers.add_parser(
+        "generate", help="generate an MT workload, execute it on the simulator, and save the history"
+    )
+    generate.add_argument("--isolation", default="si", help="database engine (si, serializable, s2pl, read-committed)")
+    generate.add_argument("--sessions", type=int, default=8)
+    generate.add_argument("--txns", type=int, default=100, help="transactions per session")
+    generate.add_argument("--objects", type=int, default=50)
+    generate.add_argument("--distribution", default="uniform", help="uniform, zipf, hotspot, or exp")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--fault", default=None, help="inject a defect (lostupdate, writeskew, staleread, abortedread)")
+    generate.add_argument("--fault-rate", type=float, default=0.3)
+    generate.add_argument("--output", required=True, help="where to write the history JSON")
+
+    anomaly = subparsers.add_parser("anomaly", help="print a canonical anomaly history from the catalog")
+    anomaly.add_argument("name", nargs="?", default=None, help="anomaly name (omit to list all)")
+
+    return parser
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    history = load_history(args.history)
+    checker = MTChecker(strict_mt=args.strict_mt)
+    result = checker.verify(history, _LEVELS[args.level])
+    print(result.format())
+    return 0 if result.satisfied else 1
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    generator = MTWorkloadGenerator(
+        num_sessions=args.sessions,
+        txns_per_session=args.txns,
+        num_objects=args.objects,
+        distribution=args.distribution,
+        seed=args.seed,
+    )
+    workload = generator.generate()
+    faults = (
+        FaultPlan.for_anomaly(args.fault, rate=args.fault_rate, seed=args.seed)
+        if args.fault
+        else None
+    )
+    database = Database(args.isolation, keys=workload.keys, faults=faults)
+    run = run_workload(database, workload, seed=args.seed + 1)
+    save_history(run.history, args.output)
+    print(
+        f"generated {run.stats.committed} committed / {run.stats.aborted} aborted "
+        f"transactions (abort rate {run.stats.abort_rate:.1%}) -> {args.output}"
+    )
+    if database.injected_anomalies:
+        fired = {name: count for name, count in database.injected_anomalies.items() if count}
+        print(f"injected defects: {fired}")
+    return 0
+
+
+def _cmd_anomaly(args: argparse.Namespace) -> int:
+    catalog = anomaly_catalog()
+    if args.name is None:
+        for name, spec in catalog.items():
+            levels = "SER" + (", SI" if spec.violates_si else "")
+            print(f"{name:28s} violates {levels:9s} — {spec.description}")
+        return 0
+    if args.name not in catalog:
+        print(f"unknown anomaly {args.name!r}; known anomalies: {', '.join(ANOMALY_NAMES)}")
+        return 2
+    spec = catalog[args.name]
+    history = spec.build()
+    print(f"{args.name}: {spec.description}")
+    for txn in history.transactions(include_initial=False):
+        status = "" if txn.committed else "  [aborted]"
+        print(f"  session {txn.session_id}: {txn}{status}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    if args.command == "check":
+        return _cmd_check(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "anomaly":
+        return _cmd_anomaly(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""The MTChecker facade: the public entry point of the library.
+
+``MTChecker`` bundles the three verification components of the paper's MTC
+tool (MTC-SSER, MTC-SER, MTC-SI) plus the linear-time linearizability
+checker for lightweight-transaction histories behind a single ``verify``
+call, mirroring Step 4 of the black-box checking workflow (Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from .checkers import check_ser, check_si, check_sser
+from .lwt import LWTHistory, check_linearizability
+from .mini import validate_mt_history
+from .model import History
+from .result import CheckResult, IsolationLevel
+
+__all__ = ["MTChecker"]
+
+
+class MTChecker:
+    """End-to-end verifier for mini-transaction histories.
+
+    Example:
+        >>> from repro import MTChecker, IsolationLevel
+        >>> from repro.core.anomalies import anomaly_history
+        >>> checker = MTChecker()
+        >>> result = checker.verify(anomaly_history("LostUpdate"),
+        ...                         IsolationLevel.SNAPSHOT_ISOLATION)
+        >>> result.satisfied
+        False
+
+    Args:
+        strict_mt: reject inputs that are not valid mini-transaction
+            histories (non-MT transactions or duplicate written values)
+            instead of checking them on a best-effort basis.
+        transitive_ww: use the unoptimized BUILDDEPENDENCY variant that
+            materialises the transitive closure of the WW edges.
+    """
+
+    def __init__(self, *, strict_mt: bool = False, transitive_ww: bool = False) -> None:
+        self.strict_mt = strict_mt
+        self.transitive_ww = transitive_ww
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        history: Union[History, LWTHistory],
+        level: IsolationLevel,
+    ) -> CheckResult:
+        """Verify ``history`` against ``level`` and return a :class:`CheckResult`."""
+        if isinstance(history, LWTHistory):
+            if level not in (
+                IsolationLevel.LINEARIZABILITY,
+                IsolationLevel.STRICT_SERIALIZABILITY,
+            ):
+                raise ValueError(
+                    "lightweight-transaction histories are checked against "
+                    "linearizability / strict serializability only"
+                )
+            return check_linearizability(history)
+
+        if level is IsolationLevel.SERIALIZABILITY:
+            return check_ser(
+                history, transitive_ww=self.transitive_ww, strict_mt=self.strict_mt
+            )
+        if level is IsolationLevel.SNAPSHOT_ISOLATION:
+            return check_si(
+                history, transitive_ww=self.transitive_ww, strict_mt=self.strict_mt
+            )
+        if level in (
+            IsolationLevel.STRICT_SERIALIZABILITY,
+            IsolationLevel.LINEARIZABILITY,
+        ):
+            return check_sser(
+                history, transitive_ww=self.transitive_ww, strict_mt=self.strict_mt
+            )
+        raise ValueError(f"unsupported isolation level for MTC: {level}")
+
+    # Convenience aliases matching the paper's component names.
+    def check_ser(self, history: History) -> CheckResult:
+        """MTC-SER."""
+        return self.verify(history, IsolationLevel.SERIALIZABILITY)
+
+    def check_si(self, history: History) -> CheckResult:
+        """MTC-SI."""
+        return self.verify(history, IsolationLevel.SNAPSHOT_ISOLATION)
+
+    def check_sser(self, history: History) -> CheckResult:
+        """MTC-SSER (general MT histories with timestamps)."""
+        return self.verify(history, IsolationLevel.STRICT_SERIALIZABILITY)
+
+    def check_linearizability(self, history: LWTHistory) -> CheckResult:
+        """MTC-SSER on lightweight-transaction histories (Algorithm 2)."""
+        return self.verify(history, IsolationLevel.LINEARIZABILITY)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def is_mt_history(history: History) -> bool:
+        """Whether ``history`` meets Definition 9 (MT history, unique values)."""
+        return not validate_mt_history(history)

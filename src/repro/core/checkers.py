@@ -1,0 +1,299 @@
+"""MTC's verification algorithms for SSER, SER, and SI (paper, Algorithm 1).
+
+All three checkers share the same structure:
+
+1. pre-check the INT axiom and read-provenance anomalies
+   (:mod:`repro.core.intcheck`);
+2. build the (nearly unique) dependency graph of the mini-transaction
+   history with :func:`repro.core.graph.build_dependency`;
+3. check acyclicity of the appropriate edge combination:
+
+   * ``CHECKSSER`` — ``RT ∪ SO ∪ WR ∪ WW ∪ RW`` acyclic (Θ(n²) due to RT);
+   * ``CHECKSER``  — ``SO ∪ WR ∪ WW ∪ RW`` acyclic (Θ(n));
+   * ``CHECKSI``   — reject on the DIVERGENCE pattern, else
+     ``(SO ∪ WR ∪ WW) ; RW?`` acyclic (Θ(n)).
+
+The checkers are sound and complete on mini-transaction histories with
+unique values.  On violation they return a counterexample cycle, classified
+into one of the named anomalies of Table I whenever the cycle matches a
+known pattern.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+from .divergence import find_divergence
+from .graph import DependencyGraph, Edge, EdgeType, build_dependency
+from .intcheck import build_write_index, check_internal_consistency
+from .mini import validate_mt_history
+from .model import History
+from .result import AnomalyKind, CheckResult, IsolationLevel, Violation
+
+__all__ = [
+    "check_sser",
+    "check_ser",
+    "check_si",
+    "classify_cycle",
+    "MTHistoryError",
+]
+
+
+class MTHistoryError(ValueError):
+    """Raised in strict mode when the input is not a valid MT history."""
+
+
+def check_ser(
+    history: History,
+    *,
+    transitive_ww: bool = False,
+    strict_mt: bool = False,
+) -> CheckResult:
+    """CHECKSER: verify serializability of a mini-transaction history.
+
+    Args:
+        history: the MT history to verify.
+        transitive_ww: use the unoptimized BUILDDEPENDENCY that materialises
+            the per-object transitive closure of ``WW`` (for cross-validation
+            and the ablation benchmarks); the default is the optimized
+            variant of Section IV-C.
+        strict_mt: raise :class:`MTHistoryError` if the history is not a
+            valid MT history instead of checking on a best-effort basis.
+    """
+    return _check_graph_level(
+        history,
+        level=IsolationLevel.SERIALIZABILITY,
+        with_rt=False,
+        transitive_ww=transitive_ww,
+        strict_mt=strict_mt,
+    )
+
+
+def check_sser(
+    history: History,
+    *,
+    transitive_ww: bool = False,
+    strict_mt: bool = False,
+    reduced_rt: bool = True,
+) -> CheckResult:
+    """CHECKSSER: verify strict serializability of a mini-transaction history.
+
+    Identical to :func:`check_ser` but additionally includes the real-time
+    order edges, requiring transaction timestamps on the history.
+    """
+    return _check_graph_level(
+        history,
+        level=IsolationLevel.STRICT_SERIALIZABILITY,
+        with_rt=True,
+        transitive_ww=transitive_ww,
+        strict_mt=strict_mt,
+        reduced_rt=reduced_rt,
+    )
+
+
+def check_si(
+    history: History,
+    *,
+    transitive_ww: bool = False,
+    strict_mt: bool = False,
+    early_divergence_exit: bool = True,
+) -> CheckResult:
+    """CHECKSI: verify snapshot isolation of a mini-transaction history.
+
+    The DIVERGENCE pattern (two transactions reading the same version of an
+    object and both overwriting it) is checked first; it immediately implies
+    a LOSTUPDATE violation of SI.  Otherwise the induced graph
+    ``(SO ∪ WR ∪ WW) ; RW?`` must be acyclic.
+
+    Args:
+        early_divergence_exit: disable to skip the early pattern check and
+            rely solely on graph construction (ablation;
+            ``benchmarks/bench_ablation_divergence.py``).  Note that without
+            the early exit a DIVERGENCE history may admit an acyclic induced
+            graph, so the early check is required for completeness — the
+            ablation only measures its cost, and the checker re-enables it
+            for the final verdict.
+    """
+    started = time.perf_counter()
+    num_txns = len(history.committed_transactions(include_initial=False))
+
+    pre = _pre_checks(history, strict_mt=strict_mt)
+    if pre is not None:
+        pre.level = IsolationLevel.SNAPSHOT_ISOLATION
+        pre.num_transactions = num_txns
+        pre.elapsed_seconds = time.perf_counter() - started
+        return pre
+
+    write_index = build_write_index(history)
+    divergence = find_divergence(history, write_index=write_index)
+    if early_divergence_exit and divergence is not None:
+        result = CheckResult.violated(
+            IsolationLevel.SNAPSHOT_ISOLATION,
+            [divergence.to_violation()],
+            num_transactions=num_txns,
+        )
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    graph = build_dependency(
+        history,
+        with_rt=False,
+        transitive_ww=transitive_ww,
+        write_index=write_index,
+    )
+    induced = graph.si_induced_graph()
+    cycle = induced.find_cycle()
+    if cycle is None and divergence is not None:
+        # The induced graph can be acyclic even though the history violates
+        # SI via DIVERGENCE (Example 3); completeness requires reporting it.
+        result = CheckResult.violated(
+            IsolationLevel.SNAPSHOT_ISOLATION,
+            [divergence.to_violation()],
+            num_transactions=num_txns,
+        )
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    if cycle is None:
+        result = CheckResult.ok(IsolationLevel.SNAPSHOT_ISOLATION, num_txns)
+    else:
+        violation = classify_cycle(cycle, graph, level=IsolationLevel.SNAPSHOT_ISOLATION)
+        result = CheckResult.violated(
+            IsolationLevel.SNAPSHOT_ISOLATION, [violation], num_transactions=num_txns
+        )
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+# ----------------------------------------------------------------------
+# Shared machinery
+# ----------------------------------------------------------------------
+def _pre_checks(history: History, *, strict_mt: bool) -> Optional[CheckResult]:
+    """Run MT-history validation and the INT pre-pass.
+
+    Returns a failing :class:`CheckResult` (level filled in by the caller)
+    when the pre-pass finds violations, else ``None``.
+    """
+    if strict_mt:
+        problems = validate_mt_history(history)
+        if problems:
+            raise MTHistoryError(
+                "not a valid mini-transaction history: "
+                + "; ".join(str(p) for p in problems[:5])
+            )
+    int_violations = check_internal_consistency(history)
+    if int_violations:
+        return CheckResult.violated(
+            IsolationLevel.SERIALIZABILITY, int_violations
+        )
+    return None
+
+
+def _check_graph_level(
+    history: History,
+    *,
+    level: IsolationLevel,
+    with_rt: bool,
+    transitive_ww: bool,
+    strict_mt: bool,
+    reduced_rt: bool = True,
+) -> CheckResult:
+    started = time.perf_counter()
+    num_txns = len(history.committed_transactions(include_initial=False))
+
+    pre = _pre_checks(history, strict_mt=strict_mt)
+    if pre is not None:
+        pre.level = level
+        pre.num_transactions = num_txns
+        pre.elapsed_seconds = time.perf_counter() - started
+        return pre
+
+    graph = build_dependency(
+        history,
+        with_rt=with_rt,
+        transitive_ww=transitive_ww,
+        reduced_rt=reduced_rt,
+    )
+    cycle = graph.find_cycle()
+    if cycle is None:
+        result = CheckResult.ok(level, num_txns)
+    else:
+        violation = classify_cycle(cycle, graph, level=level)
+        result = CheckResult.violated(level, [violation], num_transactions=num_txns)
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+def classify_cycle(
+    cycle: Sequence[Edge],
+    graph: DependencyGraph,
+    *,
+    level: IsolationLevel,
+) -> Violation:
+    """Classify a dependency cycle into a named anomaly where possible.
+
+    The classification follows the cycle shapes of Figure 5:
+
+    * a cycle containing an RT edge → real-time (SSER-only) violation;
+    * a 2-cycle ``WW`` + ``RW`` on one object → LOSTUPDATE;
+    * a cycle whose non-SO edges are exactly two RW edges on two different
+      objects → WRITESKEW (adjacent RW) or LONGFORK (separated RW);
+    * a cycle containing exactly one RW edge and at least one WR edge →
+      CAUSALITYVIOLATION / NONMONOTONICREAD family (reported as
+      CausalityViolation);
+    * a cycle of only SO and WR/RW edges involving a missed session write →
+      SESSIONGUARANTEEVIOLATION;
+    * anything else → generic DependencyCycle.
+    """
+    edge_types = [edge.edge_type for edge in cycle]
+    keys = {edge.key for edge in cycle if edge.key is not None}
+    txn_ids = sorted({edge.source for edge in cycle} | {edge.target for edge in cycle})
+    cycle_tuples = [(edge.source, edge.target, edge.label) for edge in cycle]
+
+    kind = AnomalyKind.DEPENDENCY_CYCLE
+    rw_count = edge_types.count(EdgeType.RW)
+    wr_count = edge_types.count(EdgeType.WR)
+    ww_count = edge_types.count(EdgeType.WW)
+    so_count = edge_types.count(EdgeType.SO)
+    rt_count = edge_types.count(EdgeType.RT)
+    composed = edge_types.count(EdgeType.COMPOSED)
+
+    if rt_count > 0:
+        kind = AnomalyKind.REAL_TIME_VIOLATION
+    elif len(cycle) == 2 and rw_count >= 1 and ww_count >= 1 and len(keys) == 1:
+        kind = AnomalyKind.LOST_UPDATE
+    elif rw_count == 2 and ww_count == 0 and len(keys) >= 2:
+        kind = _classify_two_rw_cycle(cycle)
+    elif rw_count == 1 and (wr_count + so_count) >= 2 and ww_count == 0:
+        kind = AnomalyKind.CAUSALITY_VIOLATION
+    elif rw_count == 1 and so_count >= 1 and wr_count == 0 and ww_count == 0:
+        kind = AnomalyKind.SESSION_GUARANTEE_VIOLATION
+    elif rw_count == 1 and ww_count >= 1:
+        kind = AnomalyKind.LOST_UPDATE
+    elif composed and level is IsolationLevel.SNAPSHOT_ISOLATION:
+        kind = AnomalyKind.DEPENDENCY_CYCLE
+
+    description = (
+        f"dependency cycle of length {len(cycle)} over objects "
+        f"{sorted(keys) if keys else '[]'} forbidden by {level.short_name}"
+    )
+    return Violation(
+        kind=kind,
+        description=description,
+        txn_ids=txn_ids,
+        cycle=cycle_tuples,
+        key=next(iter(sorted(keys)), None),
+    )
+
+
+def _classify_two_rw_cycle(cycle: Sequence[Edge]) -> AnomalyKind:
+    """Distinguish WRITESKEW (adjacent RW edges) from LONGFORK."""
+    edges = list(cycle)
+    n = len(edges)
+    rw_positions = [i for i, edge in enumerate(edges) if edge.edge_type is EdgeType.RW]
+    if len(rw_positions) != 2:
+        return AnomalyKind.DEPENDENCY_CYCLE
+    i, j = rw_positions
+    adjacent = (j - i == 1) or (i == 0 and j == n - 1 and n > 2) or n == 2
+    return AnomalyKind.WRITE_SKEW if adjacent else AnomalyKind.LONG_FORK

@@ -1,0 +1,107 @@
+"""Detection of the DIVERGENCE pattern (paper, Definition 10).
+
+A history contains the DIVERGENCE pattern when two transactions read the
+same value of an object from a third transaction and subsequently write
+different values to that object.  Any history exhibiting the pattern
+violates snapshot isolation (Lemma 1): whichever way the two writers are
+ordered in ``WW``, a ``WW ; RW`` back-and-forth cycle arises (Figure 3).
+CHECKSI therefore rejects a history as soon as the pattern is detected,
+before constructing the full dependency graph.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .intcheck import WriteIndex, build_write_index
+from .model import History
+from .result import AnomalyKind, Violation
+
+__all__ = ["DivergenceInstance", "find_divergence", "find_all_divergences"]
+
+
+@dataclass(frozen=True)
+class DivergenceInstance:
+    """One instance of the DIVERGENCE pattern.
+
+    ``reader_a`` and ``reader_b`` both read ``value`` of ``key`` from
+    ``writer`` and then write different values to ``key``.
+    """
+
+    key: str
+    writer: int
+    value: int
+    reader_a: int
+    reader_b: int
+
+    def to_violation(self) -> Violation:
+        return Violation(
+            kind=AnomalyKind.LOST_UPDATE,
+            description=(
+                f"DIVERGENCE pattern on object {self.key}: T{self.reader_a} and "
+                f"T{self.reader_b} both read value {self.value} written by "
+                f"T{self.writer} and then wrote different values"
+            ),
+            txn_ids=[self.writer, self.reader_a, self.reader_b],
+            key=self.key,
+        )
+
+
+def find_divergence(
+    history: History, *, write_index: Optional[WriteIndex] = None
+) -> Optional[DivergenceInstance]:
+    """Return the first DIVERGENCE instance found, or ``None``.
+
+    Runs in time linear in the number of operations: for every committed
+    transaction that both reads and writes an object, the ``(object, value
+    read)`` slot is recorded; two different writers landing in the same slot
+    form the pattern.
+    """
+    instances = find_all_divergences(history, write_index=write_index, first_only=True)
+    return instances[0] if instances else None
+
+
+def find_all_divergences(
+    history: History,
+    *,
+    write_index: Optional[WriteIndex] = None,
+    first_only: bool = False,
+) -> List[DivergenceInstance]:
+    """Find (all) DIVERGENCE instances in a history."""
+    if write_index is None:
+        write_index = build_write_index(history)
+
+    # (key, value read) -> (first reader-writer txn id, value it wrote).
+    slots: Dict[Tuple[str, int], Tuple[int, Optional[int]]] = {}
+    instances: List[DivergenceInstance] = []
+    for txn in history.committed_transactions(include_initial=False):
+        for key, value in txn.external_reads().items():
+            if not txn.writes_to(key):
+                continue
+            slot = (key, value)
+            other = slots.get(slot)
+            if other is None:
+                slots[slot] = (txn.txn_id, txn.final_write(key))
+                continue
+            other_id, other_written = other
+            if other_id == txn.txn_id:
+                continue
+            if other_written == txn.final_write(key):
+                # Both overwrote with the same value: not DIVERGENCE (only
+                # possible in histories without unique values).
+                continue
+            writer = write_index.final_writer(key, value)
+            writer_id = writer.txn_id if writer is not None else -2
+            instance = DivergenceInstance(
+                key=key,
+                writer=writer_id,
+                value=value,
+                reader_a=other_id,
+                reader_b=txn.txn_id,
+            )
+            instances.append(instance)
+            if first_only:
+                return instances
+    return instances

@@ -1,0 +1,376 @@
+"""Dependency graphs over transactions and the BUILDDEPENDENCY procedure.
+
+A dependency graph (paper, Definition 3) extends a history with the
+per-object relations ``WR(x)`` (write–read), ``WW(x)`` (write–write), and
+``RW(x)`` (read–write, the anti-dependency), plus the session order ``SO``
+and, for strict serializability, the real-time order ``RT``.
+
+For mini-transaction histories the graph is (nearly) unique: the unique
+value written by each transaction determines ``WR`` entirely, the RMW
+pattern determines ``WW`` from ``WR``, and ``RW`` is derived from the other
+two.  :func:`build_dependency` implements Algorithm 1's BUILDDEPENDENCY,
+optionally computing the per-object transitive closure of ``WW`` (the
+unoptimized variant used in the correctness proof) or skipping it (the
+optimized variant of Section IV-C, the default).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .intcheck import WriteIndex, build_write_index
+from .model import History, Transaction
+
+__all__ = ["EdgeType", "Edge", "DependencyGraph", "build_dependency", "find_cycle"]
+
+
+class EdgeType(enum.Enum):
+    """Kinds of dependency edges between transactions."""
+
+    RT = "RT"
+    SO = "SO"
+    WR = "WR"
+    WW = "WW"
+    RW = "RW"
+    #: Composite edges of the SI induced graph ``(SO ∪ WR ∪ WW) ; RW?``.
+    COMPOSED = "COMPOSED"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EdgeType.{self.name}"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A labeled dependency edge ``source --type(key)--> target``."""
+
+    source: int
+    target: int
+    edge_type: EdgeType
+    key: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        if self.key is not None:
+            return f"{self.edge_type.value}({self.key})"
+        return self.edge_type.value
+
+    def __str__(self) -> str:
+        return f"T{self.source} --{self.label}--> T{self.target}"
+
+
+class DependencyGraph:
+    """A multigraph of labeled dependency edges over transaction ids."""
+
+    def __init__(self, nodes: Optional[Iterable[int]] = None) -> None:
+        self.nodes: Set[int] = set(nodes) if nodes is not None else set()
+        #: adjacency: source -> {target -> set of (EdgeType, key)}
+        self._succ: Dict[int, Dict[int, Set[Tuple[EdgeType, Optional[str]]]]] = defaultdict(dict)
+        self._edge_count = 0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: int) -> None:
+        self.nodes.add(node)
+
+    def add_edge(
+        self,
+        source: int,
+        target: int,
+        edge_type: EdgeType,
+        key: Optional[str] = None,
+    ) -> bool:
+        """Add an edge; returns ``True`` if it was not already present."""
+        self.nodes.add(source)
+        self.nodes.add(target)
+        labels = self._succ[source].setdefault(target, set())
+        tag = (edge_type, key)
+        if tag in labels:
+            return False
+        labels.add(tag)
+        self._edge_count += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def successors(self, node: int) -> Iterator[int]:
+        return iter(self._succ.get(node, {}))
+
+    def has_edge(
+        self,
+        source: int,
+        target: int,
+        edge_type: Optional[EdgeType] = None,
+        key: Optional[str] = None,
+    ) -> bool:
+        labels = self._succ.get(source, {}).get(target)
+        if labels is None:
+            return False
+        if edge_type is None:
+            return True
+        if key is None:
+            return any(etype is edge_type for etype, _ in labels)
+        return (edge_type, key) in labels
+
+    def edge_labels(self, source: int, target: int) -> Set[Tuple[EdgeType, Optional[str]]]:
+        return set(self._succ.get(source, {}).get(target, set()))
+
+    def edges(self, edge_type: Optional[EdgeType] = None) -> Iterator[Edge]:
+        """Iterate over all edges, optionally filtered by type."""
+        for source, targets in self._succ.items():
+            for target, labels in targets.items():
+                for etype, key in labels:
+                    if edge_type is None or etype is edge_type:
+                        yield Edge(source, target, etype, key)
+
+    def edges_by_type(self, types: FrozenSet[EdgeType]) -> Iterator[Edge]:
+        for edge in self.edges():
+            if edge.edge_type in types:
+                yield edge
+
+    @property
+    def num_edges(self) -> int:
+        return self._edge_count
+
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Per-object views used by the checkers
+    # ------------------------------------------------------------------
+    def typed_edges_per_key(self, edge_type: EdgeType) -> Dict[Optional[str], List[Tuple[int, int]]]:
+        """Group edges of ``edge_type`` by object."""
+        grouped: Dict[Optional[str], List[Tuple[int, int]]] = defaultdict(list)
+        for edge in self.edges(edge_type):
+            grouped[edge.key].append((edge.source, edge.target))
+        return grouped
+
+    # ------------------------------------------------------------------
+    # Acyclicity
+    # ------------------------------------------------------------------
+    def is_acyclic(self) -> bool:
+        return self.find_cycle() is None
+
+    def find_cycle(self) -> Optional[List[Edge]]:
+        """Find a cycle, returned as a list of labeled edges, or ``None``.
+
+        Uses an iterative depth-first search with a three-colour marking; the
+        cycle returned is the first back-edge loop encountered.
+        """
+        cycle_nodes = find_cycle(self.nodes, self._adjacency_view())
+        if cycle_nodes is None:
+            return None
+        return self._label_cycle(cycle_nodes)
+
+    def _adjacency_view(self) -> Dict[int, List[int]]:
+        return {node: list(self._succ.get(node, {})) for node in self.nodes}
+
+    def _label_cycle(self, cycle_nodes: Sequence[int]) -> List[Edge]:
+        edges: List[Edge] = []
+        n = len(cycle_nodes)
+        for i in range(n):
+            source = cycle_nodes[i]
+            target = cycle_nodes[(i + 1) % n]
+            labels = self._succ.get(source, {}).get(target, set())
+            if labels:
+                # Prefer the most informative label (anything but RT/SO).
+                etype, key = min(
+                    labels, key=lambda tag: (tag[0] in (EdgeType.RT, EdgeType.SO), tag[0].value)
+                )
+                edges.append(Edge(source, target, etype, key))
+            else:  # pragma: no cover - defensive: cycle must use real edges
+                edges.append(Edge(source, target, EdgeType.COMPOSED, None))
+        return edges
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def restricted(self, types: FrozenSet[EdgeType]) -> "DependencyGraph":
+        """A copy of the graph containing only edges with the given types."""
+        sub = DependencyGraph(self.nodes)
+        for edge in self.edges():
+            if edge.edge_type in types:
+                sub.add_edge(edge.source, edge.target, edge.edge_type, edge.key)
+        return sub
+
+    def si_induced_graph(self) -> "DependencyGraph":
+        """The graph ``G' = (V, (SO ∪ WR ∪ WW) ; RW?)`` used by CHECKSI.
+
+        An edge ``a → b`` is added when ``a (SO|WR|WW)→ b`` and, additionally,
+        ``a → c`` is added for every ``b RW→ c``.
+        """
+        induced = DependencyGraph(self.nodes)
+        base_types = (EdgeType.SO, EdgeType.WR, EdgeType.WW)
+        rw_succ: Dict[int, List[Tuple[int, Optional[str]]]] = defaultdict(list)
+        for edge in self.edges(EdgeType.RW):
+            rw_succ[edge.source].append((edge.target, edge.key))
+        for edge in self.edges():
+            if edge.edge_type not in base_types:
+                continue
+            induced.add_edge(edge.source, edge.target, edge.edge_type, edge.key)
+            for target, key in rw_succ.get(edge.target, ()):
+                induced.add_edge(edge.source, target, EdgeType.COMPOSED, key)
+        return induced
+
+    def __repr__(self) -> str:
+        return f"DependencyGraph(nodes={len(self.nodes)}, edges={self._edge_count})"
+
+
+def find_cycle(
+    nodes: Iterable[int], adjacency: Dict[int, List[int]]
+) -> Optional[List[int]]:
+    """Iterative DFS cycle detection over an integer adjacency map.
+
+    Returns the list of nodes along one cycle (in order), or ``None`` when
+    the graph is acyclic.
+    """
+    WHITE, GRAY, BLACK = 0, 1, 2
+    colour: Dict[int, int] = {node: WHITE for node in nodes}
+    parent: Dict[int, Optional[int]] = {}
+
+    for root in colour:
+        if colour[root] != WHITE:
+            continue
+        stack: List[Tuple[int, Iterator[int]]] = [(root, iter(adjacency.get(root, ())))]
+        colour[root] = GRAY
+        parent[root] = None
+        while stack:
+            node, neighbours = stack[-1]
+            advanced = False
+            for nxt in neighbours:
+                if nxt not in colour:
+                    colour[nxt] = WHITE
+                if colour[nxt] == WHITE:
+                    colour[nxt] = GRAY
+                    parent[nxt] = node
+                    stack.append((nxt, iter(adjacency.get(nxt, ()))))
+                    advanced = True
+                    break
+                if colour[nxt] == GRAY:
+                    # Found a back edge node -> nxt; reconstruct the cycle.
+                    cycle = [node]
+                    current = node
+                    while current != nxt:
+                        current = parent[current]  # type: ignore[assignment]
+                        cycle.append(current)
+                    cycle.reverse()
+                    return cycle
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return None
+
+
+def build_dependency(
+    history: History,
+    *,
+    with_rt: bool = False,
+    transitive_ww: bool = False,
+    write_index: Optional[WriteIndex] = None,
+    reduced_rt: bool = True,
+) -> DependencyGraph:
+    """Algorithm 1's BUILDDEPENDENCY for mini-transaction histories.
+
+    Args:
+        history: the input history (assumed to satisfy the INT axiom; run
+            :func:`repro.core.intcheck.check_internal_consistency` first).
+        with_rt: add real-time edges (used by CHECKSSER only).
+        transitive_ww: compute the per-object transitive closure of ``WW``
+            (the proof-friendly variant); the optimized variant of
+            Section IV-C omits it, and Theorem 1/2 show the acyclicity
+            verdicts coincide.
+        write_index: optional pre-built ``(key, value) -> writer`` index.
+        reduced_rt: use the transitive reduction of the real-time interval
+            order instead of the full quadratic relation (reachability, and
+            hence every acyclicity verdict, is unchanged).
+
+    Returns:
+        The dependency graph over committed transactions (including ``⊥T``).
+    """
+    committed = history.committed_transactions(include_initial=True)
+    graph = DependencyGraph(t.txn_id for t in committed)
+    committed_ids = {t.txn_id for t in committed}
+
+    if with_rt:
+        for source, target in history.real_time_order(reduced=reduced_rt):
+            if source.txn_id in committed_ids and target.txn_id in committed_ids:
+                graph.add_edge(source.txn_id, target.txn_id, EdgeType.RT)
+
+    for source, target in history.session_order():
+        if source.txn_id in committed_ids and target.txn_id in committed_ids:
+            graph.add_edge(source.txn_id, target.txn_id, EdgeType.SO)
+
+    if write_index is None:
+        write_index = build_write_index(history)
+
+    # WR edges (entirely determined by unique values), and WW edges inferred
+    # from WR thanks to the RMW pattern: if the reader also writes the same
+    # object, it directly follows the writer it read from in the version
+    # order of that object.
+    ww_per_key: Dict[str, List[Tuple[int, int]]] = defaultdict(list)
+    wr_per_key: Dict[str, List[Tuple[int, int]]] = defaultdict(list)
+    for txn in committed:
+        if txn.is_initial:
+            continue
+        for key, value in txn.external_reads().items():
+            writer = write_index.final_writer(key, value)
+            if writer is None or not writer.committed or writer.txn_id == txn.txn_id:
+                # Read-provenance anomalies are reported by the INT pre-pass;
+                # skip the edge here rather than guessing.
+                continue
+            graph.add_edge(writer.txn_id, txn.txn_id, EdgeType.WR, key)
+            wr_per_key[key].append((writer.txn_id, txn.txn_id))
+            if txn.writes_to(key):
+                graph.add_edge(writer.txn_id, txn.txn_id, EdgeType.WW, key)
+                ww_per_key[key].append((writer.txn_id, txn.txn_id))
+
+    if transitive_ww:
+        for key, pairs in ww_per_key.items():
+            closure = _transitive_closure(pairs)
+            for source, target in closure:
+                if graph.add_edge(source, target, EdgeType.WW, key):
+                    ww_per_key[key].append((source, target))
+
+    # RW edges: T' --WR(x)--> T and T' --WW(x)--> S with T != S gives
+    # T --RW(x)--> S.
+    ww_successors: Dict[Tuple[int, str], List[int]] = defaultdict(list)
+    for edge in list(graph.edges(EdgeType.WW)):
+        assert edge.key is not None
+        ww_successors[(edge.source, edge.key)].append(edge.target)
+    for edge in list(graph.edges(EdgeType.WR)):
+        assert edge.key is not None
+        for overwriter in ww_successors.get((edge.source, edge.key), ()):
+            if overwriter != edge.target:
+                graph.add_edge(edge.target, overwriter, EdgeType.RW, edge.key)
+
+    return graph
+
+
+def _transitive_closure(pairs: Sequence[Tuple[int, int]]) -> Set[Tuple[int, int]]:
+    """Transitive closure of a relation given as a list of pairs."""
+    succ: Dict[int, Set[int]] = defaultdict(set)
+    for source, target in pairs:
+        succ[source].add(target)
+    closure: Set[Tuple[int, int]] = set(pairs)
+    changed = True
+    while changed:
+        changed = False
+        for source in list(succ):
+            reachable = set(succ[source])
+            frontier = list(reachable)
+            while frontier:
+                node = frontier.pop()
+                for nxt in succ.get(node, ()):
+                    if nxt not in reachable:
+                        reachable.add(nxt)
+                        frontier.append(nxt)
+            for target in reachable:
+                if (source, target) not in closure and source != target:
+                    closure.add((source, target))
+                    succ[source].add(target)
+                    changed = True
+    return closure

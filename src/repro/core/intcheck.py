@@ -1,0 +1,228 @@
+"""Internal-consistency (INT) checking and read-provenance anomalies.
+
+Algorithm 1 in the paper assumes the input history satisfies the INT axiom:
+within a transaction, a read from an object returns the same value as the
+last write to, or read from, this object inside the transaction.  In
+practice (footnote 1) the checker first scans the history for
+
+* intra-transactional anomalies — FutureRead, NotMyLastWrite, NotMyOwnWrite,
+  NonRepeatableReads — and
+* read-provenance anomalies — ThinAirRead, AbortedRead, IntermediateRead —
+
+before constructing the dependency graph.  This module implements that
+pre-pass.  It relies on the unique-value assumption of MT histories: every
+value can be attributed to exactly one writing transaction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .model import History, Operation, Transaction
+from .result import AnomalyKind, Violation
+
+__all__ = ["WriteIndex", "build_write_index", "check_internal_consistency"]
+
+
+class WriteIndex:
+    """Index from ``(key, value)`` to the transaction that wrote it.
+
+    Distinguishes *final* writes (the last write of a transaction on a key —
+    the only writes other transactions may legitimately observe) from
+    *intermediate* writes (overwritten within the same transaction), and
+    records whether the writer committed.
+    """
+
+    def __init__(self) -> None:
+        self._final: Dict[Tuple[str, Optional[int]], Transaction] = {}
+        self._intermediate: Dict[Tuple[str, Optional[int]], Transaction] = {}
+
+    def add_transaction(self, txn: Transaction) -> None:
+        last_write: Dict[str, Operation] = {}
+        for op in txn.operations:
+            if op.is_write:
+                if op.key in last_write:
+                    prev = last_write[op.key]
+                    self._intermediate[(prev.key, prev.value)] = txn
+                last_write[op.key] = op
+        for op in last_write.values():
+            self._final[(op.key, op.value)] = txn
+
+    def final_writer(self, key: str, value: Optional[int]) -> Optional[Transaction]:
+        """The transaction whose final write on ``key`` has ``value``."""
+        return self._final.get((key, value))
+
+    def intermediate_writer(self, key: str, value: Optional[int]) -> Optional[Transaction]:
+        """The transaction that wrote ``value`` to ``key`` as a non-final write."""
+        return self._intermediate.get((key, value))
+
+
+def build_write_index(history: History) -> WriteIndex:
+    """Index every write in the history (committed, aborted, and initial)."""
+    index = WriteIndex()
+    for txn in history.transactions(include_initial=True):
+        index.add_transaction(txn)
+    return index
+
+
+def check_internal_consistency(
+    history: History, *, write_index: Optional[WriteIndex] = None
+) -> List[Violation]:
+    """Check the INT axiom and read-provenance anomalies for a history.
+
+    Returns the list of violations found (empty if the history is internally
+    consistent and every read can be attributed to the committed final write
+    of some transaction or to the reader's own preceding write).
+    """
+    if write_index is None:
+        write_index = build_write_index(history)
+
+    violations: List[Violation] = []
+    for txn in history.committed_transactions(include_initial=False):
+        violations.extend(_check_transaction(txn, write_index))
+    return violations
+
+
+def _check_transaction(txn: Transaction, index: WriteIndex) -> List[Violation]:
+    violations: List[Violation] = []
+    # Last operation on each key inside the transaction, in program order.
+    last_op_on_key: Dict[str, Operation] = {}
+    # Values this transaction writes to each key, in program order, used to
+    # detect FutureRead and NotMyLastWrite precisely.
+    writes_by_key: Dict[str, List[Optional[int]]] = {}
+    for op in txn.operations:
+        if op.is_write:
+            writes_by_key.setdefault(op.key, []).append(op.value)
+
+    position_writes_seen: Dict[str, int] = {}
+    for op in txn.operations:
+        if op.is_write:
+            position_writes_seen[op.key] = position_writes_seen.get(op.key, 0) + 1
+            last_op_on_key[op.key] = op
+            continue
+
+        prev = last_op_on_key.get(op.key)
+        if prev is not None:
+            violations.extend(_check_internal_read(txn, op, prev, position_writes_seen))
+        else:
+            violations.extend(
+                _check_external_read(txn, op, index, writes_by_key, position_writes_seen)
+            )
+        last_op_on_key[op.key] = op
+    return violations
+
+
+def _check_internal_read(
+    txn: Transaction,
+    op: Operation,
+    prev: Operation,
+    writes_seen: Dict[str, int],
+) -> List[Violation]:
+    """Check a read that follows a prior operation on the same key in ``txn``."""
+    if op.value == prev.value:
+        return []
+    own_final = txn.final_write(op.key)
+    own_values = [w.value for w in txn.operations if w.is_write and w.key == op.key]
+    kind: AnomalyKind
+    if prev.is_write:
+        # The read should have returned the preceding write's value.
+        if op.value in own_values:
+            # It returned one of its own writes, but not the last preceding one.
+            kind = AnomalyKind.NOT_MY_LAST_WRITE
+            description = (
+                f"read {op} returned an own write that is not the last preceding "
+                f"write {prev} on object {op.key}"
+            )
+        else:
+            kind = AnomalyKind.NOT_MY_OWN_WRITE
+            description = (
+                f"read {op} ignored the transaction's own preceding write {prev} "
+                f"on object {op.key}"
+            )
+    else:
+        # Two reads of the same object with no intervening own write
+        # returned different values.
+        kind = AnomalyKind.NON_REPEATABLE_READS
+        description = (
+            f"reads of object {op.key} returned different values "
+            f"({prev.value} then {op.value}) with no intervening own write"
+        )
+    del own_final  # classification above only needs own_values
+    return [
+        Violation(
+            kind=kind,
+            description=description,
+            txn_ids=[txn.txn_id],
+            key=op.key,
+        )
+    ]
+
+
+def _check_external_read(
+    txn: Transaction,
+    op: Operation,
+    index: WriteIndex,
+    writes_by_key: Dict[str, List[Optional[int]]],
+    writes_seen: Dict[str, int],
+) -> List[Violation]:
+    """Check a read whose value must come from another transaction.
+
+    ``op`` is the first operation of ``txn`` on its key (no preceding read or
+    write on that key), so by INT it must observe the committed final write
+    of some other transaction (or the initial value).
+    """
+    # FutureRead: the value is one this very transaction writes later.
+    later_writes = writes_by_key.get(op.key, [])
+    if later_writes and op.value in later_writes:
+        return [
+            Violation(
+                kind=AnomalyKind.FUTURE_READ,
+                description=(
+                    f"read {op} observes value {op.value}, which the same "
+                    f"transaction only writes later"
+                ),
+                txn_ids=[txn.txn_id],
+                key=op.key,
+            )
+        ]
+
+    writer = index.final_writer(op.key, op.value)
+    if writer is not None and writer.txn_id != txn.txn_id:
+        if writer.aborted:
+            return [
+                Violation(
+                    kind=AnomalyKind.ABORTED_READ,
+                    description=(
+                        f"read {op} observes a value written by aborted "
+                        f"transaction T{writer.txn_id}"
+                    ),
+                    txn_ids=[txn.txn_id, writer.txn_id],
+                    key=op.key,
+                )
+            ]
+        return []
+
+    intermediate = index.intermediate_writer(op.key, op.value)
+    if intermediate is not None and intermediate.txn_id != txn.txn_id:
+        return [
+            Violation(
+                kind=AnomalyKind.INTERMEDIATE_READ,
+                description=(
+                    f"read {op} observes an intermediate value of "
+                    f"T{intermediate.txn_id}, which later overwrote it"
+                ),
+                txn_ids=[txn.txn_id, intermediate.txn_id],
+                key=op.key,
+            )
+        ]
+
+    return [
+        Violation(
+            kind=AnomalyKind.THIN_AIR_READ,
+            description=(
+                f"read {op} observes value {op.value}, which no transaction wrote"
+            ),
+            txn_ids=[txn.txn_id],
+            key=op.key,
+        )
+    ]

@@ -1,0 +1,213 @@
+"""Linear-time linearizability checking for lightweight-transaction histories.
+
+Lightweight transactions (LWTs) are single-object compare-and-set style
+operations: a *read&write* ``R&W(x, v, v')`` reads value ``v`` from object
+``x`` and writes ``v'``, and an *insert-if-not-exists* installs the initial
+value of an object.  For histories made only of such operations, strict
+serializability degenerates to linearizability, and the RMW pattern plus
+unique values admit the linear-time Algorithm 2 of the paper (VL-LWT):
+
+1. per object, the operations must form a single *chain* in which each
+   read&write observes the value written by its predecessor (step ❶);
+2. walking the chain backwards, no operation may start after the minimum
+   finish time of all its successors (step ❷ — the real-time requirement).
+
+Linearizability is a local property, so a multi-object history is
+linearizable iff each per-object sub-history is (``check_linearizability``).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .result import AnomalyKind, CheckResult, IsolationLevel, Violation
+
+__all__ = [
+    "LWTKind",
+    "LWTOperation",
+    "LWTHistory",
+    "check_object_linearizability",
+    "check_linearizability",
+]
+
+
+class LWTKind(enum.Enum):
+    """The two kinds of lightweight transactions."""
+
+    #: ``R&W(x, expected, new)`` — a successful compare-and-set.
+    READ_WRITE = "read&write"
+    #: ``insert-if-not-exists(x, value)`` — installs the object's first value.
+    INSERT = "insert"
+
+
+@dataclass(frozen=True)
+class LWTOperation:
+    """A lightweight transaction with wall-clock start and finish times."""
+
+    op_id: int
+    kind: LWTKind
+    key: str
+    written: int
+    expected: Optional[int] = None
+    start_ts: float = 0.0
+    finish_ts: float = 0.0
+    session_id: int = 0
+
+    @property
+    def is_insert(self) -> bool:
+        return self.kind is LWTKind.INSERT
+
+    def __str__(self) -> str:
+        if self.is_insert:
+            return f"O{self.op_id}:INSERT({self.key},{self.written})"
+        return f"O{self.op_id}:R&W({self.key},{self.expected},{self.written})"
+
+
+@dataclass
+class LWTHistory:
+    """A history of lightweight transactions over one or more objects."""
+
+    operations: List[LWTOperation]
+
+    def keys(self) -> List[str]:
+        return sorted({op.key for op in self.operations})
+
+    def per_key(self) -> Dict[str, List[LWTOperation]]:
+        grouped: Dict[str, List[LWTOperation]] = defaultdict(list)
+        for op in self.operations:
+            grouped[op.key].append(op)
+        return dict(grouped)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+
+def check_object_linearizability(
+    operations: Sequence[LWTOperation], key: Optional[str] = None
+) -> CheckResult:
+    """Algorithm 2 (VL-LWT) on the LWT history of a single object.
+
+    The history must contain exactly one insert-if-not-exists operation; the
+    read&write operations must then form a chain (each one reading the value
+    written by the previous one), and the chain must respect real time.
+    Runs in expected O(n) time using a hash table from expected value to
+    operation.
+    """
+    started = time.perf_counter()
+    level = IsolationLevel.LINEARIZABILITY
+    ops = list(operations)
+    if key is None:
+        key = ops[0].key if ops else ""
+
+    inserts = [op for op in ops if op.is_insert]
+    if len(inserts) != 1:
+        result = CheckResult.violated(
+            level,
+            [
+                Violation(
+                    kind=AnomalyKind.MALFORMED_HISTORY,
+                    description=(
+                        f"object {key} has {len(inserts)} insert-if-not-exists "
+                        f"operations (expected exactly 1)"
+                    ),
+                    key=key,
+                )
+            ],
+            num_transactions=len(ops),
+        )
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+    # Step ❶: construct the chain, if possible.
+    by_expected: Dict[int, List[LWTOperation]] = defaultdict(list)
+    for op in ops:
+        if not op.is_insert and op.expected is not None:
+            by_expected[op.expected].append(op)
+
+    chain: List[LWTOperation] = [inserts[0]]
+    value = inserts[0].written
+    remaining = len(ops) - 1
+    while remaining > 0:
+        candidates = by_expected.get(value, [])
+        if len(candidates) != 1:
+            kind = (
+                AnomalyKind.LOST_UPDATE
+                if len(candidates) > 1
+                else AnomalyKind.NON_LINEARIZABLE
+            )
+            detail = (
+                f"{len(candidates)} operations read value {value}"
+                if candidates
+                else f"no operation reads value {value}, yet "
+                f"{remaining} operations remain unchained"
+            )
+            result = CheckResult.violated(
+                level,
+                [
+                    Violation(
+                        kind=kind,
+                        description=(
+                            f"object {key}: cannot extend the version chain — {detail}"
+                        ),
+                        txn_ids=[op.op_id for op in candidates],
+                        key=key,
+                    )
+                ],
+                num_transactions=len(ops),
+            )
+            result.elapsed_seconds = time.perf_counter() - started
+            return result
+        nxt = candidates[0]
+        chain.append(nxt)
+        value = nxt.written
+        remaining -= 1
+
+    # Step ❷: the real-time requirement, walking the chain backwards.
+    min_finish = float("inf")
+    violation: Optional[Violation] = None
+    for op in reversed(chain):
+        if op.start_ts > min_finish:
+            violation = Violation(
+                kind=AnomalyKind.REAL_TIME_VIOLATION,
+                description=(
+                    f"object {key}: {op} starts at {op.start_ts:.6f}, after a "
+                    f"successor in the version chain finished at {min_finish:.6f}"
+                ),
+                txn_ids=[op.op_id],
+                key=key,
+            )
+            break
+        min_finish = min(min_finish, op.finish_ts)
+
+    if violation is not None:
+        result = CheckResult.violated(level, [violation], num_transactions=len(ops))
+    else:
+        result = CheckResult.ok(level, num_transactions=len(ops))
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+def check_linearizability(history: LWTHistory) -> CheckResult:
+    """MTC-SSER on a lightweight-transaction history.
+
+    Exploits locality: the history is linearizable iff every per-object
+    sub-history is.  Overall running time is O(n) for n operations.
+    """
+    started = time.perf_counter()
+    level = IsolationLevel.LINEARIZABILITY
+    violations: List[Violation] = []
+    total = len(history)
+    for key, ops in history.per_key().items():
+        result = check_object_linearizability(ops, key=key)
+        if not result.satisfied:
+            violations.extend(result.violations)
+    if violations:
+        result = CheckResult.violated(level, violations, num_transactions=total)
+    else:
+        result = CheckResult.ok(level, num_transactions=total)
+    result.elapsed_seconds = time.perf_counter() - started
+    return result

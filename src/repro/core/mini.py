@@ -1,0 +1,134 @@
+"""Mini-transaction (MT) definitions and MT-history validation.
+
+A *mini-transaction* (paper, Definition 8) is a transaction with
+
+1. one or two read operations and at most two write operations, and
+2. every write (not necessarily immediately) preceded by a read on the same
+   object — the read-modify-write (RMW) pattern.
+
+A *mini-transaction history* (Definition 9) contains only mini-transactions
+(besides the initial transaction ``⊥T``) and assigns a unique value to every
+write on the same object.  The RMW pattern plus unique values is what makes
+the linear/quadratic verification algorithms of :mod:`repro.core.checkers`
+sound and complete; histories that are not MT histories must be routed to
+the general (solver-based) baseline checkers instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from .model import History, Transaction
+
+__all__ = [
+    "MAX_MT_READS",
+    "MAX_MT_WRITES",
+    "MAX_MT_OPERATIONS",
+    "MTViolation",
+    "is_mini_transaction",
+    "mt_violations",
+    "validate_mt_history",
+    "is_mt_history",
+]
+
+#: Maximum number of read operations in a mini-transaction.
+MAX_MT_READS = 2
+#: Maximum number of write operations in a mini-transaction.
+MAX_MT_WRITES = 2
+#: Maximum total number of operations in a mini-transaction.
+MAX_MT_OPERATIONS = MAX_MT_READS + MAX_MT_WRITES
+
+
+@dataclass
+class MTViolation:
+    """A reason why a transaction or history is not a valid MT (history)."""
+
+    txn_id: int
+    reason: str
+    key: str = ""
+
+    def __str__(self) -> str:
+        suffix = f" (object {self.key})" if self.key else ""
+        return f"T{self.txn_id}: {self.reason}{suffix}"
+
+
+def mt_violations(txn: Transaction) -> List[MTViolation]:
+    """Return the list of reasons why ``txn`` is not a mini-transaction.
+
+    An empty list means the transaction satisfies Definition 8.
+    The initial transaction is exempt.
+    """
+    if txn.is_initial:
+        return []
+    violations: List[MTViolation] = []
+    num_reads = sum(1 for op in txn.operations if op.is_read)
+    num_writes = sum(1 for op in txn.operations if op.is_write)
+    if num_reads < 1:
+        violations.append(MTViolation(txn.txn_id, "contains no read operation"))
+    if num_reads > MAX_MT_READS:
+        violations.append(
+            MTViolation(txn.txn_id, f"contains {num_reads} reads (maximum {MAX_MT_READS})")
+        )
+    if num_writes > MAX_MT_WRITES:
+        violations.append(
+            MTViolation(txn.txn_id, f"contains {num_writes} writes (maximum {MAX_MT_WRITES})")
+        )
+    # RMW pattern: each write must be preceded by a read on the same object.
+    seen_reads: Set[str] = set()
+    for op in txn.operations:
+        if op.is_read:
+            seen_reads.add(op.key)
+        elif op.key not in seen_reads:
+            violations.append(
+                MTViolation(
+                    txn.txn_id,
+                    "write is not preceded by a read on the same object",
+                    key=op.key,
+                )
+            )
+    return violations
+
+
+def is_mini_transaction(txn: Transaction) -> bool:
+    """Whether ``txn`` satisfies the mini-transaction criteria (Definition 8)."""
+    return not mt_violations(txn)
+
+
+def validate_mt_history(history: History) -> List[MTViolation]:
+    """Validate that ``history`` is a mini-transaction history (Definition 9).
+
+    Checks that every (non-initial) transaction is a mini-transaction and
+    that every write on the same object assigns a unique value.  Uniqueness
+    is checked across committed *and* aborted transactions, mirroring how
+    real workload generators assign values (client id + local counter).
+    """
+    violations: List[MTViolation] = []
+    for txn in history.transactions(include_initial=False):
+        violations.extend(mt_violations(txn))
+
+    seen_writes: Dict[Tuple[str, int], int] = {}
+    for txn in history.transactions(include_initial=True):
+        if txn.is_initial:
+            continue
+        for op in txn.operations:
+            if not op.is_write or op.value is None:
+                continue
+            slot = (op.key, op.value)
+            if slot in seen_writes and seen_writes[slot] != txn.txn_id:
+                violations.append(
+                    MTViolation(
+                        txn.txn_id,
+                        f"duplicate write of value {op.value} "
+                        f"(also written by T{seen_writes[slot]})",
+                        key=op.key,
+                    )
+                )
+            else:
+                seen_writes[slot] = txn.txn_id
+    return violations
+
+
+def is_mt_history(history: History) -> bool:
+    """Whether ``history`` is a valid mini-transaction history."""
+    return not validate_mt_history(history)

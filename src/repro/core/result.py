@@ -1,0 +1,151 @@
+"""Check results, violations, and counterexample formatting.
+
+All verification entry points (:mod:`repro.core.checkers`,
+:mod:`repro.core.lwt`, the baseline checkers in :mod:`repro.baselines`)
+return a :class:`CheckResult`.  When a violation is found the result carries
+a :class:`Violation` describing the anomaly class (when it can be classified)
+and, for cycle-based violations, the offending cycle of dependency edges —
+the counterexample the paper's MTC tool reports (Figures 12 and 18).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["IsolationLevel", "AnomalyKind", "Violation", "CheckResult"]
+
+
+class IsolationLevel(enum.Enum):
+    """Isolation levels supported by the checkers and the database simulator."""
+
+    READ_COMMITTED = "read committed"
+    SNAPSHOT_ISOLATION = "snapshot isolation"
+    SERIALIZABILITY = "serializability"
+    STRICT_SERIALIZABILITY = "strict serializability"
+    LINEARIZABILITY = "linearizability"
+
+    @property
+    def short_name(self) -> str:
+        return {
+            IsolationLevel.READ_COMMITTED: "RC",
+            IsolationLevel.SNAPSHOT_ISOLATION: "SI",
+            IsolationLevel.SERIALIZABILITY: "SER",
+            IsolationLevel.STRICT_SERIALIZABILITY: "SSER",
+            IsolationLevel.LINEARIZABILITY: "LIN",
+        }[self]
+
+
+class AnomalyKind(enum.Enum):
+    """The 14 well-documented isolation anomalies (paper, Table I / Figure 5),
+    plus generic cycle categories for violations that do not match a named
+    pattern."""
+
+    # Intra-transactional / read-provenance anomalies (Figure 5a-5g).
+    THIN_AIR_READ = "ThinAirRead"
+    ABORTED_READ = "AbortedRead"
+    FUTURE_READ = "FutureRead"
+    NOT_MY_LAST_WRITE = "NotMyLastWrite"
+    NOT_MY_OWN_WRITE = "NotMyOwnWrite"
+    INTERMEDIATE_READ = "IntermediateRead"
+    NON_REPEATABLE_READS = "NonRepeatableReads"
+    # Inter-transactional anomalies (Figure 5h-5n).
+    SESSION_GUARANTEE_VIOLATION = "SessionGuaranteeViolation"
+    NON_MONOTONIC_READ = "NonMonotonicRead"
+    FRACTURED_READ = "FracturedRead"
+    CAUSALITY_VIOLATION = "CausalityViolation"
+    LONG_FORK = "LongFork"
+    LOST_UPDATE = "LostUpdate"
+    WRITE_SKEW = "WriteSkew"
+    # Generic categories.
+    DEPENDENCY_CYCLE = "DependencyCycle"
+    REAL_TIME_VIOLATION = "RealTimeViolation"
+    NON_LINEARIZABLE = "NonLinearizable"
+    MALFORMED_HISTORY = "MalformedHistory"
+
+
+@dataclass
+class Violation:
+    """A single isolation violation found in a history.
+
+    Attributes:
+        kind: the anomaly classification.
+        description: human-readable explanation.
+        txn_ids: the transactions involved (the "core" of the bug).
+        cycle: for cycle-based violations, the list of edges
+            ``(source_txn_id, target_txn_id, edge_label)`` forming the cycle.
+        key: the object most relevant to the violation, when applicable.
+    """
+
+    kind: AnomalyKind
+    description: str = ""
+    txn_ids: List[int] = field(default_factory=list)
+    cycle: List[Tuple[int, int, str]] = field(default_factory=list)
+    key: Optional[str] = None
+
+    def format(self) -> str:
+        """Render a compact, human-readable counterexample."""
+        lines = [f"{self.kind.value}: {self.description}".rstrip(": ")]
+        if self.txn_ids:
+            lines.append("  transactions involved: " + ", ".join(f"T{t}" for t in self.txn_ids))
+        if self.cycle:
+            parts = [
+                f"T{src} --{label}--> T{dst}" for src, dst, label in self.cycle
+            ]
+            lines.append("  cycle: " + "  ".join(parts))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+@dataclass
+class CheckResult:
+    """The outcome of checking one history against one isolation level."""
+
+    level: IsolationLevel
+    satisfied: bool
+    violations: List[Violation] = field(default_factory=list)
+    #: Number of transactions examined (committed, excluding ``⊥T``).
+    num_transactions: int = 0
+    #: Wall-clock verification time in seconds, when measured by the caller.
+    elapsed_seconds: Optional[float] = None
+
+    @property
+    def violation(self) -> Optional[Violation]:
+        """The first violation, or ``None`` if the history is valid."""
+        return self.violations[0] if self.violations else None
+
+    def __bool__(self) -> bool:
+        return self.satisfied
+
+    @classmethod
+    def ok(cls, level: IsolationLevel, num_transactions: int = 0) -> "CheckResult":
+        """A passing result."""
+        return cls(level=level, satisfied=True, num_transactions=num_transactions)
+
+    @classmethod
+    def violated(
+        cls,
+        level: IsolationLevel,
+        violations: Sequence[Violation],
+        num_transactions: int = 0,
+    ) -> "CheckResult":
+        """A failing result with one or more violations."""
+        return cls(
+            level=level,
+            satisfied=False,
+            violations=list(violations),
+            num_transactions=num_transactions,
+        )
+
+    def format(self) -> str:
+        status = "SATISFIED" if self.satisfied else "VIOLATED"
+        lines = [f"{self.level.short_name}: {status} ({self.num_transactions} transactions)"]
+        for violation in self.violations:
+            lines.append(violation.format())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()

@@ -1,0 +1,29 @@
+"""The in-memory transactional database simulator: the "black box" that the
+workload generators stress and from which histories are recorded."""
+
+from .database import Database, DatabaseStats, ENGINE_REGISTRY, engine_for_level
+from .errors import DatabaseError, TransactionAborted, TransactionStateError
+from .faults import FaultPlan, FaultyEngine
+from .rc import ReadCommittedEngine
+from .s2pl import StrictTwoPhaseLockingEngine
+from .ser import SerializableEngine
+from .si import SnapshotIsolationEngine
+from .transaction import TransactionContext, TxnState
+
+__all__ = [
+    "Database",
+    "DatabaseError",
+    "DatabaseStats",
+    "ENGINE_REGISTRY",
+    "FaultPlan",
+    "FaultyEngine",
+    "ReadCommittedEngine",
+    "SerializableEngine",
+    "SnapshotIsolationEngine",
+    "StrictTwoPhaseLockingEngine",
+    "TransactionAborted",
+    "TransactionContext",
+    "TransactionStateError",
+    "TxnState",
+    "engine_for_level",
+]

@@ -1,0 +1,27 @@
+"""Exceptions raised by the transactional database simulator."""
+
+from __future__ import annotations
+
+__all__ = ["DatabaseError", "TransactionAborted", "TransactionStateError"]
+
+
+class DatabaseError(Exception):
+    """Base class for simulator errors."""
+
+
+class TransactionAborted(DatabaseError):
+    """The database aborted the transaction (conflict, lock conflict, ...).
+
+    Mirrors the serialization-failure / deadlock errors a production database
+    returns to the client, which the workload runner handles by retrying.
+    """
+
+    def __init__(self, txn_id: int, reason: str) -> None:
+        super().__init__(f"transaction T{txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class TransactionStateError(DatabaseError):
+    """An operation was issued on a transaction in the wrong state
+    (e.g. reading after commit)."""

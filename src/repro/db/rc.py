@@ -1,0 +1,39 @@
+"""Read-committed engine (weak isolation, used as a lower bound).
+
+Every read observes the latest committed version at the time of the read
+(no stable snapshot), writes are buffered, and commit never validates.
+Committed histories therefore exhibit NONREPEATABLEREADS, LOSTUPDATE,
+FRACTUREDREAD, and most of the other anomalies — useful for exercising the
+checkers against a database that genuinely does not provide a strong level.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .engine import IsolationEngine
+from .transaction import TransactionContext
+
+__all__ = ["ReadCommittedEngine"]
+
+
+class ReadCommittedEngine(IsolationEngine):
+    """Reads the latest committed version; never aborts on conflicts."""
+
+    name = "read-committed"
+
+    def read(self, ctx: TransactionContext, key: str) -> Optional[int]:
+        own = self._read_own_write(ctx, key)
+        if own is not None:
+            return own
+        version = self.store.latest(key)
+        if version is None:
+            return None
+        ctx.record_read(key, version.value, version.commit_ts)
+        return version.value
+
+    def write(self, ctx: TransactionContext, key: str, value: int) -> None:
+        ctx.record_write(key, value)
+
+    def prepare_commit(self, ctx: TransactionContext) -> None:
+        return None

@@ -1,0 +1,23 @@
+"""History persistence utilities (JSON serialization of recorded histories)."""
+
+from .serialization import (
+    history_from_dict,
+    history_to_dict,
+    load_history,
+    load_lwt_history,
+    lwt_history_from_dict,
+    lwt_history_to_dict,
+    save_history,
+    save_lwt_history,
+)
+
+__all__ = [
+    "history_from_dict",
+    "history_to_dict",
+    "load_history",
+    "load_lwt_history",
+    "lwt_history_from_dict",
+    "lwt_history_to_dict",
+    "save_history",
+    "save_lwt_history",
+]

@@ -1,0 +1,161 @@
+"""History serialization: save and load histories as JSON.
+
+Black-box checking pipelines persist histories between the generation and
+verification stages (Figure 2, Step 3).  This module serialises
+:class:`~repro.core.model.History` and :class:`~repro.core.lwt.LWTHistory`
+objects to a simple, stable JSON format so that histories can be archived,
+shared, and re-verified.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from ..core.lwt import LWTHistory, LWTKind, LWTOperation
+from ..core.model import (
+    History,
+    Operation,
+    OpType,
+    Session,
+    Transaction,
+    TransactionStatus,
+)
+
+__all__ = [
+    "history_to_dict",
+    "history_from_dict",
+    "save_history",
+    "load_history",
+    "lwt_history_to_dict",
+    "lwt_history_from_dict",
+    "save_lwt_history",
+    "load_lwt_history",
+]
+
+
+# ----------------------------------------------------------------------
+# Transactional histories
+# ----------------------------------------------------------------------
+def history_to_dict(history: History) -> Dict[str, Any]:
+    """Convert a history to a JSON-serialisable dictionary."""
+    payload: Dict[str, Any] = {
+        "format": "repro-history-v1",
+        "sessions": [
+            {
+                "session_id": session.session_id,
+                "transactions": [_txn_to_dict(txn) for txn in session.transactions],
+            }
+            for session in history.sessions
+        ],
+    }
+    if history.initial_transaction is not None:
+        payload["initial_transaction"] = _txn_to_dict(history.initial_transaction)
+    return payload
+
+
+def history_from_dict(payload: Dict[str, Any]) -> History:
+    """Reconstruct a history from :func:`history_to_dict` output."""
+    if payload.get("format") != "repro-history-v1":
+        raise ValueError("unrecognised history format")
+    sessions = []
+    for session_payload in payload.get("sessions", []):
+        session = Session(session_id=session_payload["session_id"])
+        for txn_payload in session_payload.get("transactions", []):
+            session.transactions.append(_txn_from_dict(txn_payload))
+        sessions.append(session)
+    initial = payload.get("initial_transaction")
+    initial_txn = _txn_from_dict(initial) if initial is not None else None
+    return History(sessions=sessions, initial_transaction=initial_txn)
+
+
+def save_history(history: History, path: Union[str, Path]) -> None:
+    """Write a history to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(history_to_dict(history), indent=2))
+
+
+def load_history(path: Union[str, Path]) -> History:
+    """Load a history previously written by :func:`save_history`."""
+    return history_from_dict(json.loads(Path(path).read_text()))
+
+
+def _txn_to_dict(txn: Transaction) -> Dict[str, Any]:
+    return {
+        "txn_id": txn.txn_id,
+        "session_id": txn.session_id,
+        "status": txn.status.value,
+        "start_ts": txn.start_ts,
+        "finish_ts": txn.finish_ts,
+        "operations": [
+            {"op": op.op_type.value, "key": op.key, "value": op.value}
+            for op in txn.operations
+        ],
+    }
+
+
+def _txn_from_dict(payload: Dict[str, Any]) -> Transaction:
+    operations = [
+        Operation(OpType(op["op"]), op["key"], op["value"])
+        for op in payload.get("operations", [])
+    ]
+    return Transaction(
+        txn_id=payload["txn_id"],
+        operations=operations,
+        session_id=payload.get("session_id", 0),
+        status=TransactionStatus(payload.get("status", "committed")),
+        start_ts=payload.get("start_ts"),
+        finish_ts=payload.get("finish_ts"),
+    )
+
+
+# ----------------------------------------------------------------------
+# Lightweight-transaction histories
+# ----------------------------------------------------------------------
+def lwt_history_to_dict(history: LWTHistory) -> Dict[str, Any]:
+    """Convert an LWT history to a JSON-serialisable dictionary."""
+    return {
+        "format": "repro-lwt-history-v1",
+        "operations": [
+            {
+                "op_id": op.op_id,
+                "kind": op.kind.value,
+                "key": op.key,
+                "expected": op.expected,
+                "written": op.written,
+                "start_ts": op.start_ts,
+                "finish_ts": op.finish_ts,
+                "session_id": op.session_id,
+            }
+            for op in history.operations
+        ],
+    }
+
+
+def lwt_history_from_dict(payload: Dict[str, Any]) -> LWTHistory:
+    """Reconstruct an LWT history from :func:`lwt_history_to_dict` output."""
+    if payload.get("format") != "repro-lwt-history-v1":
+        raise ValueError("unrecognised LWT history format")
+    operations: List[LWTOperation] = []
+    for op in payload.get("operations", []):
+        operations.append(
+            LWTOperation(
+                op_id=op["op_id"],
+                kind=LWTKind(op["kind"]),
+                key=op["key"],
+                expected=op.get("expected"),
+                written=op["written"],
+                start_ts=op.get("start_ts", 0.0),
+                finish_ts=op.get("finish_ts", 0.0),
+                session_id=op.get("session_id", 0),
+            )
+        )
+    return LWTHistory(operations=operations)
+
+
+def save_lwt_history(history: LWTHistory, path: Union[str, Path]) -> None:
+    Path(path).write_text(json.dumps(lwt_history_to_dict(history), indent=2))
+
+
+def load_lwt_history(path: Union[str, Path]) -> LWTHistory:
+    return lwt_history_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,16 @@
+"""Storage primitives for the in-memory transactional database simulator:
+a logical clock, a multi-version key-value store, and a lock manager."""
+
+from .clock import LogicalClock, SkewedClock
+from .locks import LockKind, LockManager, LockConflict
+from .mvcc import Version, VersionedStore
+
+__all__ = [
+    "LockConflict",
+    "LockKind",
+    "LockManager",
+    "LogicalClock",
+    "SkewedClock",
+    "Version",
+    "VersionedStore",
+]

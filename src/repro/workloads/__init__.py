@@ -1,0 +1,55 @@
+"""Workload generation and execution: MT workloads, Cobra-style GT
+workloads, Elle-style list-append workloads, synthetic LWT histories, and
+the runner that records histories from the database simulator."""
+
+from .distributions import (
+    DISTRIBUTION_NAMES,
+    ExponentialDistribution,
+    HotspotDistribution,
+    KeyDistribution,
+    UniformDistribution,
+    ZipfianDistribution,
+    make_distribution,
+)
+from .gt_generator import GTWorkloadGenerator, GTWorkloadMix
+from .list_append import (
+    AppendOp,
+    ElleHistory,
+    ElleTransaction,
+    ListAppendWorkloadGenerator,
+    ReadListOp,
+    run_list_append_workload,
+)
+from .lwt_generator import LWTHistoryGenerator
+from .mt_generator import MTWorkloadGenerator, MTWorkloadMix
+from .runner import RunResult, RunStats, WorkloadRunner, run_workload
+from .spec import PlannedOpKind, PlannedOperation, TransactionSpec, Workload
+
+__all__ = [
+    "AppendOp",
+    "DISTRIBUTION_NAMES",
+    "ElleHistory",
+    "ElleTransaction",
+    "ExponentialDistribution",
+    "GTWorkloadGenerator",
+    "GTWorkloadMix",
+    "HotspotDistribution",
+    "KeyDistribution",
+    "LWTHistoryGenerator",
+    "ListAppendWorkloadGenerator",
+    "MTWorkloadGenerator",
+    "MTWorkloadMix",
+    "PlannedOpKind",
+    "PlannedOperation",
+    "ReadListOp",
+    "RunResult",
+    "RunStats",
+    "TransactionSpec",
+    "UniformDistribution",
+    "Workload",
+    "WorkloadRunner",
+    "ZipfianDistribution",
+    "make_distribution",
+    "run_list_append_workload",
+    "run_workload",
+]

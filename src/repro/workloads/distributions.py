@@ -1,0 +1,143 @@
+"""Object-access distributions for the workload generators.
+
+The MT and GT workload generators are parameterised by an object-access
+distribution that controls workload skewness (paper, Section V-A):
+``uniform``, ``zipf`` (zipfian), ``hotspot``, and ``exp`` (exponential).
+Skewed distributions concentrate accesses on few objects, which raises
+conflict rates in the database and density in the dependency graphs.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+from typing import List
+
+__all__ = [
+    "KeyDistribution",
+    "UniformDistribution",
+    "ZipfianDistribution",
+    "HotspotDistribution",
+    "ExponentialDistribution",
+    "make_distribution",
+    "DISTRIBUTION_NAMES",
+]
+
+DISTRIBUTION_NAMES = ("uniform", "zipf", "hotspot", "exp")
+
+
+class KeyDistribution(abc.ABC):
+    """Chooses object indices in ``[0, num_keys)``."""
+
+    def __init__(self, num_keys: int) -> None:
+        if num_keys <= 0:
+            raise ValueError("num_keys must be positive")
+        self.num_keys = num_keys
+
+    @abc.abstractmethod
+    def choose(self, rng: random.Random) -> int:
+        """Draw one object index."""
+
+    def choose_distinct(self, rng: random.Random, count: int) -> List[int]:
+        """Draw ``count`` distinct object indices (best effort when the key
+        space is smaller than ``count``)."""
+        count = min(count, self.num_keys)
+        chosen: List[int] = []
+        seen = set()
+        attempts = 0
+        while len(chosen) < count and attempts < 100 * count:
+            index = self.choose(rng)
+            attempts += 1
+            if index not in seen:
+                seen.add(index)
+                chosen.append(index)
+        while len(chosen) < count:
+            for index in range(self.num_keys):
+                if index not in seen:
+                    seen.add(index)
+                    chosen.append(index)
+                    break
+        return chosen
+
+
+class UniformDistribution(KeyDistribution):
+    """Every object is equally likely."""
+
+    def choose(self, rng: random.Random) -> int:
+        return rng.randrange(self.num_keys)
+
+
+class ZipfianDistribution(KeyDistribution):
+    """Zipfian access with exponent ``theta`` (default 1.0, heavily skewed)."""
+
+    def __init__(self, num_keys: int, theta: float = 1.0) -> None:
+        super().__init__(num_keys)
+        self.theta = theta
+        # Precompute the cumulative distribution once; sampling is then a
+        # binary search, keeping generation fast even for large key spaces.
+        weights = [1.0 / math.pow(rank + 1, theta) for rank in range(num_keys)]
+        total = sum(weights)
+        cumulative = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            cumulative.append(running)
+        self._cumulative = cumulative
+
+    def choose(self, rng: random.Random) -> int:
+        target = rng.random()
+        lo, hi = 0, self.num_keys - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cumulative[mid] < target:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+
+class HotspotDistribution(KeyDistribution):
+    """A small hot set of objects receives most of the accesses."""
+
+    def __init__(
+        self, num_keys: int, hot_fraction: float = 0.2, hot_probability: float = 0.8
+    ) -> None:
+        super().__init__(num_keys)
+        self.hot_set_size = max(1, int(num_keys * hot_fraction))
+        self.hot_probability = hot_probability
+
+    def choose(self, rng: random.Random) -> int:
+        if rng.random() < self.hot_probability:
+            return rng.randrange(self.hot_set_size)
+        if self.hot_set_size >= self.num_keys:
+            return rng.randrange(self.num_keys)
+        return rng.randrange(self.hot_set_size, self.num_keys)
+
+
+class ExponentialDistribution(KeyDistribution):
+    """Exponentially decaying access probability over the key space."""
+
+    def __init__(self, num_keys: int, scale_fraction: float = 0.1) -> None:
+        super().__init__(num_keys)
+        self.scale = max(1.0, num_keys * scale_fraction)
+
+    def choose(self, rng: random.Random) -> int:
+        while True:
+            value = int(rng.expovariate(1.0 / self.scale))
+            if value < self.num_keys:
+                return value
+
+
+def make_distribution(name: str, num_keys: int, **kwargs) -> KeyDistribution:
+    """Factory for the distributions used by the paper's experiments."""
+    name = name.lower()
+    if name == "uniform":
+        return UniformDistribution(num_keys)
+    if name in ("zipf", "zipfian"):
+        return ZipfianDistribution(num_keys, **kwargs)
+    if name == "hotspot":
+        return HotspotDistribution(num_keys, **kwargs)
+    if name in ("exp", "exponential"):
+        return ExponentialDistribution(num_keys, **kwargs)
+    raise ValueError(f"unknown distribution {name!r}; known: {DISTRIBUTION_NAMES}")

@@ -1,0 +1,148 @@
+"""The mini-transaction (MT) workload generator.
+
+Generates workloads made exclusively of mini-transactions (Definition 8):
+each transaction contains one or two reads, at most two writes, and every
+write is preceded by a read on the same object (the RMW pattern).  Unique
+write values are assigned later by the runner, yielding MT histories
+(Definition 9) once executed.
+
+Parameters mirror the paper's generator (Section V-A): number of sessions,
+transactions, objects, and the object-access distribution controlling
+skewness.  The transaction *mix* defaults to a blend of single-object RMWs,
+two-object RMWs, and read-only MTs; single-object RMWs dominate because
+they are the cheapest to execute while still inferring WW orders.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .distributions import KeyDistribution, make_distribution
+from .spec import PlannedOpKind, PlannedOperation, TransactionSpec, Workload
+
+__all__ = ["MTWorkloadMix", "MTWorkloadGenerator"]
+
+
+@dataclass(frozen=True)
+class MTWorkloadMix:
+    """Fractions of the MT shapes produced by the generator (must sum to 1)."""
+
+    #: ``R(x) W(x)`` — single-object read-modify-write.
+    single_rmw: float = 0.5
+    #: ``R(x) R(y) W(x) W(y)`` — double read-modify-write (captures WriteSkew
+    #: and FracturedRead shaped interactions).
+    double_rmw: float = 0.3
+    #: ``R(x) R(y)`` — read-only mini-transaction.
+    read_only: float = 0.15
+    #: ``R(x) R(y) W(y)`` — read one object, RMW another.
+    read_then_rmw: float = 0.05
+
+    def validate(self) -> None:
+        total = self.single_rmw + self.double_rmw + self.read_only + self.read_then_rmw
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"MT workload mix must sum to 1.0, got {total}")
+
+
+class MTWorkloadGenerator:
+    """Randomized generator of mini-transaction workloads.
+
+    Args:
+        num_sessions: number of client sessions.
+        txns_per_session: transactions issued by each session.
+        num_objects: size of the key space.
+        distribution: object-access distribution name
+            (``uniform`` / ``zipf`` / ``hotspot`` / ``exp``) or an explicit
+            :class:`~repro.workloads.distributions.KeyDistribution`.
+        mix: fractions of the MT shapes.
+        seed: RNG seed (generation is deterministic given the seed).
+    """
+
+    def __init__(
+        self,
+        num_sessions: int = 10,
+        txns_per_session: int = 100,
+        num_objects: int = 100,
+        distribution: str = "uniform",
+        mix: Optional[MTWorkloadMix] = None,
+        seed: int = 0,
+    ) -> None:
+        if num_sessions <= 0 or txns_per_session <= 0:
+            raise ValueError("num_sessions and txns_per_session must be positive")
+        self.num_sessions = num_sessions
+        self.txns_per_session = txns_per_session
+        self.num_objects = num_objects
+        self.mix = mix or MTWorkloadMix()
+        self.mix.validate()
+        self.seed = seed
+        if isinstance(distribution, KeyDistribution):
+            self.distribution = distribution
+            self.distribution_name = type(distribution).__name__
+        else:
+            self.distribution = make_distribution(distribution, num_objects)
+            self.distribution_name = distribution
+
+    # ------------------------------------------------------------------
+    def key_name(self, index: int) -> str:
+        return f"k{index}"
+
+    def keys(self) -> List[str]:
+        return [self.key_name(i) for i in range(self.num_objects)]
+
+    def generate(self) -> Workload:
+        """Generate the full workload (deterministic for a given seed)."""
+        rng = random.Random(self.seed)
+        sessions: List[List[TransactionSpec]] = []
+        for _ in range(self.num_sessions):
+            session: List[TransactionSpec] = []
+            for _ in range(self.txns_per_session):
+                session.append(self._generate_txn(rng))
+            sessions.append(session)
+        return Workload(
+            sessions=sessions,
+            keys=self.keys(),
+            name=f"mt-{self.distribution_name}",
+        )
+
+    # ------------------------------------------------------------------
+    def _generate_txn(self, rng: random.Random) -> TransactionSpec:
+        shape = self._pick_shape(rng)
+        if shape == "single_rmw":
+            (x,) = self._pick_keys(rng, 1)
+            ops = [_read(x), _write(x)]
+        elif shape == "double_rmw":
+            x, y = self._pick_keys(rng, 2)
+            ops = [_read(x), _read(y), _write(x), _write(y)]
+        elif shape == "read_only":
+            keys = self._pick_keys(rng, 2)
+            ops = [_read(k) for k in keys]
+        else:  # read_then_rmw
+            x, y = self._pick_keys(rng, 2)
+            ops = [_read(x), _read(y), _write(y)]
+        spec = TransactionSpec(operations=ops)
+        assert spec.is_mini(), "generator must only emit mini-transactions"
+        return spec
+
+    def _pick_shape(self, rng: random.Random) -> str:
+        draw = rng.random()
+        mix = self.mix
+        if draw < mix.single_rmw:
+            return "single_rmw"
+        if draw < mix.single_rmw + mix.double_rmw:
+            return "double_rmw"
+        if draw < mix.single_rmw + mix.double_rmw + mix.read_only:
+            return "read_only"
+        return "read_then_rmw"
+
+    def _pick_keys(self, rng: random.Random, count: int) -> Sequence[str]:
+        indices = self.distribution.choose_distinct(rng, count)
+        return [self.key_name(i) for i in indices]
+
+
+def _read(key: str) -> PlannedOperation:
+    return PlannedOperation(PlannedOpKind.READ, key)
+
+
+def _write(key: str) -> PlannedOperation:
+    return PlannedOperation(PlannedOpKind.WRITE, key)

@@ -1,0 +1,97 @@
+"""Workload specifications: planned transactions before execution.
+
+A workload is a set of sessions, each being a sequence of
+:class:`TransactionSpec` objects.  A spec lists the operations the client
+*intends* to issue — reads name only the object (the value is whatever the
+database returns), writes name the object and leave the concrete value to
+the runner, which assigns globally unique values (client id + local counter,
+as in the paper and in existing checkers).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+__all__ = ["PlannedOpKind", "PlannedOperation", "TransactionSpec", "Workload"]
+
+
+class PlannedOpKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class PlannedOperation:
+    """One operation of a planned transaction."""
+
+    kind: PlannedOpKind
+    key: str
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind is PlannedOpKind.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind is PlannedOpKind.WRITE
+
+
+def planned_read(key: str) -> PlannedOperation:
+    return PlannedOperation(PlannedOpKind.READ, key)
+
+
+def planned_write(key: str) -> PlannedOperation:
+    return PlannedOperation(PlannedOpKind.WRITE, key)
+
+
+@dataclass
+class TransactionSpec:
+    """A planned transaction: the ordered list of operations to issue."""
+
+    operations: List[PlannedOperation] = field(default_factory=list)
+
+    def keys(self) -> List[str]:
+        return sorted({op.key for op in self.operations})
+
+    def num_reads(self) -> int:
+        return sum(1 for op in self.operations if op.is_read)
+
+    def num_writes(self) -> int:
+        return sum(1 for op in self.operations if op.is_write)
+
+    def is_mini(self) -> bool:
+        """Whether the spec obeys the mini-transaction shape (Definition 8)."""
+        if self.num_reads() not in (1, 2) or self.num_writes() > 2:
+            return False
+        read_keys = set()
+        for op in self.operations:
+            if op.is_read:
+                read_keys.add(op.key)
+            elif op.key not in read_keys:
+                return False
+        return True
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+
+@dataclass
+class Workload:
+    """A full workload: per-session lists of transaction specs."""
+
+    sessions: List[List[TransactionSpec]]
+    keys: List[str]
+    name: str = "workload"
+
+    @property
+    def num_sessions(self) -> int:
+        return len(self.sessions)
+
+    @property
+    def num_transactions(self) -> int:
+        return sum(len(session) for session in self.sessions)
+
+    def all_specs(self) -> Sequence[TransactionSpec]:
+        return [spec for session in self.sessions for spec in session]

@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_check_defaults(self):
+        args = build_parser().parse_args(["check", "history.json"])
+        assert args.level == "ser"
+        assert not args.strict_mt
+
+    def test_generate_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+
+class TestGenerateAndCheck:
+    def test_generate_then_check_valid_history(self, tmp_path, capsys):
+        path = tmp_path / "history.json"
+        code = main(
+            [
+                "generate",
+                "--isolation",
+                "si",
+                "--sessions",
+                "4",
+                "--txns",
+                "20",
+                "--objects",
+                "10",
+                "--output",
+                str(path),
+            ]
+        )
+        assert code == 0
+        assert path.exists()
+        assert "committed" in capsys.readouterr().out
+
+        code = main(["check", "--level", "si", str(path)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "SATISFIED" in output
+
+    def test_generate_buggy_then_check_detects_violation(self, tmp_path, capsys):
+        path = tmp_path / "buggy.json"
+        code = main(
+            [
+                "generate",
+                "--isolation",
+                "si",
+                "--fault",
+                "lostupdate",
+                "--fault-rate",
+                "0.6",
+                "--sessions",
+                "6",
+                "--txns",
+                "40",
+                "--objects",
+                "6",
+                "--distribution",
+                "zipf",
+                "--output",
+                str(path),
+            ]
+        )
+        assert code == 0
+        assert "injected defects" in capsys.readouterr().out
+
+        code = main(["check", "--level", "si", str(path)])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "VIOLATED" in output
+
+    def test_generated_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "history.json"
+        main(["generate", "--sessions", "2", "--txns", "5", "--objects", "5", "--output", str(path)])
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-history-v1"
+
+
+class TestAnomalyCommand:
+    def test_list_all(self, capsys):
+        assert main(["anomaly"]) == 0
+        output = capsys.readouterr().out
+        assert "LostUpdate" in output and "WriteSkew" in output
+
+    def test_show_one(self, capsys):
+        assert main(["anomaly", "LostUpdate"]) == 0
+        output = capsys.readouterr().out
+        assert "R(x,0)" in output
+
+    def test_unknown_anomaly(self, capsys):
+        assert main(["anomaly", "Bogus"]) == 2
+        assert "unknown anomaly" in capsys.readouterr().out

@@ -1,0 +1,109 @@
+"""Tests for the object-access distributions used by the workload generators."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads.distributions import (
+    DISTRIBUTION_NAMES,
+    ExponentialDistribution,
+    HotspotDistribution,
+    UniformDistribution,
+    ZipfianDistribution,
+    make_distribution,
+)
+
+
+def sample(distribution, count=2000, seed=0):
+    rng = random.Random(seed)
+    return [distribution.choose(rng) for _ in range(count)]
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", DISTRIBUTION_NAMES)
+    def test_make_distribution_known_names(self, name):
+        distribution = make_distribution(name, 50)
+        assert distribution.num_keys == 50
+
+    def test_aliases(self):
+        assert isinstance(make_distribution("zipfian", 10), ZipfianDistribution)
+        assert isinstance(make_distribution("exponential", 10), ExponentialDistribution)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_distribution("gaussian", 10)
+
+    def test_zero_keys_rejected(self):
+        with pytest.raises(ValueError):
+            UniformDistribution(0)
+
+
+class TestBounds:
+    @pytest.mark.parametrize("name", DISTRIBUTION_NAMES)
+    def test_samples_within_key_space(self, name):
+        distribution = make_distribution(name, 17)
+        assert all(0 <= index < 17 for index in sample(distribution, 500))
+
+    @pytest.mark.parametrize("name", DISTRIBUTION_NAMES)
+    def test_single_key_space(self, name):
+        distribution = make_distribution(name, 1)
+        assert set(sample(distribution, 50)) == {0}
+
+
+class TestSkewness:
+    def test_uniform_spreads_accesses(self):
+        counts = Counter(sample(UniformDistribution(10), 5000))
+        assert len(counts) == 10
+        assert max(counts.values()) < 2 * min(counts.values())
+
+    def test_zipfian_concentrates_on_low_ranks(self):
+        counts = Counter(sample(ZipfianDistribution(100), 5000))
+        top = counts[0]
+        assert top > counts.get(50, 0)
+        assert top > 0.1 * 5000 / 2  # rank 0 takes a disproportionate share
+
+    def test_zipf_more_skewed_than_uniform(self):
+        zipf_counts = Counter(sample(ZipfianDistribution(50), 5000))
+        uniform_counts = Counter(sample(UniformDistribution(50), 5000))
+        assert max(zipf_counts.values()) > max(uniform_counts.values())
+
+    def test_hotspot_hits_hot_set(self):
+        distribution = HotspotDistribution(100, hot_fraction=0.1, hot_probability=0.9)
+        counts = Counter(sample(distribution, 5000))
+        hot_hits = sum(count for index, count in counts.items() if index < distribution.hot_set_size)
+        assert hot_hits > 0.8 * 5000
+
+    def test_exponential_prefers_small_indices(self):
+        counts = Counter(sample(ExponentialDistribution(100), 5000))
+        low = sum(count for index, count in counts.items() if index < 20)
+        high = sum(count for index, count in counts.items() if index >= 80)
+        assert low > high
+
+
+class TestDistinctSelection:
+    def test_choose_distinct_returns_distinct_keys(self):
+        distribution = ZipfianDistribution(5)
+        rng = random.Random(1)
+        chosen = distribution.choose_distinct(rng, 3)
+        assert len(chosen) == len(set(chosen)) == 3
+
+    def test_choose_distinct_caps_at_key_space(self):
+        distribution = UniformDistribution(2)
+        rng = random.Random(1)
+        chosen = distribution.choose_distinct(rng, 10)
+        assert sorted(chosen) == [0, 1]
+
+    def test_choose_distinct_on_extremely_skewed_distribution(self):
+        # Even when the hot key dominates, distinctness must be honoured.
+        distribution = HotspotDistribution(50, hot_fraction=0.02, hot_probability=0.999)
+        rng = random.Random(1)
+        chosen = distribution.choose_distinct(rng, 4)
+        assert len(set(chosen)) == 4
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", DISTRIBUTION_NAMES)
+    def test_same_seed_same_samples(self, name):
+        distribution = make_distribution(name, 30)
+        assert sample(distribution, 200, seed=5) == sample(distribution, 200, seed=5)

@@ -1,0 +1,25 @@
+"""Smoke tests: every example script runs end-to-end without errors."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda p: p.name)
+def test_example_runs(script, capsys, monkeypatch):
+    # Examples with expensive comparison sections are still expected to finish
+    # in well under a minute on laptop-scale defaults.
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script.name} produced no output"
+
+
+def test_there_are_at_least_three_examples():
+    assert len(EXAMPLE_SCRIPTS) >= 3
+    assert any(script.name == "quickstart.py" for script in EXAMPLE_SCRIPTS)

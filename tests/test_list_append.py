@@ -1,0 +1,96 @@
+"""Tests for the Elle-style list-append workload and its execution harness."""
+
+from repro.baselines import ElleChecker
+from repro.core.result import IsolationLevel
+from repro.db import Database, FaultPlan
+from repro.workloads import ListAppendWorkloadGenerator, run_list_append_workload
+from repro.workloads.list_append import AppendOp, ElleHistory, ElleTransaction, ReadListOp
+
+
+class TestWorkloadGeneration:
+    def test_plan_shape(self):
+        generator = ListAppendWorkloadGenerator(
+            num_sessions=3, txns_per_session=10, num_objects=4, max_txn_len=5, seed=1
+        )
+        plan = generator.generate()
+        assert len(plan) == 3
+        assert all(len(session) == 10 for session in plan)
+        assert all(1 <= len(txn) <= 5 for session in plan for txn in session)
+        assert generator.keys() == ["l0", "l1", "l2", "l3"]
+
+    def test_plan_operations_use_known_kinds_and_keys(self):
+        generator = ListAppendWorkloadGenerator(num_sessions=2, txns_per_session=20, num_objects=3, seed=2)
+        plan = generator.generate()
+        keys = set(generator.keys())
+        for session in plan:
+            for txn in session:
+                for op in txn:
+                    assert op.kind in ("append", "r")
+                    assert op.key in keys
+
+    def test_deterministic_for_seed(self):
+        a = ListAppendWorkloadGenerator(num_sessions=2, txns_per_session=10, seed=3).generate()
+        b = ListAppendWorkloadGenerator(num_sessions=2, txns_per_session=10, seed=3).generate()
+        assert [[(op.kind, op.key) for txn in s for op in txn] for s in a] == [
+            [(op.kind, op.key) for txn in s for op in txn] for s in b
+        ]
+
+
+class TestExecution:
+    def _run(self, engine="serializable", faults=None, seed=4):
+        generator = ListAppendWorkloadGenerator(
+            num_sessions=3, txns_per_session=25, num_objects=4, max_txn_len=4, seed=seed
+        )
+        db = Database(engine, keys=generator.keys(), faults=faults)
+        return run_list_append_workload(db, generator, seed=seed + 1)
+
+    def test_history_contains_committed_and_aborted(self):
+        history, stats = self._run()
+        assert stats["committed"] > 0
+        assert len(history.sessions) == 3
+        committed = history.transactions(committed_only=True)
+        assert len(committed) == int(stats["committed"])
+
+    def test_reads_observe_growing_lists(self):
+        history, _ = self._run()
+        # Every observed list must contain distinct elements (appends are unique).
+        for txn in history.transactions():
+            for op in txn.reads():
+                assert len(op.result) == len(set(op.result))
+
+    def test_appended_values_are_globally_unique(self):
+        history, _ = self._run()
+        values = [op.value for txn in history.transactions(committed_only=False) for op in txn.appends()]
+        assert len(values) == len(set(values))
+
+    def test_valid_execution_passes_elle(self):
+        history, _ = self._run(engine="serializable")
+        checker = ElleChecker(IsolationLevel.SERIALIZABILITY)
+        assert checker.check_list_append(history).satisfied
+
+    def test_buggy_execution_fails_elle(self):
+        history, _ = self._run(
+            engine="si", faults=FaultPlan(lost_update_rate=0.7, seed=9), seed=6
+        )
+        checker = ElleChecker(IsolationLevel.SERIALIZABILITY)
+        assert not checker.check_list_append(history).satisfied
+
+
+class TestDataModel:
+    def test_transaction_helpers(self):
+        txn = ElleTransaction(
+            txn_id=1,
+            session_id=0,
+            ops=[AppendOp("l0", 5), ReadListOp("l0", (5,))],
+        )
+        assert len(txn.appends()) == 1
+        assert len(txn.reads()) == 1
+        assert "append" in str(txn.appends()[0])
+        assert "r(" in str(txn.reads()[0])
+
+    def test_history_len_counts_all_transactions(self):
+        history = ElleHistory(
+            sessions=[[ElleTransaction(1, 0, committed=False)], [ElleTransaction(2, 1)]]
+        )
+        assert len(history) == 2
+        assert len(history.transactions(committed_only=True)) == 1

@@ -1,0 +1,148 @@
+"""Tests for Algorithm 2 (VL-LWT): linearizability of LWT histories."""
+
+import pytest
+
+from repro.core.lwt import (
+    LWTHistory,
+    LWTKind,
+    LWTOperation,
+    check_linearizability,
+    check_object_linearizability,
+)
+from repro.core.result import AnomalyKind
+
+
+def insert(op_id, key, value, start, finish, session=0):
+    return LWTOperation(op_id, LWTKind.INSERT, key, written=value, start_ts=start, finish_ts=finish, session_id=session)
+
+
+def rw(op_id, key, expected, written, start, finish, session=0):
+    return LWTOperation(
+        op_id,
+        LWTKind.READ_WRITE,
+        key,
+        expected=expected,
+        written=written,
+        start_ts=start,
+        finish_ts=finish,
+        session_id=session,
+    )
+
+
+class TestLWTOperation:
+    def test_str_rendering(self):
+        assert "INSERT" in str(insert(1, "x", 0, 0, 1))
+        assert "R&W" in str(rw(2, "x", 0, 1, 1, 2))
+
+    def test_history_helpers(self):
+        history = LWTHistory([insert(1, "x", 0, 0, 1), rw(2, "y", 0, 1, 1, 2)])
+        assert history.keys() == ["x", "y"]
+        assert set(history.per_key()) == {"x", "y"}
+        assert len(history) == 2
+
+
+class TestSingleObjectAlgorithm:
+    def test_sequential_chain_is_linearizable(self):
+        ops = [insert(1, "x", 0, 0.0, 0.5)]
+        for i in range(1, 5):
+            ops.append(rw(i + 1, "x", i - 1, i, float(i), i + 0.5))
+        assert check_object_linearizability(ops).satisfied
+
+    def test_figure_4a_is_linearizable(self):
+        ops = [
+            rw(2, "x", 1, 2, 1.0, 4.0),
+            rw(1, "x", 0, 1, 3.0, 6.0),
+            rw(3, "x", 2, 3, 5.0, 8.0),
+            insert(0, "x", 0, 0.0, 0.2),
+        ]
+        assert check_object_linearizability(ops).satisfied
+
+    def test_figure_4b_is_not_linearizable(self):
+        ops = [
+            rw(2, "x", 1, 2, 1.0, 4.0),
+            rw(1, "x", 0, 1, 6.0, 9.0),   # starts after O2 finished
+            rw(3, "x", 2, 3, 5.0, 8.0),
+            insert(0, "x", 0, 0.0, 0.2),
+        ]
+        result = check_object_linearizability(ops)
+        assert not result.satisfied
+        assert result.violation.kind is AnomalyKind.REAL_TIME_VIOLATION
+
+    def test_missing_insert_is_malformed(self):
+        result = check_object_linearizability([rw(1, "x", 0, 1, 0, 1)])
+        assert not result.satisfied
+        assert result.violation.kind is AnomalyKind.MALFORMED_HISTORY
+
+    def test_two_inserts_are_malformed(self):
+        ops = [insert(1, "x", 0, 0, 1), insert(2, "x", 5, 2, 3)]
+        result = check_object_linearizability(ops)
+        assert not result.satisfied
+        assert result.violation.kind is AnomalyKind.MALFORMED_HISTORY
+
+    def test_broken_chain_is_rejected(self):
+        ops = [insert(1, "x", 0, 0, 1), rw(2, "x", 7, 8, 2, 3)]  # nobody wrote 7
+        result = check_object_linearizability(ops)
+        assert not result.satisfied
+        assert result.violation.kind is AnomalyKind.NON_LINEARIZABLE
+
+    def test_two_readers_of_the_same_value_are_rejected(self):
+        ops = [
+            insert(1, "x", 0, 0, 1),
+            rw(2, "x", 0, 1, 2, 3),
+            rw(3, "x", 0, 2, 2, 3),
+        ]
+        result = check_object_linearizability(ops)
+        assert not result.satisfied
+        assert result.violation.kind is AnomalyKind.LOST_UPDATE
+
+    def test_overlapping_operations_are_linearizable(self):
+        ops = [
+            insert(1, "x", 0, 0.0, 10.0),
+            rw(2, "x", 0, 1, 0.0, 10.0),
+            rw(3, "x", 1, 2, 0.0, 10.0),
+        ]
+        assert check_object_linearizability(ops).satisfied
+
+    def test_insert_only_history(self):
+        assert check_object_linearizability([insert(1, "x", 0, 0, 1)]).satisfied
+
+
+class TestMultiObjectLocality:
+    def test_each_object_checked_independently(self):
+        good = [insert(1, "x", 0, 0, 1), rw(2, "x", 0, 1, 2, 3)]
+        bad = [insert(3, "y", 0, 0, 1), rw(4, "y", 9, 10, 2, 3)]
+        history = LWTHistory(good + bad)
+        result = check_linearizability(history)
+        assert not result.satisfied
+        assert all(v.key == "y" for v in result.violations)
+
+    def test_all_objects_valid(self):
+        history = LWTHistory(
+            [
+                insert(1, "x", 0, 0, 1),
+                rw(2, "x", 0, 1, 2, 3),
+                insert(3, "y", 100, 0, 1),
+                rw(4, "y", 100, 101, 2, 3),
+            ]
+        )
+        assert check_linearizability(history).satisfied
+
+    def test_empty_history(self):
+        assert check_linearizability(LWTHistory([])).satisfied
+
+
+class TestGeneratorIntegration:
+    def test_generated_valid_histories_pass(self):
+        from repro.workloads import LWTHistoryGenerator
+
+        for concurrent in (0.0, 0.5, 1.0):
+            generator = LWTHistoryGenerator(
+                num_sessions=6, txns_per_session=40, num_objects=3, concurrent_fraction=concurrent, seed=5
+            )
+            assert check_linearizability(generator.generate()).satisfied
+
+    def test_generated_invalid_histories_fail(self):
+        from repro.workloads import LWTHistoryGenerator
+
+        generator = LWTHistoryGenerator(num_sessions=4, txns_per_session=30, num_objects=1, seed=9)
+        assert not check_linearizability(generator.generate(valid=False)).satisfied

@@ -1,0 +1,116 @@
+"""Tests for the mini-transaction definition and MT-history validation."""
+
+from repro.core.mini import (
+    MAX_MT_OPERATIONS,
+    is_mini_transaction,
+    is_mt_history,
+    mt_violations,
+    validate_mt_history,
+)
+from repro.core.model import History, Transaction, TransactionStatus, read, write
+
+
+def txn(txn_id, *ops, status=TransactionStatus.COMMITTED):
+    return Transaction(txn_id, list(ops), status=status)
+
+
+class TestMiniTransactionDefinition:
+    def test_single_rmw_is_mini(self):
+        assert is_mini_transaction(txn(1, read("x", 0), write("x", 1)))
+
+    def test_double_rmw_is_mini(self):
+        assert is_mini_transaction(
+            txn(1, read("x", 0), read("y", 0), write("x", 1), write("y", 2))
+        )
+
+    def test_read_only_single_and_double(self):
+        assert is_mini_transaction(txn(1, read("x", 0)))
+        assert is_mini_transaction(txn(1, read("x", 0), read("y", 0)))
+
+    def test_interleaved_rmw_is_mini(self):
+        assert is_mini_transaction(
+            txn(1, read("x", 0), write("x", 1), read("y", 0), write("y", 2))
+        )
+
+    def test_write_without_preceding_read_is_not_mini(self):
+        violations = mt_violations(txn(1, read("y", 0), write("x", 1)))
+        assert any("not preceded by a read" in v.reason for v in violations)
+
+    def test_blind_write_only_transaction_is_not_mini(self):
+        violations = mt_violations(txn(1, write("x", 1)))
+        reasons = " ".join(v.reason for v in violations)
+        assert "no read" in reasons and "not preceded" in reasons
+
+    def test_too_many_reads(self):
+        violations = mt_violations(txn(1, read("x", 0), read("y", 0), read("z", 0)))
+        assert any("3 reads" in v.reason for v in violations)
+
+    def test_too_many_writes(self):
+        t = txn(
+            1,
+            read("x", 0),
+            read("y", 0),
+            write("x", 1),
+            write("y", 2),
+            write("x", 3),
+        )
+        violations = mt_violations(t)
+        assert any("3 writes" in v.reason for v in violations)
+
+    def test_write_after_read_of_other_key_not_mini(self):
+        assert not is_mini_transaction(txn(1, read("x", 0), write("y", 1)))
+
+    def test_initial_transaction_is_exempt(self):
+        initial = Transaction(-1, [write("x", 0), write("y", 0), write("z", 0)])
+        assert mt_violations(initial) == []
+
+    def test_max_operation_budget_matches_paper(self):
+        assert MAX_MT_OPERATIONS == 4
+
+    def test_mt_violation_str(self):
+        violation = mt_violations(txn(9, write("x", 1)))[0]
+        assert "T9" in str(violation)
+
+
+class TestMTHistoryValidation:
+    def test_valid_mt_history(self):
+        t1 = txn(1, read("x", 0), write("x", 1))
+        t2 = txn(2, read("x", 1), write("x", 2))
+        history = History.from_transactions([[t1], [t2]], initial_keys=["x"])
+        assert is_mt_history(history)
+
+    def test_duplicate_written_values_detected(self):
+        t1 = txn(1, read("x", 0), write("x", 7))
+        t2 = txn(2, read("x", 7), write("x", 7))
+        history = History.from_transactions([[t1], [t2]], initial_keys=["x"])
+        violations = validate_mt_history(history)
+        assert any("duplicate write" in v.reason for v in violations)
+
+    def test_duplicate_value_on_different_keys_is_fine(self):
+        t1 = txn(1, read("x", 0), write("x", 7))
+        t2 = txn(2, read("y", 0), write("y", 7))
+        history = History.from_transactions([[t1], [t2]], initial_keys=["x", "y"])
+        assert is_mt_history(history)
+
+    def test_same_transaction_rewriting_value_not_flagged_as_duplicate(self):
+        t1 = txn(1, read("x", 0), write("x", 7), write("x", 7))
+        history = History.from_transactions([[t1]], initial_keys=["x"])
+        violations = validate_mt_history(history)
+        assert not any("duplicate" in v.reason for v in violations)
+
+    def test_aborted_transactions_also_checked_for_uniqueness(self):
+        t1 = txn(1, read("x", 0), write("x", 7), status=TransactionStatus.ABORTED)
+        t2 = txn(2, read("x", 0), write("x", 7))
+        history = History.from_transactions([[t1], [t2]], initial_keys=["x"])
+        assert not is_mt_history(history)
+
+    def test_non_mini_transaction_makes_history_invalid(self):
+        gt = txn(1, write("x", 1), write("y", 2), write("z", 3))
+        history = History.from_transactions([[gt]], initial_keys=["x", "y", "z"])
+        assert not is_mt_history(history)
+
+    def test_catalog_histories_are_mt_histories(self):
+        from repro.core.anomalies import anomaly_catalog
+
+        for name, spec in anomaly_catalog().items():
+            assert is_mt_history(spec.build()), name

@@ -1,0 +1,167 @@
+"""Tests for polygraph construction and the DPLL-style orientation solver."""
+
+import pytest
+
+from repro.baselines.polygraph import Constraint, Polygraph, build_polygraph
+from repro.baselines.solver import PolygraphSolver
+from repro.core.model import History, Transaction, read, write
+
+
+def txn(txn_id, *ops):
+    return Transaction(txn_id, list(ops))
+
+
+def history_of(*sessions, keys=("x",)):
+    return History.from_transactions(list(sessions), initial_keys=list(keys))
+
+
+class TestBuildPolygraph:
+    def test_known_edges_include_so_and_wr(self):
+        t1 = txn(1, read("x", 0), write("x", 1))
+        t2 = txn(2, read("x", 1))
+        polygraph = build_polygraph(history_of([t1, t2]))
+        labels = {(s, t, kind) for s, t, kind in polygraph.known_edges}
+        assert (-1, 1, "SO") in labels
+        assert (1, 2, "SO") in labels
+        assert (1, 2, "WR") in labels
+        assert (-1, 1, "WR") in labels
+
+    def test_constraints_for_unordered_writers(self):
+        # Two blind-ish writers of x (each RMW from the initial value) plus
+        # no reads connecting them: their WW order is unknown.
+        t1 = txn(1, read("x", 0), write("x", 1))
+        t2 = txn(2, read("y", 0), write("y", 5))
+        t3 = txn(3, read("x", 0), write("x", 2))
+        polygraph = build_polygraph(history_of([t1], [t2], [t3], keys=("x", "y")))
+        keys_with_constraints = {c.key for c in polygraph.constraints}
+        assert "x" in keys_with_constraints
+
+    def test_rmw_inference_reduces_constraints(self):
+        t1 = txn(1, read("x", 0), write("x", 1))
+        t2 = txn(2, read("x", 1), write("x", 2))
+        t3 = txn(3, read("x", 2), write("x", 3))
+        history = history_of([t1], [t2], [t3])
+        without = build_polygraph(history, infer_rmw_ww=False)
+        with_inference = build_polygraph(history, infer_rmw_ww=True)
+        assert with_inference.num_constraints < without.num_constraints
+        assert with_inference.num_constraints == 0  # the whole chain is known
+
+    def test_constraint_orientations_bundle_rw_edges(self):
+        t1 = txn(1, read("x", 0), write("x", 1))
+        t2 = txn(2, read("x", 0), write("x", 2))
+        t3 = txn(3, read("x", 1))
+        polygraph = build_polygraph(history_of([t1], [t2], [t3]), infer_rmw_ww=False)
+        pair_constraints = [c for c in polygraph.constraints if {c.txn_a, c.txn_b} == {1, 2}]
+        assert pair_constraints
+        constraint = pair_constraints[0]
+        # Orienting T1 before T2 forces T3 (a reader of T1) before T2 as well.
+        first_edges = set(constraint.first) | set(constraint.second)
+        assert any(kind == "RW" and source == 3 for source, _, kind in first_edges)
+
+    def test_repr_and_counts(self):
+        history = history_of([txn(1, read("x", 0), write("x", 1))])
+        polygraph = build_polygraph(history, infer_rmw_ww=True)
+        assert "Polygraph(" in repr(polygraph)
+        # The single RMW chain (initial txn -> T1) leaves nothing unresolved.
+        assert polygraph.num_constraints == 0
+        # Without the inference the writer pair becomes a solver constraint.
+        assert build_polygraph(history, infer_rmw_ww=False).num_constraints == 1
+
+
+class TestSolverSerMode:
+    def test_empty_polygraph_is_satisfiable(self):
+        result = PolygraphSolver(Polygraph(nodes={1, 2})).solve()
+        assert result.satisfiable
+
+    def test_known_cycle_is_unsat(self):
+        polygraph = Polygraph(nodes={1, 2})
+        polygraph.known_edges = [(1, 2, "WR"), (2, 1, "WR")]
+        result = PolygraphSolver(polygraph, mode="ser").solve()
+        assert not result.satisfiable
+        assert result.conflict_edge is not None
+
+    def test_constraint_resolved_by_propagation(self):
+        polygraph = Polygraph(nodes={1, 2, 3})
+        polygraph.known_edges = [(1, 2, "WR")]
+        # Choosing (2, 1) would close a cycle, so the solver must pick (1, 2).
+        polygraph.constraints = [
+            Constraint(key="x", txn_a=1, txn_b=2, first=((2, 1, "WW"),), second=((1, 2, "WW"),))
+        ]
+        result = PolygraphSolver(polygraph, mode="ser").solve()
+        assert result.satisfiable
+        assert result.propagations >= 1
+
+    def test_unsatisfiable_constraints(self):
+        polygraph = Polygraph(nodes={1, 2})
+        polygraph.known_edges = [(1, 2, "WR"), (2, 1, "RW")]
+        result = PolygraphSolver(polygraph, mode="ser").solve()
+        assert not result.satisfiable
+
+    def test_branching_finds_a_consistent_orientation(self):
+        polygraph = Polygraph(nodes={1, 2, 3})
+        polygraph.constraints = [
+            Constraint("x", 1, 2, first=((1, 2, "WW"),), second=((2, 1, "WW"),)),
+            Constraint("x", 2, 3, first=((2, 3, "WW"),), second=((3, 2, "WW"),)),
+            Constraint("x", 1, 3, first=((1, 3, "WW"),), second=((3, 1, "WW"),)),
+        ]
+        result = PolygraphSolver(polygraph, mode="ser").solve()
+        assert result.satisfiable
+        assert result.decisions >= 1
+
+    def test_conflicting_pair_of_constraints_unsat(self):
+        polygraph = Polygraph(nodes={1, 2})
+        polygraph.known_edges = [(1, 2, "WR")]
+        polygraph.constraints = [
+            Constraint("x", 1, 2, first=((2, 1, "WW"),), second=((2, 1, "RW"),)),
+        ]
+        result = PolygraphSolver(polygraph, mode="ser").solve()
+        assert not result.satisfiable
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            PolygraphSolver(Polygraph(), mode="linearizability")
+
+
+class TestSolverSiMode:
+    def test_adjacent_rw_cycle_is_allowed_under_si(self):
+        # Write-skew shape: RW edges in both directions — SI-satisfiable.
+        polygraph = Polygraph(nodes={1, 2})
+        polygraph.known_edges = [(1, 2, "RW"), (2, 1, "RW")]
+        assert PolygraphSolver(polygraph, mode="si").solve().satisfiable
+        # The same graph is a violation under SER.
+        assert not PolygraphSolver(polygraph, mode="ser").solve().satisfiable
+
+    def test_ww_rw_cycle_is_forbidden_under_si(self):
+        polygraph = Polygraph(nodes={1, 2})
+        polygraph.known_edges = [(1, 2, "WW"), (2, 1, "RW")]
+        assert not PolygraphSolver(polygraph, mode="si").solve().satisfiable
+
+    def test_base_cycle_is_forbidden_under_si(self):
+        polygraph = Polygraph(nodes={1, 2})
+        polygraph.known_edges = [(1, 2, "WR"), (2, 1, "SO")]
+        assert not PolygraphSolver(polygraph, mode="si").solve().satisfiable
+
+    def test_si_divergence_shape_is_unsat(self):
+        # Divergence: T1 and T2 both read from T0 and overwrite x; whatever
+        # orientation the writers' WW edge takes, a WW ; RW cycle arises.
+        polygraph = Polygraph(nodes={0, 1, 2})
+        polygraph.known_edges = [
+            (0, 1, "WR"),
+            (0, 2, "WR"),
+            (0, 1, "WW"),
+            (0, 2, "WW"),
+            (2, 1, "RW"),
+            (1, 2, "RW"),
+        ]
+        polygraph.constraints = [
+            Constraint("x", 1, 2, first=((1, 2, "WW"),), second=((2, 1, "WW"),))
+        ]
+        result = PolygraphSolver(polygraph, mode="si").solve()
+        assert not result.satisfiable
+
+    def test_si_rw_only_known_edges_with_constraint_resolves(self):
+        # The same RW edges without any WW orientation forced remain SI-valid.
+        polygraph = Polygraph(nodes={1, 2})
+        polygraph.known_edges = [(1, 2, "RW"), (2, 1, "RW")]
+        polygraph.constraints = []
+        assert PolygraphSolver(polygraph, mode="si").solve().satisfiable

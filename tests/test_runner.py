@@ -1,0 +1,142 @@
+"""Tests for the workload runner (history generation against the simulator)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.checkers import check_ser, check_si, check_sser
+from repro.core.mini import is_mt_history
+from repro.db import Database
+from repro.workloads import GTWorkloadGenerator, MTWorkloadGenerator, WorkloadRunner, run_workload
+
+
+def make_workload(**kwargs):
+    defaults = dict(num_sessions=4, txns_per_session=30, num_objects=10, seed=2)
+    defaults.update(kwargs)
+    return MTWorkloadGenerator(**defaults).generate()
+
+
+class TestRunWorkload:
+    def test_produces_history_with_all_sessions(self):
+        workload = make_workload()
+        db = Database("si", keys=workload.keys)
+        result = run_workload(db, workload, seed=1)
+        assert len(result.history.sessions) == workload.num_sessions
+        assert result.history.initial_transaction is not None
+
+    def test_committed_count_matches_stats(self):
+        workload = make_workload()
+        db = Database("si", keys=workload.keys)
+        result = run_workload(db, workload, seed=1)
+        committed = result.history.committed_transactions(include_initial=False)
+        assert len(committed) == result.stats.committed
+        assert result.stats.committed + result.stats.aborted == db.stats.begun
+
+    def test_mt_workload_yields_valid_mt_history(self):
+        workload = make_workload()
+        db = Database("si", keys=workload.keys)
+        result = run_workload(db, workload, seed=1)
+        assert is_mt_history(result.history)
+
+    def test_unique_write_values_across_sessions(self):
+        workload = make_workload(num_sessions=6, txns_per_session=40)
+        db = Database("read-committed", keys=workload.keys)
+        result = run_workload(db, workload, seed=3)
+        written = Counter()
+        for txn in result.history.transactions(include_initial=False):
+            for op in txn.operations:
+                if op.is_write:
+                    written[(op.key, op.value)] += 1
+        assert all(count == 1 for count in written.values())
+
+    def test_transactions_have_timestamps(self):
+        workload = make_workload()
+        db = Database("si", keys=workload.keys)
+        result = run_workload(db, workload, seed=1)
+        for txn in result.history.committed_transactions(include_initial=False):
+            assert txn.start_ts is not None and txn.finish_ts is not None
+            assert txn.start_ts < txn.finish_ts
+
+    def test_record_aborted_can_be_disabled(self):
+        workload = make_workload(num_objects=3)
+        db = Database("s2pl", keys=workload.keys)
+        result = run_workload(db, workload, seed=1, record_aborted=False)
+        statuses = {t.status.value for t in result.history.transactions(include_initial=False)}
+        assert statuses == {"committed"}
+
+    def test_retries_are_counted(self):
+        workload = make_workload(num_objects=2, num_sessions=6, txns_per_session=40)
+        db = Database("s2pl", keys=workload.keys)
+        result = run_workload(db, workload, seed=1, max_retries=2)
+        assert result.stats.retries > 0
+        assert result.stats.aborted > 0
+
+    def test_zero_retries_mean_no_retry_attempts(self):
+        workload = make_workload(num_objects=2, num_sessions=6, txns_per_session=40)
+        db = Database("s2pl", keys=workload.keys)
+        result = run_workload(db, workload, seed=1, max_retries=0)
+        assert result.stats.retries == 0
+
+    def test_deterministic_interleaving_for_a_seed(self):
+        workload = make_workload()
+        run_a = run_workload(Database("si", keys=workload.keys), workload, seed=5)
+        run_b = run_workload(Database("si", keys=workload.keys), workload, seed=5)
+        ids_a = [t.txn_id for t in run_a.history.transactions(include_initial=False)]
+        ids_b = [t.txn_id for t in run_b.history.transactions(include_initial=False)]
+        assert ids_a == ids_b
+
+    def test_stats_wall_time_and_logical_time_populated(self):
+        workload = make_workload()
+        db = Database("si", keys=workload.keys)
+        result = run_workload(db, workload, seed=1)
+        assert result.stats.wall_seconds > 0
+        assert result.stats.logical_time > 0
+
+    def test_runner_reusable_via_class_interface(self):
+        workload = make_workload(num_sessions=2, txns_per_session=10)
+        db = Database("si", keys=workload.keys)
+        runner = WorkloadRunner(db, seed=4)
+        result = runner.run(workload)
+        assert result.stats.committed > 0
+
+
+class TestGeneratedHistoriesSatisfyClaimedLevels:
+    """The cornerstone integration property: a correct engine never produces
+    a history that its claimed isolation level rejects (checker soundness +
+    engine correctness together)."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_si_engine_histories_satisfy_si(self, seed):
+        workload = make_workload(seed=seed, distribution="zipf")
+        db = Database("si", keys=workload.keys)
+        result = run_workload(db, workload, seed=seed + 10)
+        assert check_si(result.history).satisfied
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_serializable_engine_histories_satisfy_ser(self, seed):
+        workload = make_workload(seed=seed, distribution="zipf")
+        db = Database("serializable", keys=workload.keys)
+        result = run_workload(db, workload, seed=seed + 10)
+        assert check_ser(result.history).satisfied
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_s2pl_engine_histories_satisfy_sser(self, seed):
+        workload = make_workload(seed=seed, distribution="zipf")
+        db = Database("s2pl", keys=workload.keys)
+        result = run_workload(db, workload, seed=seed + 10)
+        assert check_sser(result.history).satisfied
+
+    def test_read_committed_engine_eventually_violates_strong_levels(self):
+        workload = make_workload(num_sessions=6, txns_per_session=60, num_objects=5, distribution="zipf")
+        db = Database("read-committed", keys=workload.keys)
+        result = run_workload(db, workload, seed=11)
+        assert not check_ser(result.history).satisfied
+
+    def test_gt_workloads_abort_more_than_mt_workloads(self):
+        mt = make_workload(num_sessions=6, txns_per_session=30, num_objects=15)
+        gt = GTWorkloadGenerator(
+            num_sessions=6, txns_per_session=30, num_objects=15, ops_per_txn=20, seed=2
+        ).generate()
+        mt_run = run_workload(Database("serializable", keys=mt.keys), mt, seed=3)
+        gt_run = run_workload(Database("serializable", keys=gt.keys), gt, seed=3)
+        assert gt_run.stats.abort_rate > mt_run.stats.abort_rate

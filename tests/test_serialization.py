@@ -1,0 +1,113 @@
+"""Tests for history serialization (JSON round-trips)."""
+
+import json
+
+import pytest
+
+from repro.core.checkers import check_ser, check_si
+from repro.core.lwt import LWTHistory, LWTKind, LWTOperation, check_linearizability
+from repro.core.model import History, Transaction, TransactionStatus, read, write
+from repro.db import Database
+from repro.history import (
+    history_from_dict,
+    history_to_dict,
+    load_history,
+    load_lwt_history,
+    lwt_history_from_dict,
+    lwt_history_to_dict,
+    save_history,
+    save_lwt_history,
+)
+from repro.workloads import LWTHistoryGenerator, MTWorkloadGenerator, run_workload
+
+
+def sample_history():
+    t1 = Transaction(1, [read("x", 0), write("x", 1)], start_ts=0.0, finish_ts=1.0)
+    t2 = Transaction(
+        2, [read("x", 1)], status=TransactionStatus.ABORTED, start_ts=2.0, finish_ts=3.0
+    )
+    return History.from_transactions([[t1], [t2]], initial_keys=["x"])
+
+
+class TestHistoryRoundTrip:
+    def test_dict_round_trip_preserves_structure(self):
+        history = sample_history()
+        restored = history_from_dict(history_to_dict(history))
+        assert len(restored.sessions) == len(history.sessions)
+        assert restored.initial_transaction is not None
+        original = history.transactions(include_initial=False)
+        recovered = restored.transactions(include_initial=False)
+        assert [t.txn_id for t in original] == [t.txn_id for t in recovered]
+        assert [t.status for t in original] == [t.status for t in recovered]
+        assert [len(t) for t in original] == [len(t) for t in recovered]
+
+    def test_operations_preserved_exactly(self):
+        restored = history_from_dict(history_to_dict(sample_history()))
+        txn = restored.transaction_by_id(1)
+        assert [str(op) for op in txn.operations] == ["R(x,0)", "W(x,1)"]
+        assert txn.start_ts == 0.0 and txn.finish_ts == 1.0
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "history.json"
+        save_history(sample_history(), path)
+        restored = load_history(path)
+        assert len(restored) == 2
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-history-v1"
+
+    def test_checker_verdicts_survive_round_trip(self):
+        generator = MTWorkloadGenerator(num_sessions=3, txns_per_session=20, num_objects=8, seed=4)
+        workload = generator.generate()
+        run = run_workload(Database("si", keys=workload.keys), workload, seed=5)
+        restored = history_from_dict(history_to_dict(run.history))
+        assert check_si(restored).satisfied == check_si(run.history).satisfied
+        assert check_ser(restored).satisfied == check_ser(run.history).satisfied
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            history_from_dict({"format": "something-else"})
+
+    def test_history_without_initial_transaction(self):
+        t1 = Transaction(1, [read("x", 0)])
+        history = History.from_transactions([[t1]])
+        restored = history_from_dict(history_to_dict(history))
+        assert restored.initial_transaction is None
+
+
+class TestLWTHistoryRoundTrip:
+    def sample(self):
+        return LWTHistory(
+            [
+                LWTOperation(1, LWTKind.INSERT, "x", written=0, start_ts=0.0, finish_ts=0.5),
+                LWTOperation(2, LWTKind.READ_WRITE, "x", expected=0, written=1, start_ts=1.0, finish_ts=2.0, session_id=3),
+            ]
+        )
+
+    def test_dict_round_trip(self):
+        history = self.sample()
+        restored = lwt_history_from_dict(lwt_history_to_dict(history))
+        assert len(restored) == 2
+        assert restored.operations[0].kind is LWTKind.INSERT
+        assert restored.operations[1].expected == 0
+        assert restored.operations[1].session_id == 3
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "lwt.json"
+        save_lwt_history(self.sample(), path)
+        restored = load_lwt_history(path)
+        assert check_linearizability(restored).satisfied
+
+    def test_generated_history_round_trip_preserves_verdict(self):
+        generator = LWTHistoryGenerator(num_sessions=4, txns_per_session=20, num_objects=2, seed=6)
+        for valid in (True, False):
+            history = generator.generate(valid=valid)
+            restored = lwt_history_from_dict(lwt_history_to_dict(history))
+            assert (
+                check_linearizability(restored).satisfied
+                == check_linearizability(history).satisfied
+                == valid
+            )
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            lwt_history_from_dict({"format": "bogus"})

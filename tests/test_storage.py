@@ -1,0 +1,147 @@
+"""Tests for the storage substrate: logical clock, MVCC store, lock manager."""
+
+import pytest
+
+from repro.storage import (
+    LockConflict,
+    LockManager,
+    LogicalClock,
+    SkewedClock,
+    Version,
+    VersionedStore,
+)
+
+
+class TestLogicalClock:
+    def test_monotonic_ticks(self):
+        clock = LogicalClock()
+        values = [clock.tick() for _ in range(5)]
+        assert values == sorted(values)
+        assert clock.now() == values[-1]
+
+    def test_custom_step_and_amount(self):
+        clock = LogicalClock(start=10.0, step=2.0)
+        assert clock.tick() == 12.0
+        assert clock.tick(0.5) == 12.5
+
+    def test_now_does_not_advance(self):
+        clock = LogicalClock()
+        assert clock.now() == clock.now()
+
+    def test_skewed_clock_offsets_per_session(self):
+        base = LogicalClock()
+        skewed = SkewedClock(base, {1: 5.0})
+        skewed.set_skew(2, -1.0)
+        base.tick()
+        assert skewed.now(1) == pytest.approx(6.0)
+        assert skewed.now(2) == pytest.approx(0.0)
+        assert skewed.now(0) == pytest.approx(1.0)
+
+    def test_skewed_clock_tick_advances_base(self):
+        base = LogicalClock()
+        skewed = SkewedClock(base)
+        assert skewed.tick(0) == pytest.approx(1.0)
+        assert base.now() == pytest.approx(1.0)
+
+
+class TestVersionedStore:
+    def test_load_initial_and_latest(self):
+        store = VersionedStore()
+        store.load_initial(["x", "y"], value=0)
+        assert store.latest("x") == Version(0, 0.0, -1)
+        assert store.exists("y")
+        assert not store.exists("z")
+        assert store.keys() == ["x", "y"]
+
+    def test_install_and_read_at_snapshot(self):
+        store = VersionedStore()
+        store.load_initial(["x"])
+        store.install("x", 10, commit_ts=5.0, txn_id=1)
+        store.install("x", 20, commit_ts=9.0, txn_id=2)
+        assert store.read_at("x", 4.0).value == 0
+        assert store.read_at("x", 5.0).value == 10
+        assert store.read_at("x", 100.0).value == 20
+        assert store.latest("x").value == 20
+
+    def test_read_at_before_any_version(self):
+        store = VersionedStore()
+        store.install("x", 10, commit_ts=5.0, txn_id=1)
+        assert store.read_at("x", 1.0) is None
+        assert store.read_at("missing", 1.0) is None
+
+    def test_versions_sorted_even_with_out_of_order_install(self):
+        store = VersionedStore()
+        store.install("x", 2, commit_ts=2.0, txn_id=2)
+        store.install("x", 1, commit_ts=1.0, txn_id=1)
+        assert [v.value for v in store.versions("x")] == [1, 2]
+
+    def test_last_writer_after(self):
+        store = VersionedStore()
+        store.load_initial(["x"])
+        store.install("x", 10, commit_ts=5.0, txn_id=1)
+        assert store.last_writer_after("x", 0.0).value == 10
+        assert store.last_writer_after("x", 5.0) is None
+        assert store.last_writer_after("missing", 0.0) is None
+
+    def test_len_counts_objects(self):
+        store = VersionedStore()
+        store.load_initial(["a", "b", "c"])
+        assert len(store) == 3
+
+
+class TestLockManager:
+    def test_shared_locks_are_compatible(self):
+        locks = LockManager()
+        locks.acquire_shared("x", 1)
+        locks.acquire_shared("x", 2)
+        assert locks.locks_held(1) == 1
+        assert locks.locks_held(2) == 1
+
+    def test_exclusive_conflicts_with_shared(self):
+        locks = LockManager()
+        locks.acquire_shared("x", 1)
+        with pytest.raises(LockConflict):
+            locks.acquire_exclusive("x", 2)
+
+    def test_exclusive_conflicts_with_exclusive(self):
+        locks = LockManager()
+        locks.acquire_exclusive("x", 1)
+        with pytest.raises(LockConflict):
+            locks.acquire_exclusive("x", 2)
+        with pytest.raises(LockConflict):
+            locks.acquire_shared("x", 2)
+
+    def test_upgrade_own_shared_to_exclusive(self):
+        locks = LockManager()
+        locks.acquire_shared("x", 1)
+        locks.acquire_exclusive("x", 1)
+        assert locks.holds_exclusive("x", 1)
+
+    def test_upgrade_blocked_by_other_reader(self):
+        locks = LockManager()
+        locks.acquire_shared("x", 1)
+        locks.acquire_shared("x", 2)
+        with pytest.raises(LockConflict):
+            locks.acquire_exclusive("x", 1)
+
+    def test_release_all_frees_everything(self):
+        locks = LockManager()
+        locks.acquire_exclusive("x", 1)
+        locks.acquire_shared("y", 1)
+        locks.release_all(1)
+        assert locks.locks_held(1) == 0
+        locks.acquire_exclusive("x", 2)  # no conflict anymore
+
+    def test_reacquiring_own_exclusive_is_idempotent(self):
+        locks = LockManager()
+        locks.acquire_exclusive("x", 1)
+        locks.acquire_exclusive("x", 1)
+        assert locks.holds_exclusive("x", 1)
+
+    def test_conflict_reports_holder(self):
+        locks = LockManager()
+        locks.acquire_exclusive("x", 7)
+        with pytest.raises(LockConflict) as excinfo:
+            locks.acquire_shared("x", 8)
+        assert excinfo.value.holder == 7
+        assert excinfo.value.key == "x"
