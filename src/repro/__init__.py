@@ -18,14 +18,18 @@ The package provides:
 from .core import (
     AnomalyKind,
     CheckResult,
+    CheckerSession,
     DependencyGraph,
+    EdgeType,
     History,
+    IncrementalChecker,
     IsolationLevel,
     LWTHistory,
     LWTOperation,
     MTChecker,
     Operation,
     OpType,
+    PearceKellyOrder,
     Session,
     Transaction,
     TransactionStatus,
@@ -40,6 +44,7 @@ from .core import (
     is_mini_transaction,
     is_mt_history,
     read,
+    stream_order,
     write,
 )
 from .db import Database, DatabaseStats, FaultPlan, TransactionAborted
@@ -57,12 +62,15 @@ __version__ = "1.0.0"
 __all__ = [
     "AnomalyKind",
     "CheckResult",
+    "CheckerSession",
     "Database",
     "DatabaseStats",
     "DependencyGraph",
+    "EdgeType",
     "FaultPlan",
     "GTWorkloadGenerator",
     "History",
+    "IncrementalChecker",
     "IsolationLevel",
     "LWTHistory",
     "LWTHistoryGenerator",
@@ -72,6 +80,7 @@ __all__ = [
     "MTWorkloadGenerator",
     "Operation",
     "OpType",
+    "PearceKellyOrder",
     "Session",
     "Transaction",
     "TransactionAborted",
@@ -89,6 +98,7 @@ __all__ = [
     "is_mt_history",
     "read",
     "run_workload",
+    "stream_order",
     "write",
     "__version__",
 ]

@@ -2,7 +2,8 @@
 
 Mirrors how the paper's MTC tool is used in practice: generate a workload
 and a history from a (simulated) database, verify saved histories against an
-isolation level, and inspect the anomaly catalog.
+isolation level — in one shot or as a stream — and inspect the anomaly
+catalog.
 
 Usage examples::
 
@@ -18,6 +19,13 @@ Usage examples::
     python -m repro check --level si history.json
     python -m repro check --level ser buggy.json
 
+    # Stream-verify incrementally (a .jsonl output streams automatically).
+    python -m repro generate --isolation si --output history.jsonl
+    python -m repro check --stream --level si history.jsonl
+
+    # Follow a growing stream, reporting violations as they happen.
+    python -m repro watch --level si --once history.jsonl
+
     # Show the canonical MT history for an anomaly.
     python -m repro anomaly LostUpdate
 """
@@ -25,15 +33,26 @@ Usage examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from .core.anomalies import ANOMALY_NAMES, anomaly_catalog
 from .core.checker import MTChecker
+from .core.incremental import stream_order
 from .core.result import IsolationLevel
 from .db.database import Database
 from .db.faults import FaultPlan
-from .history.serialization import load_history, save_history
+from .history.serialization import (
+    is_stream_path,
+    iter_history_jsonl,
+    load_history,
+    parse_stream_header,
+    save_history,
+    transaction_from_dict,
+    write_history_jsonl,
+)
 from .workloads.mt_generator import MTWorkloadGenerator
 from .workloads.runner import run_workload
 
@@ -55,9 +74,32 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     check = subparsers.add_parser("check", help="verify a saved history against an isolation level")
-    check.add_argument("history", help="path to a history JSON file")
+    check.add_argument("history", help="path to a history JSON (or JSONL stream) file")
     check.add_argument("--level", choices=sorted(_LEVELS), default="ser", help="isolation level to check")
     check.add_argument("--strict-mt", action="store_true", help="reject non-MT histories")
+    check.add_argument(
+        "--stream",
+        action="store_true",
+        help="verify incrementally, one transaction at a time (implied for .jsonl files)",
+    )
+    check.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="streaming only: bound the graph to the last N transactions (window GC)",
+    )
+
+    watch = subparsers.add_parser(
+        "watch", help="follow a JSONL history stream and verify it incrementally"
+    )
+    watch.add_argument("history", help="path to a JSONL history stream (may still be growing)")
+    watch.add_argument("--level", choices=sorted(_LEVELS), default="ser", help="isolation level to check")
+    watch.add_argument("--window", type=int, default=None, help="bound the graph to the last N transactions")
+    watch.add_argument("--once", action="store_true", help="stop at end of file instead of following")
+    watch.add_argument("--interval", type=float, default=0.5, help="poll interval in seconds while following")
+    watch.add_argument(
+        "--max-seconds", type=float, default=None, help="stop following after this many seconds"
+    )
 
     generate = subparsers.add_parser(
         "generate", help="generate an MT workload, execute it on the simulator, and save the history"
@@ -79,11 +121,83 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    history = load_history(args.history)
+    streaming = args.stream or is_stream_path(args.history)
     checker = MTChecker(strict_mt=args.strict_mt)
-    result = checker.verify(history, _LEVELS[args.level])
+    if not streaming:
+        history = load_history(args.history)
+        result = checker.verify(history, _LEVELS[args.level])
+        print(result.format())
+        return 0 if result.satisfied else 1
+
+    session = checker.session(_LEVELS[args.level], window=args.window)
+    if is_stream_path(args.history):
+        transactions = iter_history_jsonl(args.history)
+    else:
+        transactions = stream_order(load_history(args.history))
+    index = 0
+    for txn in transactions:
+        _report_violations(session.ingest(txn), txn, index)
+        if not txn.is_initial:
+            index += 1
+    return _finish_stream(session)
+
+
+def _report_violations(violations, txn, index: int) -> None:
+    """Print violations tagged with the (non-initial) transaction index."""
+    label = "initial" if txn.is_initial else f"txn #{index}"
+    for violation in violations:
+        print(f"[{label}] {violation.format()}", flush=True)
+
+
+def _finish_stream(session) -> int:
+    """Print the final verdict (and window-completeness warning); exit code."""
+    result = session.result()
     print(result.format())
+    if session.checker.stale_reads:
+        print(
+            f"warning: {session.checker.stale_reads} reads fell outside the "
+            f"window; enlarge --window for a complete verdict"
+        )
     return 0 if result.satisfied else 1
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    session = MTChecker().session(_LEVELS[args.level], window=args.window)
+    started = time.monotonic()
+    index = 0
+    with open(args.history, "r", encoding="utf-8") as fh:
+        try:
+            header = parse_stream_header(fh.readline())
+        except ValueError as exc:
+            print(f"error: {args.history}: {exc}")
+            return 2
+        initial = header.get("initial_transaction")
+        if initial is not None:
+            session.ingest(transaction_from_dict(initial))
+        # Lines are buffered until their terminating newline arrives, so a
+        # producer caught mid-append never aborts the watch.
+        pending_line = ""
+        while True:
+            chunk = fh.readline()
+            if chunk:
+                pending_line += chunk
+                if not pending_line.endswith("\n"):
+                    continue
+                line, pending_line = pending_line, ""
+                if not line.strip():
+                    continue
+                txn = transaction_from_dict(json.loads(line))
+                _report_violations(session.ingest(txn), txn, index)
+                index += 1
+                continue
+            if args.once:
+                break
+            if args.max_seconds is not None and time.monotonic() - started >= args.max_seconds:
+                break
+            time.sleep(args.interval)
+        if pending_line.strip():
+            print(f"warning: ignoring incomplete trailing line ({len(pending_line)} bytes)")
+    return _finish_stream(session)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -102,7 +216,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     )
     database = Database(args.isolation, keys=workload.keys, faults=faults)
     run = run_workload(database, workload, seed=args.seed + 1)
-    save_history(run.history, args.output)
+    if is_stream_path(args.output):
+        write_history_jsonl(run.history, args.output)
+    else:
+        save_history(run.history, args.output)
     print(
         f"generated {run.stats.committed} committed / {run.stats.aborted} aborted "
         f"transactions (abort rate {run.stats.abort_rate:.1%}) -> {args.output}"
@@ -136,12 +253,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
-    if args.command == "check":
-        return _cmd_check(args)
-    if args.command == "generate":
-        return _cmd_generate(args)
-    if args.command == "anomaly":
-        return _cmd_anomaly(args)
+    try:
+        if args.command == "check":
+            return _cmd_check(args)
+        if args.command == "watch":
+            return _cmd_watch(args)
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "anomaly":
+            return _cmd_anomaly(args)
+    except BrokenPipeError:
+        return 1  # stdout consumer (e.g. `| head`) went away mid-report
+    except OSError as exc:
+        print(f"error: {exc}")
+        return 2
+    except ValueError as exc:
+        # Bad file format, malformed JSON, or invalid option combination.
+        print(f"error: {exc}")
+        return 2
     parser.error(f"unknown command {args.command!r}")
     return 2
 

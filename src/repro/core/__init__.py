@@ -6,6 +6,12 @@ from .checker import MTChecker
 from .checkers import MTHistoryError, check_ser, check_si, check_sser
 from .divergence import DivergenceInstance, find_all_divergences, find_divergence
 from .graph import DependencyGraph, Edge, EdgeType, build_dependency
+from .incremental import (
+    CheckerSession,
+    IncrementalChecker,
+    PearceKellyOrder,
+    stream_order,
+)
 from .intcheck import check_internal_consistency
 from .lwt import LWTHistory, LWTKind, LWTOperation, check_linearizability, check_object_linearizability
 from .mini import is_mini_transaction, is_mt_history, validate_mt_history
@@ -29,6 +35,7 @@ __all__ = [
     "AnomalyKind",
     "AnomalySpec",
     "CheckResult",
+    "CheckerSession",
     "DependencyGraph",
     "DivergenceInstance",
     "Edge",
@@ -36,6 +43,7 @@ __all__ = [
     "History",
     "INITIAL_TXN_ID",
     "INITIAL_VALUE",
+    "IncrementalChecker",
     "IsolationLevel",
     "LWTHistory",
     "LWTKind",
@@ -44,6 +52,7 @@ __all__ = [
     "MTHistoryError",
     "Operation",
     "OpType",
+    "PearceKellyOrder",
     "Session",
     "Transaction",
     "TransactionStatus",
@@ -63,6 +72,7 @@ __all__ = [
     "is_mt_history",
     "make_initial_transaction",
     "read",
+    "stream_order",
     "validate_mt_history",
     "write",
 ]

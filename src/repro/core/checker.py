@@ -8,9 +8,10 @@ call, mirroring Step 4 of the black-box checking workflow (Figure 2).
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Iterable, Optional, Union
 
 from .checkers import check_ser, check_si, check_sser
+from .incremental import CheckerSession
 from .lwt import LWTHistory, check_linearizability
 from .mini import validate_mt_history
 from .model import History
@@ -96,6 +97,51 @@ class MTChecker:
     def check_linearizability(self, history: LWTHistory) -> CheckResult:
         """MTC-SSER on lightweight-transaction histories (Algorithm 2)."""
         return self.verify(history, IsolationLevel.LINEARIZABILITY)
+
+    # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    def session(
+        self,
+        level: IsolationLevel,
+        *,
+        initial_keys: Optional[Iterable[str]] = None,
+        window: Optional[int] = None,
+    ) -> CheckerSession:
+        """Open a streaming verification session (incremental checking).
+
+        Instead of re-verifying a growing history from scratch, a session
+        ingests transactions one at a time (or in rounds), extends the
+        dependency graph in place, and reports each violation at the exact
+        transaction that introduced it — see
+        :class:`repro.core.incremental.IncrementalChecker` for the
+        algorithmic details and the batch-equivalence invariant.
+
+        Example:
+            >>> from repro import MTChecker, IsolationLevel, Transaction
+            >>> from repro import read, write
+            >>> session = MTChecker().session(IsolationLevel.SERIALIZABILITY,
+            ...                               initial_keys=["x"])
+            >>> session.ingest(Transaction(1, [read("x", 0), write("x", 1)]))
+            []
+            >>> session.result().satisfied
+            True
+
+        Args:
+            level: SER, SI, or SSER (LWT histories are batch-only).
+            initial_keys: keys of the synthesised initial transaction ``⊥T``;
+                alternatively ingest an explicit initial transaction first.
+            window: bounded-window mode — garbage-collect transactions once
+                ``window`` newer ones have been ingested (see the module
+                docstring of :mod:`repro.core.incremental` for the staleness
+                contract).
+        """
+        return CheckerSession(
+            level,
+            initial_keys=initial_keys,
+            window=window,
+            strict_mt=self.strict_mt,
+        )
 
     # ------------------------------------------------------------------
     # Validation

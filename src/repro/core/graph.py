@@ -94,6 +94,24 @@ class DependencyGraph:
         self._edge_count += 1
         return True
 
+    def remove_node(self, node: int) -> None:
+        """Remove a node and every edge incident to it.
+
+        Used by the streaming checker's bounded-window garbage collection
+        (:class:`repro.core.incremental.IncrementalChecker`); costs time
+        linear in the number of remaining nodes because only forward
+        adjacency is indexed.
+        """
+        if node not in self.nodes:
+            return
+        self.nodes.discard(node)
+        outgoing = self._succ.pop(node, {})
+        self._edge_count -= sum(len(labels) for labels in outgoing.values())
+        for targets in self._succ.values():
+            labels = targets.pop(node, None)
+            if labels is not None:
+                self._edge_count -= len(labels)
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -164,12 +182,19 @@ class DependencyGraph:
         cycle_nodes = find_cycle(self.nodes, self._adjacency_view())
         if cycle_nodes is None:
             return None
-        return self._label_cycle(cycle_nodes)
+        return self.label_cycle(cycle_nodes)
 
     def _adjacency_view(self) -> Dict[int, List[int]]:
         return {node: list(self._succ.get(node, {})) for node in self.nodes}
 
-    def _label_cycle(self, cycle_nodes: Sequence[int]) -> List[Edge]:
+    def label_cycle(self, cycle_nodes: Sequence[int]) -> List[Edge]:
+        """Attach edge labels to a cycle given as an ordered node sequence.
+
+        ``cycle_nodes[i] -> cycle_nodes[i + 1]`` (wrapping around) must be
+        edges of this graph; the most informative label of each is chosen.
+        Used both by :meth:`find_cycle` and by the streaming checker, whose
+        online topological order reports cycles as node sequences.
+        """
         edges: List[Edge] = []
         n = len(cycle_nodes)
         for i in range(n):

@@ -21,7 +21,13 @@ from typing import Dict, List, Optional, Tuple
 from .model import History, Operation, Transaction
 from .result import AnomalyKind, Violation
 
-__all__ = ["WriteIndex", "build_write_index", "check_internal_consistency"]
+__all__ = [
+    "WriteIndex",
+    "build_write_index",
+    "check_internal_consistency",
+    "transaction_int_violations",
+    "provenance_violation",
+]
 
 
 class WriteIndex:
@@ -84,16 +90,37 @@ def check_internal_consistency(
 
 
 def _check_transaction(txn: Transaction, index: WriteIndex) -> List[Violation]:
+    violations = transaction_int_violations(txn)
+    for op in _external_position_reads(txn):
+        if _is_future_read(txn, op):
+            continue  # already reported by the intra-transactional pass
+        violation = provenance_violation(txn, op, index)
+        if violation is not None:
+            violations.append(violation)
+    return violations
+
+
+def transaction_int_violations(txn: Transaction) -> List[Violation]:
+    """The intra-transactional part of the INT pre-pass for one transaction.
+
+    Detects FutureRead, NotMyLastWrite, NotMyOwnWrite, and
+    NonRepeatableReads — every anomaly that can be established from the
+    transaction's own operations, without consulting the rest of the
+    history.  Read-provenance anomalies (ThinAirRead, AbortedRead,
+    IntermediateRead) additionally need a :class:`WriteIndex`; classify
+    those with :func:`provenance_violation`, or incrementally via
+    :class:`repro.core.incremental.IncrementalChecker`.
+
+    Example:
+        >>> from repro.core.model import Transaction, read, write
+        >>> from repro.core.intcheck import transaction_int_violations
+        >>> txn = Transaction(1, [read("x", 7), write("x", 7)])
+        >>> [v.kind.value for v in transaction_int_violations(txn)]
+        ['FutureRead']
+    """
     violations: List[Violation] = []
     # Last operation on each key inside the transaction, in program order.
     last_op_on_key: Dict[str, Operation] = {}
-    # Values this transaction writes to each key, in program order, used to
-    # detect FutureRead and NotMyLastWrite precisely.
-    writes_by_key: Dict[str, List[Optional[int]]] = {}
-    for op in txn.operations:
-        if op.is_write:
-            writes_by_key.setdefault(op.key, []).append(op.value)
-
     position_writes_seen: Dict[str, int] = {}
     for op in txn.operations:
         if op.is_write:
@@ -104,12 +131,39 @@ def _check_transaction(txn: Transaction, index: WriteIndex) -> List[Violation]:
         prev = last_op_on_key.get(op.key)
         if prev is not None:
             violations.extend(_check_internal_read(txn, op, prev, position_writes_seen))
-        else:
-            violations.extend(
-                _check_external_read(txn, op, index, writes_by_key, position_writes_seen)
+        elif _is_future_read(txn, op):
+            violations.append(
+                Violation(
+                    kind=AnomalyKind.FUTURE_READ,
+                    description=(
+                        f"read {op} observes value {op.value}, which the same "
+                        f"transaction only writes later"
+                    ),
+                    txn_ids=[txn.txn_id],
+                    key=op.key,
+                )
             )
         last_op_on_key[op.key] = op
     return violations
+
+
+def _external_position_reads(txn: Transaction) -> List[Operation]:
+    """Reads that occur before any other operation of ``txn`` on their key."""
+    seen: Dict[str, bool] = {}
+    result: List[Operation] = []
+    for op in txn.operations:
+        if op.key not in seen and op.is_read:
+            result.append(op)
+        seen[op.key] = True
+    return result
+
+
+def _is_future_read(txn: Transaction, op: Operation) -> bool:
+    """Whether ``op`` observes a value ``txn`` itself only writes later."""
+    return any(
+        w.is_write and w.key == op.key and w.value == op.value
+        for w in txn.operations
+    )
 
 
 def _check_internal_read(
@@ -158,71 +212,57 @@ def _check_internal_read(
     ]
 
 
-def _check_external_read(
-    txn: Transaction,
-    op: Operation,
-    index: WriteIndex,
-    writes_by_key: Dict[str, List[Optional[int]]],
-    writes_seen: Dict[str, int],
-) -> List[Violation]:
-    """Check a read whose value must come from another transaction.
+def provenance_violation(
+    txn: Transaction, op: Operation, index: WriteIndex
+) -> Optional[Violation]:
+    """Classify the provenance of one external read against a write index.
 
     ``op`` is the first operation of ``txn`` on its key (no preceding read or
     write on that key), so by INT it must observe the committed final write
-    of some other transaction (or the initial value).
-    """
-    # FutureRead: the value is one this very transaction writes later.
-    later_writes = writes_by_key.get(op.key, [])
-    if later_writes and op.value in later_writes:
-        return [
-            Violation(
-                kind=AnomalyKind.FUTURE_READ,
-                description=(
-                    f"read {op} observes value {op.value}, which the same "
-                    f"transaction only writes later"
-                ),
-                txn_ids=[txn.txn_id],
-                key=op.key,
-            )
-        ]
+    of some other transaction (or the initial value).  Returns ``None`` when
+    the read is attributable to such a writer, or the AbortedRead /
+    IntermediateRead / ThinAirRead violation otherwise.  FutureRead is an
+    intra-transactional anomaly and is reported by
+    :func:`transaction_int_violations` instead.
 
+    Example:
+        >>> from repro.core.intcheck import WriteIndex, provenance_violation
+        >>> from repro.core.model import Transaction, read
+        >>> txn = Transaction(1, [read("x", 99)])
+        >>> provenance_violation(txn, txn.operations[0], WriteIndex()).kind.value
+        'ThinAirRead'
+    """
     writer = index.final_writer(op.key, op.value)
     if writer is not None and writer.txn_id != txn.txn_id:
         if writer.aborted:
-            return [
-                Violation(
-                    kind=AnomalyKind.ABORTED_READ,
-                    description=(
-                        f"read {op} observes a value written by aborted "
-                        f"transaction T{writer.txn_id}"
-                    ),
-                    txn_ids=[txn.txn_id, writer.txn_id],
-                    key=op.key,
-                )
-            ]
-        return []
+            return Violation(
+                kind=AnomalyKind.ABORTED_READ,
+                description=(
+                    f"read {op} observes a value written by aborted "
+                    f"transaction T{writer.txn_id}"
+                ),
+                txn_ids=[txn.txn_id, writer.txn_id],
+                key=op.key,
+            )
+        return None
 
     intermediate = index.intermediate_writer(op.key, op.value)
     if intermediate is not None and intermediate.txn_id != txn.txn_id:
-        return [
-            Violation(
-                kind=AnomalyKind.INTERMEDIATE_READ,
-                description=(
-                    f"read {op} observes an intermediate value of "
-                    f"T{intermediate.txn_id}, which later overwrote it"
-                ),
-                txn_ids=[txn.txn_id, intermediate.txn_id],
-                key=op.key,
-            )
-        ]
-
-    return [
-        Violation(
-            kind=AnomalyKind.THIN_AIR_READ,
+        return Violation(
+            kind=AnomalyKind.INTERMEDIATE_READ,
             description=(
-                f"read {op} observes value {op.value}, which no transaction wrote"
+                f"read {op} observes an intermediate value of "
+                f"T{intermediate.txn_id}, which later overwrote it"
             ),
-            txn_ids=[txn.txn_id],
+            txn_ids=[txn.txn_id, intermediate.txn_id],
             key=op.key,
         )
-    ]
+
+    return Violation(
+        kind=AnomalyKind.THIN_AIR_READ,
+        description=(
+            f"read {op} observes value {op.value}, which no transaction wrote"
+        ),
+        txn_ids=[txn.txn_id],
+        key=op.key,
+    )

@@ -1,23 +1,39 @@
-"""History persistence utilities (JSON serialization of recorded histories)."""
+"""History persistence: JSON documents and streaming JSONL histories."""
 
 from .serialization import (
+    HistoryStreamWriter,
     history_from_dict,
     history_to_dict,
+    is_stream_path,
+    iter_history_jsonl,
     load_history,
+    load_history_jsonl,
     load_lwt_history,
     lwt_history_from_dict,
     lwt_history_to_dict,
+    parse_stream_header,
     save_history,
     save_lwt_history,
+    transaction_from_dict,
+    transaction_to_dict,
+    write_history_jsonl,
 )
 
 __all__ = [
+    "HistoryStreamWriter",
     "history_from_dict",
     "history_to_dict",
+    "is_stream_path",
+    "iter_history_jsonl",
     "load_history",
+    "load_history_jsonl",
     "load_lwt_history",
     "lwt_history_from_dict",
     "lwt_history_to_dict",
+    "parse_stream_header",
     "save_history",
     "save_lwt_history",
+    "transaction_from_dict",
+    "transaction_to_dict",
+    "write_history_jsonl",
 ]

@@ -1,17 +1,28 @@
-"""History serialization: save and load histories as JSON.
+"""History serialization: JSON documents and streaming JSONL.
 
 Black-box checking pipelines persist histories between the generation and
 verification stages (Figure 2, Step 3).  This module serialises
 :class:`~repro.core.model.History` and :class:`~repro.core.lwt.LWTHistory`
-objects to a simple, stable JSON format so that histories can be archived,
-shared, and re-verified.
+objects two ways:
+
+* a single JSON document (``repro-history-v1``) for archived histories —
+  :func:`save_history` / :func:`load_history`;
+* a line-oriented JSONL stream (``repro-history-stream-v1``) for live
+  checking — one transaction per line in arrival order, written by
+  :class:`HistoryStreamWriter` and consumed lazily by
+  :func:`iter_history_jsonl`, so a history never has to fit in memory and a
+  ``repro watch`` process can follow the file while it grows.
+
+The stream format is a header line ``{"format": "repro-history-stream-v1",
+"initial_transaction": {...}?}`` followed by one transaction object per
+line (the same shape as in the document format, including ``session_id``).
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import IO, Any, Dict, Iterable, Iterator, List, Optional, Union
 
 from ..core.lwt import LWTHistory, LWTKind, LWTOperation
 from ..core.model import (
@@ -28,11 +39,20 @@ __all__ = [
     "history_from_dict",
     "save_history",
     "load_history",
+    "transaction_to_dict",
+    "transaction_from_dict",
+    "HistoryStreamWriter",
+    "write_history_jsonl",
+    "iter_history_jsonl",
+    "load_history_jsonl",
+    "is_stream_path",
     "lwt_history_to_dict",
     "lwt_history_from_dict",
     "save_lwt_history",
     "load_lwt_history",
 ]
+
+STREAM_FORMAT = "repro-history-stream-v1"
 
 
 # ----------------------------------------------------------------------
@@ -80,7 +100,8 @@ def load_history(path: Union[str, Path]) -> History:
     return history_from_dict(json.loads(Path(path).read_text()))
 
 
-def _txn_to_dict(txn: Transaction) -> Dict[str, Any]:
+def transaction_to_dict(txn: Transaction) -> Dict[str, Any]:
+    """Convert one transaction to the JSON shape shared by both formats."""
     return {
         "txn_id": txn.txn_id,
         "session_id": txn.session_id,
@@ -94,7 +115,8 @@ def _txn_to_dict(txn: Transaction) -> Dict[str, Any]:
     }
 
 
-def _txn_from_dict(payload: Dict[str, Any]) -> Transaction:
+def transaction_from_dict(payload: Dict[str, Any]) -> Transaction:
+    """Reconstruct one transaction from :func:`transaction_to_dict` output."""
     operations = [
         Operation(OpType(op["op"]), op["key"], op["value"])
         for op in payload.get("operations", [])
@@ -106,6 +128,150 @@ def _txn_from_dict(payload: Dict[str, Any]) -> Transaction:
         status=TransactionStatus(payload.get("status", "committed")),
         start_ts=payload.get("start_ts"),
         finish_ts=payload.get("finish_ts"),
+    )
+
+
+# Backwards-compatible aliases for the original private helpers.
+_txn_to_dict = transaction_to_dict
+_txn_from_dict = transaction_from_dict
+
+
+# ----------------------------------------------------------------------
+# Streaming JSONL histories
+# ----------------------------------------------------------------------
+def is_stream_path(path: Union[str, Path]) -> bool:
+    """Whether ``path`` looks like a JSONL history stream (by suffix)."""
+    return Path(path).suffix.lower() in (".jsonl", ".ndjson")
+
+
+class HistoryStreamWriter:
+    """Append-only writer for the JSONL history stream format.
+
+    Emits the header on construction and one line per transaction after
+    that, flushing each line so a concurrent ``repro watch`` (or any
+    :func:`iter_history_jsonl` consumer in follow mode) sees transactions
+    as soon as they commit.  Usable as a context manager and directly as a
+    :class:`~repro.workloads.runner.WorkloadRunner` ``on_transaction`` hook.
+
+    Example:
+        >>> import tempfile, os
+        >>> from repro import Transaction, read, write
+        >>> path = os.path.join(tempfile.mkdtemp(), "stream.jsonl")
+        >>> with HistoryStreamWriter(path) as writer:
+        ...     writer.write(Transaction(1, [read("x", 0), write("x", 1)]))
+        >>> len(list(iter_history_jsonl(path)))
+        1
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        initial_transaction: Optional[Transaction] = None,
+    ) -> None:
+        self._fh: IO[str] = open(path, "w", encoding="utf-8")
+        header: Dict[str, Any] = {"format": STREAM_FORMAT}
+        if initial_transaction is not None:
+            header["initial_transaction"] = transaction_to_dict(initial_transaction)
+        self._emit(header)
+
+    def write(self, txn: Transaction) -> None:
+        """Append one transaction to the stream."""
+        self._emit(transaction_to_dict(txn))
+
+    __call__ = write
+
+    def _emit(self, payload: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(payload, separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "HistoryStreamWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def write_history_jsonl(
+    history: History,
+    path: Union[str, Path],
+    *,
+    order: Optional[Iterable[Transaction]] = None,
+) -> None:
+    """Write a complete history as a JSONL stream in canonical order.
+
+    ``order`` overrides the default arrival order
+    (:func:`repro.core.stream_order`: merged by finish timestamp, falling
+    back to round-robin); it must not include the initial transaction,
+    which goes into the header.
+    """
+    from ..core.incremental import stream_order  # local import: avoid cycle
+
+    with HistoryStreamWriter(
+        path, initial_transaction=history.initial_transaction
+    ) as writer:
+        if order is None:
+            order = (
+                txn for txn in stream_order(history) if not txn.is_initial
+            )
+        for txn in order:
+            writer.write(txn)
+
+
+def parse_stream_header(line: str) -> Dict[str, Any]:
+    """Validate a stream's header line; raises ``ValueError`` when invalid.
+
+    Shared by :func:`iter_history_jsonl` and the CLI's follow mode so the
+    two cannot drift on what counts as a valid stream.
+    """
+    if not line.strip():
+        raise ValueError("empty history stream (missing header)")
+    try:
+        header = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not a {STREAM_FORMAT} stream: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != STREAM_FORMAT:
+        raise ValueError(f"not a {STREAM_FORMAT} stream")
+    return header
+
+
+def iter_history_jsonl(path: Union[str, Path]) -> Iterator[Transaction]:
+    """Lazily yield the transactions of a JSONL stream, ``⊥T`` first.
+
+    The file is read line by line, so arbitrarily long streams can be
+    verified in bounded memory when combined with the streaming checker's
+    window mode.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            header = parse_stream_header(fh.readline())
+        except ValueError as exc:
+            raise ValueError(f"{path}: {exc}") from None
+        initial = header.get("initial_transaction")
+        if initial is not None:
+            yield transaction_from_dict(initial)
+        for line in fh:
+            if line.strip():
+                yield transaction_from_dict(json.loads(line))
+
+
+def load_history_jsonl(path: Union[str, Path]) -> History:
+    """Materialise a JSONL stream into a :class:`History` (for batch use)."""
+    sessions: Dict[int, Session] = {}
+    initial: Optional[Transaction] = None
+    for txn in iter_history_jsonl(path):
+        if txn.is_initial:
+            initial = txn
+            continue
+        session = sessions.setdefault(txn.session_id, Session(txn.session_id))
+        session.transactions.append(txn)
+    return History(
+        sessions=[sessions[sid] for sid in sorted(sessions)],
+        initial_transaction=initial,
     )
 
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..core.model import History, Operation, Session, Transaction, TransactionStatus, read, write
 from ..db.database import Database
@@ -83,6 +83,14 @@ class WorkloadRunner:
         record_aborted: include aborted attempts in the recorded history
             (needed to detect AbortedRead; checkers ignore them otherwise).
         seed: scheduler RNG seed (controls the interleaving).
+        on_transaction: live-checking hook, called with every recorded
+            transaction (committed and, when ``record_aborted``, aborted) in
+            global commit order.  Pass a
+            :class:`~repro.core.incremental.CheckerSession` to verify the
+            workload while it runs instead of after the fact; any other
+            callable (e.g. a
+            :class:`~repro.history.serialization.HistoryStreamWriter`)
+            works too.
     """
 
     def __init__(
@@ -92,11 +100,13 @@ class WorkloadRunner:
         max_retries: int = 3,
         record_aborted: bool = True,
         seed: int = 0,
+        on_transaction: Optional[Callable[[Transaction], object]] = None,
     ) -> None:
         self.database = database
         self.max_retries = max_retries
         self.record_aborted = record_aborted
         self.seed = seed
+        self.on_transaction = on_transaction
         self._value_counter = 0
 
     # ------------------------------------------------------------------
@@ -186,6 +196,8 @@ class WorkloadRunner:
             finish_ts=finish_ts,
         )
         state.session_log.transactions.append(txn)
+        if self.on_transaction is not None:
+            self.on_transaction(txn)
 
     def _next_value(self, session_id: int) -> int:
         """Globally unique write values: client id plus a local counter."""
@@ -208,6 +220,7 @@ def run_workload(
     max_retries: int = 3,
     record_aborted: bool = True,
     seed: int = 0,
+    on_transaction: Optional[Callable[[Transaction], object]] = None,
 ) -> RunResult:
     """Convenience wrapper around :class:`WorkloadRunner`."""
     runner = WorkloadRunner(
@@ -215,5 +228,6 @@ def run_workload(
         max_retries=max_retries,
         record_aborted=record_aborted,
         seed=seed,
+        on_transaction=on_transaction,
     )
     return runner.run(workload)

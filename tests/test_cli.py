@@ -87,6 +87,101 @@ class TestGenerateAndCheck:
         assert payload["format"] == "repro-history-v1"
 
 
+class TestStreamingCommands:
+    def _generate(self, path, *extra):
+        return main(
+            [
+                "generate",
+                "--isolation",
+                "si",
+                "--sessions",
+                "4",
+                "--txns",
+                "20",
+                "--objects",
+                "8",
+                "--output",
+                str(path),
+                *extra,
+            ]
+        )
+
+    def test_generate_jsonl_then_stream_check(self, tmp_path, capsys):
+        path = tmp_path / "history.jsonl"
+        assert self._generate(path) == 0
+        first_line = path.read_text().splitlines()[0]
+        assert json.loads(first_line)["format"] == "repro-history-stream-v1"
+
+        code = main(["check", "--level", "si", str(path)])  # --stream implied
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "SATISFIED" in output
+
+    def test_stream_check_reports_offending_transaction(self, tmp_path, capsys):
+        path = tmp_path / "buggy.jsonl"
+        assert (
+            self._generate(path, "--fault", "lostupdate", "--fault-rate", "0.6") == 0
+        )
+        code = main(["check", "--stream", "--level", "si", str(path)])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "[txn #" in output and "VIOLATED" in output
+
+    def test_stream_check_works_on_plain_json_too(self, tmp_path, capsys):
+        path = tmp_path / "history.json"
+        assert self._generate(path) == 0
+        code = main(["check", "--stream", "--level", "si", str(path)])
+        assert code == 0
+        assert "SATISFIED" in capsys.readouterr().out
+
+    def test_watch_once_verifies_existing_stream(self, tmp_path, capsys):
+        path = tmp_path / "history.jsonl"
+        assert self._generate(path) == 0
+        code = main(["watch", "--level", "si", "--once", str(path)])
+        assert code == 0
+        assert "SATISFIED" in capsys.readouterr().out
+
+    def test_watch_once_flags_faulty_stream(self, tmp_path, capsys):
+        path = tmp_path / "buggy.jsonl"
+        assert (
+            self._generate(path, "--fault", "lostupdate", "--fault-rate", "0.6") == 0
+        )
+        code = main(["watch", "--level", "si", "--once", "--window", "60", str(path)])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "[txn #" in output
+
+    def test_watch_rejects_non_stream_file(self, tmp_path, capsys):
+        path = tmp_path / "history.json"
+        assert self._generate(path) == 0
+        code = main(["watch", "--once", str(path)])
+        assert code == 2
+        assert "not a" in capsys.readouterr().out
+
+    def test_watch_tolerates_partially_written_last_line(self, tmp_path, capsys):
+        # A producer caught mid-append leaves a line without its newline; the
+        # watch must skip it with a warning instead of dying on a parse error.
+        path = tmp_path / "history.jsonl"
+        assert self._generate(path) == 0
+        truncated = tmp_path / "truncated.jsonl"
+        truncated.write_bytes(path.read_bytes()[:-20])
+        code = main(["watch", "--level", "si", "--once", str(truncated)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "incomplete trailing line" in output and "SATISFIED" in output
+
+    def test_check_and_watch_agree_on_transaction_numbering(self, tmp_path, capsys):
+        path = tmp_path / "buggy.jsonl"
+        assert (
+            self._generate(path, "--fault", "lostupdate", "--fault-rate", "0.6") == 0
+        )
+        main(["check", "--stream", "--level", "si", str(path)])
+        check_tags = [l.split("]")[0] for l in capsys.readouterr().out.splitlines() if l.startswith("[txn #")]
+        main(["watch", "--once", "--level", "si", str(path)])
+        watch_tags = [l.split("]")[0] for l in capsys.readouterr().out.splitlines() if l.startswith("[txn #")]
+        assert check_tags and check_tags == watch_tags
+
+
 class TestAnomalyCommand:
     def test_list_all(self, capsys):
         assert main(["anomaly"]) == 0

@@ -1,0 +1,458 @@
+"""Tests for the streaming incremental verification subsystem.
+
+The central invariant: after ingesting a complete history (in any order
+preserving per-session order), the incremental verdict equals the batch
+verdict of ``check_ser`` / ``check_si`` / ``check_sser``.  On top of that:
+violations surface at the exact offending transaction, the Pearce–Kelly
+order stays consistent under insertions and removals, and the bounded
+window garbage-collects without changing verdicts on well-behaved streams.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Database, MTChecker, run_workload
+from repro.core.anomalies import anomaly_catalog
+from repro.core.checkers import MTHistoryError, check_ser, check_si, check_sser
+from repro.core.incremental import (
+    CheckerSession,
+    IncrementalChecker,
+    PearceKellyOrder,
+    stream_order,
+)
+from repro.core.model import History, Transaction, TransactionStatus, read, write
+from repro.core.result import AnomalyKind, IsolationLevel
+from repro.workloads.mt_generator import MTWorkloadGenerator
+
+SER = IsolationLevel.SERIALIZABILITY
+SI = IsolationLevel.SNAPSHOT_ISOLATION
+SSER = IsolationLevel.STRICT_SERIALIZABILITY
+
+SLOW = settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+KEYS = ("x", "y")
+
+
+@st.composite
+def mt_histories(draw, max_txns=7):
+    """Random MT histories (valid and anomalous), as in test_property_based."""
+    num_txns = draw(st.integers(min_value=1, max_value=max_txns))
+    num_sessions = draw(st.integers(min_value=1, max_value=3))
+    value_counter = itertools.count(1)
+    writes_per_key = {key: [0] for key in KEYS}
+    shapes = []
+    for _ in range(num_txns):
+        shape = draw(
+            st.sampled_from(["read_only_1", "read_only_2", "rmw_1", "rmw_2", "read_then_rmw"])
+        )
+        keys = list(KEYS) if draw(st.booleans()) else list(reversed(KEYS))
+        plan = {
+            "read_only_1": [("r", keys[0])],
+            "read_only_2": [("r", keys[0]), ("r", keys[1])],
+            "rmw_1": [("r", keys[0]), ("w", keys[0])],
+            "rmw_2": [("r", keys[0]), ("r", keys[1]), ("w", keys[0]), ("w", keys[1])],
+            "read_then_rmw": [("r", keys[0]), ("r", keys[1]), ("w", keys[1])],
+        }[shape]
+        concrete = []
+        for kind, key in plan:
+            if kind == "w":
+                value = next(value_counter)
+                writes_per_key[key].append(value)
+                concrete.append(("w", key, value))
+            else:
+                concrete.append(("r", key, None))
+        shapes.append(concrete)
+    transactions = []
+    for index, concrete in enumerate(shapes):
+        ops = []
+        for kind, key, value in concrete:
+            if kind == "w":
+                ops.append(write(key, value))
+            else:
+                ops.append(read(key, draw(st.sampled_from(writes_per_key[key]))))
+        transactions.append(Transaction(txn_id=index + 1, operations=ops))
+    sessions = [[] for _ in range(num_sessions)]
+    for index, txn in enumerate(transactions):
+        sessions[index % num_sessions].append(txn)
+    return History.from_transactions(sessions, initial_keys=list(KEYS))
+
+
+def generated_history(seed, *, engine="si", sessions=4, txns=15, objects=8):
+    workload = MTWorkloadGenerator(
+        num_sessions=sessions, txns_per_session=txns, num_objects=objects, seed=seed
+    ).generate()
+    return run_workload(Database(engine, keys=workload.keys), workload, seed=seed + 1).history
+
+
+# ----------------------------------------------------------------------
+# Pearce–Kelly online topological order
+# ----------------------------------------------------------------------
+class TestPearceKellyOrder:
+    def test_forward_insertions_are_cheap_and_acyclic(self):
+        topo = PearceKellyOrder()
+        for i in range(10):
+            assert topo.add_edge(i, i + 1) is None
+        assert all(topo.order_of(i) < topo.order_of(i + 1) for i in range(10))
+
+    def test_back_edge_triggers_reorder_not_cycle(self):
+        topo = PearceKellyOrder()
+        topo.add_node(1)
+        topo.add_node(2)  # insertion order 1, 2
+        assert topo.add_edge(2, 1) is None  # must reorder, not report a cycle
+        assert topo.order_of(2) < topo.order_of(1)
+
+    def test_cycle_is_reported_with_the_closing_path(self):
+        topo = PearceKellyOrder()
+        assert topo.add_edge(1, 2) is None
+        assert topo.add_edge(2, 3) is None
+        cycle = topo.add_edge(3, 1)
+        assert cycle == [1, 2, 3]
+        # The rejected edge leaves the structure acyclic and usable.
+        assert topo.add_edge(1, 3) is None
+
+    def test_self_loop_is_a_cycle(self):
+        topo = PearceKellyOrder()
+        assert topo.add_edge(5, 5) == [5]
+
+    def test_duplicate_edges_are_noops(self):
+        topo = PearceKellyOrder()
+        assert topo.add_edge(1, 2) is None
+        assert topo.add_edge(1, 2) is None
+        assert topo.has_edge(1, 2)
+
+    def test_remove_node_unblocks_former_cycles(self):
+        topo = PearceKellyOrder()
+        topo.add_edge(1, 2)
+        topo.add_edge(2, 3)
+        topo.remove_node(2)
+        assert topo.add_edge(3, 1) is None  # 1 -> 2 -> 3 is gone
+
+    def test_random_insertions_maintain_topological_order(self):
+        rng = random.Random(42)
+        for _ in range(30):
+            topo = PearceKellyOrder()
+            edges = set()
+            for _ in range(60):
+                source, target = rng.randrange(15), rng.randrange(15)
+                if topo.add_edge(source, target) is None and source != target:
+                    edges.add((source, target))
+                for a, b in edges:
+                    assert topo.order_of(a) < topo.order_of(b)
+
+
+# ----------------------------------------------------------------------
+# Equivalence with the batch checkers
+# ----------------------------------------------------------------------
+class TestBatchEquivalence:
+    @SLOW
+    @given(history=mt_histories())
+    def test_ser_matches_batch(self, history):
+        incremental = CheckerSession(SER).ingest_history(history)
+        assert incremental.satisfied == check_ser(history).satisfied
+
+    @SLOW
+    @given(history=mt_histories())
+    def test_si_matches_batch(self, history):
+        incremental = CheckerSession(SI).ingest_history(history)
+        assert incremental.satisfied == check_si(history).satisfied
+
+    @pytest.mark.parametrize("engine", ["si", "serializable", "s2pl", "read-committed"])
+    @pytest.mark.parametrize("level,batch", [(SER, check_ser), (SI, check_si), (SSER, check_sser)])
+    def test_engine_histories_match_batch(self, engine, level, batch):
+        for seed in range(5):
+            history = generated_history(seed, engine=engine)
+            incremental = CheckerSession(level).ingest_history(history)
+            assert incremental.satisfied == batch(history).satisfied
+
+    def test_anomaly_catalog_matches_batch(self):
+        for name, spec in anomaly_catalog().items():
+            history = spec.build()
+            for level, batch in ((SER, check_ser), (SI, check_si)):
+                incremental = CheckerSession(level).ingest_history(history)
+                assert incremental.satisfied == batch(history).satisfied, (name, level)
+
+    def test_shuffled_arrival_order_preserves_verdicts(self):
+        for seed in range(8):
+            history = generated_history(seed, engine="read-committed")
+            rng = random.Random(seed * 13 + 5)
+            queues = [list(s.transactions) for s in history.sessions]
+            stream = []
+            while any(queues):
+                queue = rng.choice([q for q in queues if q])
+                stream.append(queue.pop(0))
+            for level, batch in ((SER, check_ser), (SI, check_si), (SSER, check_sser)):
+                session = CheckerSession(level)
+                session.ingest(history.initial_transaction)
+                for txn in stream:
+                    session.ingest(txn)
+                assert session.result().satisfied == batch(history).satisfied
+
+    def test_num_transactions_matches_batch(self):
+        history = generated_history(1)
+        incremental = CheckerSession(SER).ingest_history(history)
+        assert incremental.num_transactions == check_ser(history).num_transactions
+
+
+# ----------------------------------------------------------------------
+# Online behaviour: violations at the exact offending transaction
+# ----------------------------------------------------------------------
+class TestOnlineDetection:
+    def test_lost_update_cycle_reported_at_second_overwriter_under_ser(self):
+        checker = IncrementalChecker(SER, initial_keys=["x"])
+        assert checker.ingest(Transaction(1, [read("x", 0), write("x", 1)])) == []
+        violations = checker.ingest(
+            Transaction(2, [read("x", 0), write("x", 2)], session_id=1)
+        )
+        # The RW/RW 2-cycle between the two overwriters (batch classifies the
+        # same shape as a generic dependency cycle under SER).
+        assert violations and violations[0].cycle
+        assert sorted(violations[0].txn_ids) == [1, 2]
+        assert not checker.satisfied
+
+    def test_lost_update_divergence_reported_at_second_overwriter_under_si(self):
+        checker = IncrementalChecker(SI, initial_keys=["x"])
+        assert checker.ingest(Transaction(1, [read("x", 0), write("x", 1)])) == []
+        violations = checker.ingest(
+            Transaction(2, [read("x", 0), write("x", 2)], session_id=1)
+        )
+        assert violations and violations[0].kind is AnomalyKind.LOST_UPDATE
+
+    def test_write_skew_reported_at_second_writer_under_ser(self):
+        checker = IncrementalChecker(SER, initial_keys=["x", "y"])
+        t1 = Transaction(1, [read("x", 0), read("y", 0), write("x", 1)])
+        t2 = Transaction(2, [read("x", 0), read("y", 0), write("y", 2)], session_id=1)
+        assert checker.ingest(t1) == []
+        violations = checker.ingest(t2)
+        assert violations and violations[0].kind is AnomalyKind.WRITE_SKEW
+
+    def test_write_skew_is_allowed_under_si(self):
+        checker = IncrementalChecker(SI, initial_keys=["x", "y"])
+        checker.ingest(Transaction(1, [read("x", 0), read("y", 0), write("x", 1)]))
+        checker.ingest(Transaction(2, [read("x", 0), read("y", 0), write("y", 2)], session_id=1))
+        assert checker.result().satisfied
+
+    def test_checking_continues_past_the_first_violation(self):
+        checker = IncrementalChecker(SER, initial_keys=["x", "y"])
+        checker.ingest(Transaction(1, [read("x", 0), write("x", 1)]))
+        first = checker.ingest(Transaction(2, [read("x", 0), write("x", 2)], session_id=1))
+        assert first
+        checker.ingest(Transaction(3, [read("y", 0), write("y", 3)], session_id=2))
+        second = checker.ingest(Transaction(4, [read("y", 0), write("y", 4)], session_id=3))
+        assert second, "an unrelated later anomaly must still be detected"
+
+    def test_pending_read_resolves_when_writer_arrives(self):
+        checker = IncrementalChecker(SER, initial_keys=["x"])
+        checker.ingest(Transaction(2, [read("x", 7)], session_id=1))
+        assert not checker.result().satisfied  # writer unseen: thin-air so far
+        checker.ingest(Transaction(1, [read("x", 0), write("x", 7)]))
+        assert checker.result().satisfied
+
+    def test_future_read_reports_exactly_the_batch_anomalies(self):
+        # A FutureRead must not additionally surface as a phantom ThinAirRead
+        # from the pending-read sweep (the read's value is the reader's own).
+        txn = Transaction(1, [read("x", 5), write("x", 5), write("x", 6)])
+        history = History.from_transactions([[txn]], initial_keys=["x"])
+        batch_kinds = [v.kind for v in check_ser(history).violations]
+        result = CheckerSession(SER).ingest_history(history)
+        assert [v.kind for v in result.violations] == batch_kinds
+        assert batch_kinds == [AnomalyKind.FUTURE_READ]
+
+    def test_unresolved_read_is_thin_air_at_result_time(self):
+        checker = IncrementalChecker(SER, initial_keys=["x"])
+        checker.ingest(Transaction(1, [read("x", 99)]))
+        result = checker.result()
+        assert not result.satisfied
+        assert result.violation.kind is AnomalyKind.THIN_AIR_READ
+
+    def test_aborted_writer_flags_pending_reader_on_arrival(self):
+        checker = IncrementalChecker(SER, initial_keys=["x"])
+        checker.ingest(Transaction(2, [read("x", 7)], session_id=1))
+        checker.ingest(
+            Transaction(
+                1,
+                [read("x", 0), write("x", 7)],
+                status=TransactionStatus.ABORTED,
+            )
+        )
+        kinds = {v.kind for v in checker.violations}
+        assert AnomalyKind.ABORTED_READ in kinds
+
+    def test_rt_violation_detected_under_sser(self):
+        # t2 starts after t1 finished in real time, yet observes the state
+        # t1 overwrote — a stale read that only SSER forbids.
+        t1 = Transaction(1, [read("x", 0), write("x", 1)], start_ts=0.0, finish_ts=1.0)
+        t2 = Transaction(2, [read("x", 0)], session_id=1, start_ts=2.0, finish_ts=3.0)
+
+        checker = IncrementalChecker(SSER, initial_keys=["x"])
+        assert checker.ingest(t1) == []
+        violations = checker.ingest(t2)
+        assert violations and violations[0].kind is AnomalyKind.REAL_TIME_VIOLATION
+
+        relaxed = IncrementalChecker(SER, initial_keys=["x"])
+        relaxed.ingest(t1)
+        relaxed.ingest(t2)
+        assert relaxed.result().satisfied  # SER allows serializing t2 first
+
+    def test_strict_mt_rejects_duplicate_values_at_ingest(self):
+        checker = IncrementalChecker(SER, initial_keys=["x"], strict_mt=True)
+        checker.ingest(Transaction(1, [read("x", 0), write("x", 1)]))
+        with pytest.raises(MTHistoryError):
+            checker.ingest(Transaction(2, [read("x", 0), write("x", 1)], session_id=1))
+
+    def test_strict_mt_rejects_non_mini_transactions(self):
+        checker = IncrementalChecker(SER, initial_keys=["x"], strict_mt=True)
+        with pytest.raises(MTHistoryError):
+            checker.ingest(Transaction(1, [write("x", 1)]))  # write without read
+
+    def test_unsupported_levels_are_rejected(self):
+        with pytest.raises(ValueError):
+            IncrementalChecker(IsolationLevel.READ_COMMITTED)
+
+
+# ----------------------------------------------------------------------
+# Bounded-window garbage collection
+# ----------------------------------------------------------------------
+class TestWindowGC:
+    def test_graph_stays_bounded_and_verdict_clean(self):
+        history = generated_history(3, sessions=6, txns=80, objects=20)
+        session = CheckerSession(SI, window=100)
+        result = session.ingest_history(history)
+        checker = session.checker
+        assert result.satisfied
+        assert checker.stale_reads == 0
+        assert checker.evicted_count > 0
+        assert checker.graph.num_nodes() <= 102  # window + ⊥T + slack
+
+    def test_windowed_verdict_matches_batch_on_faulty_stream(self):
+        from repro.db.faults import FaultPlan
+
+        workload = MTWorkloadGenerator(
+            num_sessions=6, txns_per_session=60, num_objects=8, seed=5, distribution="zipf"
+        ).generate()
+        database = Database(
+            "si", keys=workload.keys, faults=FaultPlan.for_anomaly("lostupdate", rate=0.5, seed=5)
+        )
+        history = run_workload(database, workload, seed=6).history
+        session = CheckerSession(SI, window=100)
+        session.ingest_history(history)
+        assert session.satisfied == check_si(history).satisfied is False
+
+    def test_current_versions_remain_readable_beyond_the_window(self):
+        # A key written once at the start and read much later: the version is
+        # still the latest, so the read is legitimate at any age.
+        checker = IncrementalChecker(SER, initial_keys=["hot", "cold"], window=10)
+        checker.ingest(Transaction(1, [read("cold", 0), write("cold", 1)]))
+        last_hot = 0
+        for i in range(2, 40):
+            checker.ingest(Transaction(i, [read("hot", last_hot), write("hot", 1000 + i)]))
+            last_hot = 1000 + i
+        late_reader = Transaction(99, [read("cold", 1)], session_id=1)
+        checker.ingest(late_reader)
+        assert checker.stale_reads == 0
+        assert checker.result().satisfied
+
+    def test_stale_read_beyond_window_is_counted(self):
+        checker = IncrementalChecker(SER, initial_keys=["x"], window=5)
+        value = 0
+        for i in range(1, 20):  # overwrite x repeatedly; old versions seal
+            checker.ingest(Transaction(i, [read("x", value), write("x", i * 100)]))
+            value = i * 100
+        assert checker.ingest(Transaction(50, [read("x", 100)], session_id=1)) == []
+        assert checker.stale_reads == 1
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            IncrementalChecker(SER, window=0)
+
+    def test_window_mode_is_bounded_memory(self):
+        # A single hot key overwritten thousands of times: slots, graph, and
+        # topology must all stay bounded by the window/marker cap, not the
+        # stream length.
+        checker = IncrementalChecker(SER, initial_keys=["x"], window=4)
+        last = 0
+        for i in range(1, 2001):
+            checker.ingest(Transaction(i, [read("x", last), write("x", i)]))
+            last = i
+        assert checker.result().satisfied
+        assert checker.graph.num_nodes() <= 6
+        assert len(checker._slots) <= checker._sealed_cap + 8
+        assert len(checker._sealed_fifo) <= checker._sealed_cap
+
+
+# ----------------------------------------------------------------------
+# The CheckerSession facade and live checking
+# ----------------------------------------------------------------------
+class TestCheckerSession:
+    def test_mtchecker_session_factory_inherits_strict_mt(self):
+        session = MTChecker(strict_mt=True).session(SER, initial_keys=["x"])
+        with pytest.raises(MTHistoryError):
+            session.ingest(Transaction(1, [write("x", 1)]))
+
+    def test_session_rejects_lwt_levels(self):
+        with pytest.raises(ValueError):
+            MTChecker().session(IsolationLevel.LINEARIZABILITY)
+
+    def test_live_checking_hook_on_runner(self):
+        workload = MTWorkloadGenerator(
+            num_sessions=4, txns_per_session=20, num_objects=10, seed=2
+        ).generate()
+        with MTChecker().session(SI, initial_keys=workload.keys) as session:
+            run = run_workload(
+                Database("si", keys=workload.keys), workload, seed=3, on_transaction=session
+            )
+            assert session.num_ingested == run.stats.committed
+            assert session.result().satisfied
+
+    def test_live_checking_matches_post_hoc_batch_on_faulty_run(self):
+        from repro.db.faults import FaultPlan
+
+        workload = MTWorkloadGenerator(
+            num_sessions=4, txns_per_session=40, num_objects=5, seed=9, distribution="zipf"
+        ).generate()
+        database = Database(
+            "si", keys=workload.keys, faults=FaultPlan.for_anomaly("lostupdate", rate=0.6, seed=9)
+        )
+        session = MTChecker().session(SI, initial_keys=workload.keys)
+        run = run_workload(database, workload, seed=10, on_transaction=session)
+        assert session.result().satisfied == check_si(run.history).satisfied
+
+    def test_ingest_round(self):
+        session = CheckerSession(SER, initial_keys=["x"])
+        round_one = [
+            Transaction(1, [read("x", 0), write("x", 1)]),
+            Transaction(2, [read("x", 1), write("x", 2)], session_id=1),
+        ]
+        assert session.ingest_round(round_one) == []
+        assert session.result().satisfied
+
+
+# ----------------------------------------------------------------------
+# Canonical stream order
+# ----------------------------------------------------------------------
+class TestStreamOrder:
+    def test_initial_first_and_per_session_order_preserved(self):
+        history = generated_history(4)
+        stream = list(stream_order(history))
+        assert stream[0].is_initial
+        positions = {txn.txn_id: i for i, txn in enumerate(stream)}
+        for session in history.sessions:
+            ids = [t.txn_id for t in session.transactions]
+            assert [positions[i] for i in ids] == sorted(positions[i] for i in ids)
+
+    def test_timestamped_streams_merge_by_finish(self):
+        history = generated_history(6)
+        stream = [t for t in stream_order(history) if not t.is_initial]
+        finishes = [t.finish_ts for t in stream]
+        assert finishes == sorted(finishes)
+
+    def test_untimestamped_histories_round_robin(self):
+        t1 = Transaction(1, [read("x", 0)])
+        t2 = Transaction(2, [read("x", 0)])
+        t3 = Transaction(3, [read("x", 0)])
+        history = History.from_transactions([[t1, t3], [t2]], initial_keys=["x"])
+        ids = [t.txn_id for t in stream_order(history) if not t.is_initial]
+        assert ids == [1, 2, 3]

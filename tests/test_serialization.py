@@ -9,14 +9,19 @@ from repro.core.lwt import LWTHistory, LWTKind, LWTOperation, check_linearizabil
 from repro.core.model import History, Transaction, TransactionStatus, read, write
 from repro.db import Database
 from repro.history import (
+    HistoryStreamWriter,
     history_from_dict,
     history_to_dict,
+    is_stream_path,
+    iter_history_jsonl,
     load_history,
+    load_history_jsonl,
     load_lwt_history,
     lwt_history_from_dict,
     lwt_history_to_dict,
     save_history,
     save_lwt_history,
+    write_history_jsonl,
 )
 from repro.workloads import LWTHistoryGenerator, MTWorkloadGenerator, run_workload
 
@@ -111,3 +116,56 @@ class TestLWTHistoryRoundTrip:
     def test_unknown_format_rejected(self):
         with pytest.raises(ValueError):
             lwt_history_from_dict({"format": "bogus"})
+
+
+class TestStreamingJsonl:
+    def test_round_trip_preserves_verdicts(self, tmp_path):
+        workload = MTWorkloadGenerator(
+            num_sessions=4, txns_per_session=15, num_objects=8, seed=3
+        ).generate()
+        history = run_workload(Database("si", keys=workload.keys), workload, seed=4).history
+        path = tmp_path / "history.jsonl"
+        write_history_jsonl(history, path)
+        restored = load_history_jsonl(path)
+        assert check_ser(restored).satisfied == check_ser(history).satisfied
+        assert check_si(restored).satisfied == check_si(history).satisfied
+        assert len(restored) == len(history)
+
+    def test_iteration_is_lazy_and_initial_first(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        write_history_jsonl(sample_history(), path)
+        stream = iter_history_jsonl(path)
+        first = next(stream)
+        assert first.is_initial
+        rest = list(stream)
+        assert {txn.txn_id for txn in rest} == {1, 2}
+        aborted = next(txn for txn in rest if txn.txn_id == 2)
+        assert aborted.status is TransactionStatus.ABORTED
+        assert aborted.start_ts == 2.0
+
+    def test_stream_writer_appends_incrementally(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        with HistoryStreamWriter(path) as writer:
+            writer.write(Transaction(1, [read("x", 0), write("x", 1)]))
+            # A concurrent reader already sees the flushed prefix.
+            assert len(list(iter_history_jsonl(path))) == 1
+            writer.write(Transaction(2, [read("x", 1)], session_id=1))
+        assert len(list(iter_history_jsonl(path))) == 2
+
+    def test_header_is_first_line(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        write_history_jsonl(sample_history(), path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["format"] == "repro-history-stream-v1"
+        assert header["initial_transaction"]["txn_id"] == -1
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bogus.jsonl"
+        path.write_text('{"format": "bogus"}\n')
+        with pytest.raises(ValueError):
+            list(iter_history_jsonl(path))
+
+    def test_is_stream_path(self):
+        assert is_stream_path("history.jsonl")
+        assert is_stream_path("history.NDJSON")
+        assert not is_stream_path("history.json")
