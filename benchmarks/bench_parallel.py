@@ -1,0 +1,84 @@
+"""Parallel sharded verification vs the serial pipeline.
+
+The key-connectivity partitioner splits a disjoint-key history into
+independent shards; ``MTChecker(workers=N)`` checks them in N processes.
+On a multi-core machine this approaches linear speedup because the shards
+share no dependency edge and the per-shard work (index construction, graph
+building, cycle search) dominates.  This benchmark:
+
+* builds a >=50k-transaction disjoint-key history (``--smoke``: ~1k);
+* asserts the sharded verdicts equal the serial ones at every worker count
+  (the suite itself re-checks this per row);
+* reports serial vs parallel wall time and the speedup.
+
+Speedup assertions are hardware-gated: with ``os.cpu_count() >= 4`` the
+full-size run must reach a >=2x speedup at 4 workers; on smaller machines
+(including single-core CI sandboxes, where process fan-out merely
+timeshares) only the correctness assertions apply.
+
+Run standalone with ``python bench_parallel.py [--smoke]`` or under pytest
+(``pytest bench_parallel.py --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import Dict, List
+
+import pytest
+
+from repro.bench.suites import parallel_benchmark
+
+from _common import print_table, run_once
+
+#: Minimum speedup demanded from the 4-worker full-size run on >=4 cores.
+FULL_SPEEDUP_TARGET = 2.0
+
+
+def _sweep(smoke: bool) -> List[Dict[str, object]]:
+    payload = parallel_benchmark(smoke=smoke)
+    return payload["rows"]
+
+
+def _assert_speedup(rows: List[Dict[str, object]], smoke: bool) -> None:
+    cpus = os.cpu_count() or 1
+    best = {
+        row["level"]: max(
+            (r["speedup"] for r in rows if r["level"] == row["level"] and r["workers"] > 1),
+            default=0.0,
+        )
+        for row in rows
+    }
+    if smoke or cpus < 4:
+        # Correctness was asserted row-by-row inside the suite; a speedup
+        # demand would be meaningless at smoke scale / on few cores.
+        return
+    for level, speedup in best.items():
+        assert speedup >= FULL_SPEEDUP_TARGET, (
+            f"{level}: expected >= {FULL_SPEEDUP_TARGET}x speedup on "
+            f"{cpus} cores, measured {speedup}x"
+        )
+
+
+@pytest.mark.benchmark(group="parallel-sharding")
+def test_parallel_vs_serial(benchmark):
+    smoke = os.environ.get("REPRO_BENCH_SMOKE", "1") != "0"
+    rows = run_once(
+        benchmark,
+        lambda: _sweep(smoke),
+        "Parallel sharded verification vs serial",
+    )
+    _assert_speedup(rows, smoke)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="~1k transactions instead of >=50k"
+    )
+    args = parser.parse_args()
+    sweep_rows = _sweep(args.smoke)
+    print_table(sweep_rows, "Parallel sharded verification vs serial")
+    _assert_speedup(sweep_rows, args.smoke)
+    print(f"cpu_count={os.cpu_count()}; equivalence assertions passed")

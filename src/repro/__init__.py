@@ -22,6 +22,7 @@ from .core import (
     DependencyGraph,
     EdgeType,
     History,
+    HistoryIndex,
     IncrementalChecker,
     IsolationLevel,
     LWTHistory,
@@ -48,6 +49,7 @@ from .core import (
     write,
 )
 from .db import Database, DatabaseStats, FaultPlan, TransactionAborted
+from .parallel import Shard, check_parallel, partition_history
 from .workloads import (
     GTWorkloadGenerator,
     LWTHistoryGenerator,
@@ -70,6 +72,7 @@ __all__ = [
     "FaultPlan",
     "GTWorkloadGenerator",
     "History",
+    "HistoryIndex",
     "IncrementalChecker",
     "IsolationLevel",
     "LWTHistory",
@@ -82,6 +85,7 @@ __all__ = [
     "OpType",
     "PearceKellyOrder",
     "Session",
+    "Shard",
     "Transaction",
     "TransactionAborted",
     "TransactionStatus",
@@ -91,11 +95,13 @@ __all__ = [
     "anomaly_history",
     "build_dependency",
     "check_linearizability",
+    "check_parallel",
     "check_ser",
     "check_si",
     "check_sser",
     "is_mini_transaction",
     "is_mt_history",
+    "partition_history",
     "read",
     "run_workload",
     "stream_order",

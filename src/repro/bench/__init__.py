@@ -12,6 +12,12 @@ from .harness import (
 )
 from .metrics import Measurement, measure, measure_memory
 from .reporting import format_table, print_series, print_table
+from .suites import (
+    incremental_benchmark,
+    make_disjoint_history,
+    parallel_benchmark,
+    write_benchmark_json,
+)
 
 __all__ = [
     "BENCH_SCALE",
@@ -22,9 +28,13 @@ __all__ = [
     "format_table",
     "generate_gt_history",
     "generate_mt_history",
+    "incremental_benchmark",
+    "make_disjoint_history",
     "measure",
     "measure_memory",
+    "parallel_benchmark",
     "print_series",
     "print_table",
     "scaled",
+    "write_benchmark_json",
 ]

@@ -1,0 +1,237 @@
+"""Machine-readable benchmark suites shared by the CLI and ``benchmarks/``.
+
+Two suites track the performance trajectory of the repository across PRs:
+
+* :func:`parallel_benchmark` — serial vs sharded verification
+  (``MTChecker(workers=N)``) on a large disjoint-key history, the workload
+  the key-connectivity partitioner is built for;
+* :func:`incremental_benchmark` — amortized streaming ingestion vs batch
+  re-verification on a growing history.
+
+``repro bench`` runs them and writes ``BENCH_parallel.json`` /
+``BENCH_incremental.json`` (see :func:`write_benchmark_json`) so successive
+PRs can diff the numbers; ``benchmarks/bench_parallel.py`` and
+``benchmarks/bench_incremental.py`` wrap the same sweeps with
+pytest-benchmark assertions.
+
+Speedup expectations are hardware-dependent: the JSON records
+``cpu_count`` alongside every run, and consumers must not expect a >1x
+parallel speedup on single-core machines (process fan-out still works
+there, it just timeshares).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..core.checker import MTChecker
+from ..core.incremental import CheckerSession, stream_order
+from ..core.model import History, Session, Transaction, read, write
+from ..core.result import IsolationLevel
+from .harness import generate_mt_history
+
+__all__ = [
+    "make_disjoint_history",
+    "parallel_benchmark",
+    "incremental_benchmark",
+    "write_benchmark_json",
+]
+
+_LEVELS = {
+    "ser": IsolationLevel.SERIALIZABILITY,
+    "si": IsolationLevel.SNAPSHOT_ISOLATION,
+    "sser": IsolationLevel.STRICT_SERIALIZABILITY,
+}
+
+
+def make_disjoint_history(
+    *,
+    num_groups: int = 8,
+    sessions_per_group: int = 4,
+    txns_per_session: int = 100,
+    keys_per_group: int = 16,
+    timestamps: bool = False,
+) -> History:
+    """Synthesise a valid serializable history over disjoint key groups.
+
+    Each group owns its own key range and sessions; transactions are
+    read-modify-write mini-transactions over the group's keys, generated as
+    one serial interleaving per group, so the history satisfies SER/SI (and
+    SSER when ``timestamps`` is set).  The key-connectivity partitioner
+    splits it into exactly ``num_groups`` shards, which makes it the
+    canonical near-linear-speedup workload for the sharded executor.
+    """
+    sessions: List[Session] = []
+    txn_id = 1
+    value = 1
+    clock = 0.0
+    for group in range(num_groups):
+        keys = [f"g{group}:k{i}" for i in range(keys_per_group)]
+        latest = {key: 0 for key in keys}
+        group_sessions = [
+            Session(session_id=group * sessions_per_group + s)
+            for s in range(sessions_per_group)
+        ]
+        # One serial round-robin interleaving per group: every transaction
+        # reads the current values of two neighbouring group keys and
+        # installs a fresh value on the first.  The second (read-only) key
+        # chains the group's keys into a single connected component, so the
+        # partitioner yields exactly one shard per group.
+        for turn in range(txns_per_session):
+            for slot, session in enumerate(group_sessions):
+                key = keys[(turn + slot) % keys_per_group]
+                neighbour = keys[(turn + slot + 1) % keys_per_group]
+                operations = [read(key, latest[key])]
+                if neighbour != key:
+                    operations.append(read(neighbour, latest[neighbour]))
+                operations.append(write(key, value))
+                txn = Transaction(
+                    txn_id,
+                    operations,
+                    session_id=session.session_id,
+                )
+                if timestamps:
+                    txn.start_ts = clock
+                    txn.finish_ts = clock + 0.5
+                    clock += 1.0
+                latest[key] = value
+                value += 1
+                txn_id += 1
+                session.transactions.append(txn)
+        sessions.extend(group_sessions)
+    history = History(sessions)
+    history.ensure_initial_transaction()
+    return history
+
+
+def parallel_benchmark(
+    *,
+    smoke: bool = False,
+    workers: Sequence[int] = (1, 2, 4),
+    levels: Sequence[str] = ("ser", "si"),
+    num_groups: int = 8,
+    total_txns: Optional[int] = None,
+) -> Dict[str, object]:
+    """Serial vs sharded verification on a disjoint-key history.
+
+    The full-size run checks a >=50k-transaction history; ``smoke`` drops to
+    ~1k transactions for CI.  Every parallel verdict is asserted equal to
+    the serial one before timings are reported.
+    """
+    if total_txns is None:
+        total_txns = 1_000 if smoke else 51_200
+    sessions_per_group = 4
+    txns_per_session = max(1, total_txns // (num_groups * sessions_per_group))
+    history = make_disjoint_history(
+        num_groups=num_groups,
+        sessions_per_group=sessions_per_group,
+        txns_per_session=txns_per_session,
+    )
+    num_txns = history.num_transactions()
+
+    rows: List[Dict[str, object]] = []
+    for level_name in levels:
+        level = _LEVELS[level_name]
+        started = time.perf_counter()
+        serial = MTChecker().verify(history, level)
+        serial_seconds = time.perf_counter() - started
+        for count in workers:
+            started = time.perf_counter()
+            result = MTChecker(workers=count).verify(history, level)
+            elapsed = time.perf_counter() - started
+            assert result.satisfied == serial.satisfied, (level_name, count)
+            assert result.num_transactions == serial.num_transactions
+            rows.append(
+                {
+                    "level": level_name.upper(),
+                    "txns": num_txns,
+                    "workers": count,
+                    "serial_s": round(serial_seconds, 4),
+                    "parallel_s": round(elapsed, 4),
+                    "speedup": round(serial_seconds / max(elapsed, 1e-9), 2),
+                    "verdict": result.satisfied,
+                }
+            )
+    return {
+        "suite": "parallel",
+        "smoke": smoke,
+        "cpu_count": os.cpu_count(),
+        "transactions": num_txns,
+        "num_groups": num_groups,
+        "rows": rows,
+    }
+
+
+def incremental_benchmark(
+    *,
+    smoke: bool = False,
+    checkpoints: Optional[Sequence[int]] = None,
+) -> Dict[str, object]:
+    """Amortized streaming ingestion vs batch re-verification cost."""
+    if checkpoints is None:
+        checkpoints = [200, 500, 1000] if smoke else [500, 1000, 2000, 3500, 5000]
+    txns_per_session = max(checkpoints) // 10 + 60
+    generated = generate_mt_history(
+        isolation="si",
+        num_sessions=10,
+        txns_per_session=txns_per_session,
+        num_objects=60,
+        distribution="zipf",
+        seed=11,
+    )
+    history = generated.history
+    stream = [txn for txn in stream_order(history) if not txn.is_initial]
+    session = CheckerSession(IsolationLevel.SNAPSHOT_ISOLATION)
+    if history.initial_transaction is not None:
+        session.ingest(history.initial_transaction)
+
+    rows: List[Dict[str, object]] = []
+    ingested = 0
+    for n in [c for c in checkpoints if c <= len(stream)]:
+        for txn in stream[ingested:n]:
+            session.ingest(txn)
+        ingested = n
+        incremental_total = session.result().elapsed_seconds or 0.0
+
+        prefix = _prefix_history(history, stream, n)
+        started = time.perf_counter()
+        batch = MTChecker().verify(prefix, IsolationLevel.SNAPSHOT_ISOLATION)
+        batch_seconds = time.perf_counter() - started
+        assert batch.satisfied == session.satisfied
+        rows.append(
+            {
+                "n": n,
+                "inc_total_s": round(incremental_total, 4),
+                "inc_us_per_txn": round(1e6 * incremental_total / n, 2),
+                "batch_check_s": round(batch_seconds, 4),
+                "batch_us_per_txn": round(1e6 * batch_seconds / n, 2),
+            }
+        )
+    return {
+        "suite": "incremental",
+        "smoke": smoke,
+        "cpu_count": os.cpu_count(),
+        "level": "si",
+        "rows": rows,
+    }
+
+
+def _prefix_history(history: History, stream: Sequence[Transaction], n: int) -> History:
+    """The history induced by the first ``n`` streamed transactions."""
+    sessions: Dict[int, Session] = {}
+    for txn in stream[:n]:
+        sessions.setdefault(txn.session_id, Session(txn.session_id)).transactions.append(txn)
+    return History(
+        sessions=[sessions[sid] for sid in sorted(sessions)],
+        initial_transaction=history.initial_transaction,
+    )
+
+
+def write_benchmark_json(payload: Dict[str, object], path: str) -> None:
+    """Persist one suite's payload as deterministic, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -88,6 +88,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="streaming only: bound the graph to the last N transactions (window GC)",
     )
+    check.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "batch only: shard the history by key connectivity and check the "
+            "shards in N parallel processes (N=1 runs the sharded pipeline "
+            "inline; verdicts are identical for every N)"
+        ),
+    )
 
     watch = subparsers.add_parser(
         "watch", help="follow a JSONL history stream and verify it incrementally"
@@ -117,12 +127,40 @@ def build_parser() -> argparse.ArgumentParser:
     anomaly = subparsers.add_parser("anomaly", help="print a canonical anomaly history from the catalog")
     anomaly.add_argument("name", nargs="?", default=None, help="anomaly name (omit to list all)")
 
+    bench = subparsers.add_parser(
+        "bench", help="run the benchmark suites and write machine-readable BENCH_*.json"
+    )
+    bench.add_argument(
+        "--suite",
+        choices=["parallel", "incremental", "all"],
+        default="all",
+        help="which suite to run",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true", help="CI-sized workloads instead of full scale"
+    )
+    bench.add_argument(
+        "--output-dir",
+        default=".",
+        help="directory for BENCH_<suite>.json (default: current directory, "
+        "i.e. the repo root when run from a checkout)",
+    )
+
     return parser
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
     streaming = args.stream or is_stream_path(args.history)
-    checker = MTChecker(strict_mt=args.strict_mt)
+    if streaming and args.workers is not None:
+        reason = (
+            "drop --stream to use it"
+            if args.stream
+            else "a .jsonl input is checked as a stream; convert it to a "
+            "history JSON document for sharded batch checking"
+        )
+        print(f"error: --workers applies to batch checking; {reason}")
+        return 2
+    checker = MTChecker(strict_mt=args.strict_mt, workers=args.workers)
     if not streaming:
         history = load_history(args.history)
         result = checker.verify(history, _LEVELS[args.level])
@@ -249,6 +287,32 @@ def _cmd_anomaly(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from .bench.reporting import format_table
+    from .bench.suites import (
+        incremental_benchmark,
+        parallel_benchmark,
+        write_benchmark_json,
+    )
+
+    suites = {
+        "parallel": parallel_benchmark,
+        "incremental": incremental_benchmark,
+    }
+    selected = list(suites) if args.suite == "all" else [args.suite]
+    # Fail on an unwritable destination before minutes of benchmarking, not after.
+    os.makedirs(args.output_dir, exist_ok=True)
+    for name in selected:
+        payload = suites[name](smoke=args.smoke)
+        path = os.path.join(args.output_dir, f"BENCH_{name}.json")
+        write_benchmark_json(payload, path)
+        print(format_table(payload["rows"], f"{name} benchmark"))
+        print(f"wrote {path}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -262,6 +326,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_generate(args)
         if args.command == "anomaly":
             return _cmd_anomaly(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
     except BrokenPipeError:
         return 1  # stdout consumer (e.g. `| head`) went away mid-report
     except OSError as exc:

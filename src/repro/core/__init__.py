@@ -12,6 +12,7 @@ from .incremental import (
     PearceKellyOrder,
     stream_order,
 )
+from .index import HistoryIndex, ReadRecord, VersionEntry
 from .intcheck import check_internal_consistency
 from .lwt import LWTHistory, LWTKind, LWTOperation, check_linearizability, check_object_linearizability
 from .mini import is_mini_transaction, is_mt_history, validate_mt_history
@@ -41,6 +42,7 @@ __all__ = [
     "Edge",
     "EdgeType",
     "History",
+    "HistoryIndex",
     "INITIAL_TXN_ID",
     "INITIAL_VALUE",
     "IncrementalChecker",
@@ -53,9 +55,11 @@ __all__ = [
     "Operation",
     "OpType",
     "PearceKellyOrder",
+    "ReadRecord",
     "Session",
     "Transaction",
     "TransactionStatus",
+    "VersionEntry",
     "Violation",
     "anomaly_catalog",
     "anomaly_history",

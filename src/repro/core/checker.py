@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from typing import Iterable, Optional, Union
 
-from .checkers import check_ser, check_si, check_sser
+from .checkers import GRAPH_CHECKED_LEVELS, check_ser, check_si, check_sser
 from .incremental import CheckerSession
+from .index import HistoryIndex
 from .lwt import LWTHistory, check_linearizability
 from .mini import validate_mt_history
 from .model import History
@@ -38,11 +39,29 @@ class MTChecker:
             instead of checking them on a best-effort basis.
         transitive_ww: use the unoptimized BUILDDEPENDENCY variant that
             materialises the transitive closure of the WW edges.
+        workers: ``None`` (the default) runs the classic single-pass serial
+            pipeline.  Any integer ``>= 1`` routes batch verification through
+            the sharded pipeline of :mod:`repro.parallel`: the history is
+            split into key-connected shards, each shard is checked
+            independently (``workers`` OS processes when ``> 1``, inline when
+            ``1``), and the verdicts are merged.  Sharded verdicts equal
+            serial verdicts on every history, and ``workers=1`` vs
+            ``workers=k`` produce *identical* results — only where the shard
+            checks execute changes.
     """
 
-    def __init__(self, *, strict_mt: bool = False, transitive_ww: bool = False) -> None:
+    def __init__(
+        self,
+        *,
+        strict_mt: bool = False,
+        transitive_ww: bool = False,
+        workers: Optional[int] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be a positive process count (or None)")
         self.strict_mt = strict_mt
         self.transitive_ww = transitive_ww
+        self.workers = workers
 
     # ------------------------------------------------------------------
     # Verification
@@ -52,7 +71,13 @@ class MTChecker:
         history: Union[History, LWTHistory],
         level: IsolationLevel,
     ) -> CheckResult:
-        """Verify ``history`` against ``level`` and return a :class:`CheckResult`."""
+        """Verify ``history`` against ``level`` and return a :class:`CheckResult`.
+
+        For plain histories the shared :class:`HistoryIndex` is built exactly
+        once here and threaded through every stage of the chosen checker —
+        MT validation, the INT pre-pass, the DIVERGENCE scan, and
+        BUILDDEPENDENCY all consume the same index.
+        """
         if isinstance(history, LWTHistory):
             if level not in (
                 IsolationLevel.LINEARIZABILITY,
@@ -64,22 +89,42 @@ class MTChecker:
                 )
             return check_linearizability(history)
 
+        if level not in GRAPH_CHECKED_LEVELS:
+            raise ValueError(f"unsupported isolation level for MTC: {level}")
+
+        index = HistoryIndex.build(history)
+        if self.workers is not None:
+            from ..parallel import check_parallel  # deferred: parallel builds on core
+
+            return check_parallel(
+                history,
+                level,
+                workers=self.workers,
+                strict_mt=self.strict_mt,
+                transitive_ww=self.transitive_ww,
+                index=index,
+            )
+
         if level is IsolationLevel.SERIALIZABILITY:
             return check_ser(
-                history, transitive_ww=self.transitive_ww, strict_mt=self.strict_mt
+                history,
+                transitive_ww=self.transitive_ww,
+                strict_mt=self.strict_mt,
+                index=index,
             )
         if level is IsolationLevel.SNAPSHOT_ISOLATION:
             return check_si(
-                history, transitive_ww=self.transitive_ww, strict_mt=self.strict_mt
+                history,
+                transitive_ww=self.transitive_ww,
+                strict_mt=self.strict_mt,
+                index=index,
             )
-        if level in (
-            IsolationLevel.STRICT_SERIALIZABILITY,
-            IsolationLevel.LINEARIZABILITY,
-        ):
-            return check_sser(
-                history, transitive_ww=self.transitive_ww, strict_mt=self.strict_mt
-            )
-        raise ValueError(f"unsupported isolation level for MTC: {level}")
+        return check_sser(
+            history,
+            transitive_ww=self.transitive_ww,
+            strict_mt=self.strict_mt,
+            index=index,
+        )
 
     # Convenience aliases matching the paper's component names.
     def check_ser(self, history: History) -> CheckResult:

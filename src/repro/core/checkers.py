@@ -26,22 +26,47 @@ from typing import List, Optional, Sequence
 
 from .divergence import find_divergence
 from .graph import DependencyGraph, Edge, EdgeType, build_dependency
-from .intcheck import build_write_index, check_internal_consistency
-from .mini import validate_mt_history
+from .index import HistoryIndex
 from .model import History
 from .result import AnomalyKind, CheckResult, IsolationLevel, Violation
 
 __all__ = [
+    "GRAPH_CHECKED_LEVELS",
     "check_sser",
     "check_ser",
     "check_si",
     "classify_cycle",
+    "raise_if_not_mt",
     "MTHistoryError",
 ]
+
+#: Levels the graph-based MTC pipeline covers on plain histories (LIN is
+#: checked as SSER there).  Shared by the MTChecker facade and the sharded
+#: executor so the two never disagree on which levels are accepted.
+GRAPH_CHECKED_LEVELS = (
+    IsolationLevel.SERIALIZABILITY,
+    IsolationLevel.SNAPSHOT_ISOLATION,
+    IsolationLevel.STRICT_SERIALIZABILITY,
+    IsolationLevel.LINEARIZABILITY,
+)
 
 
 class MTHistoryError(ValueError):
     """Raised in strict mode when the input is not a valid MT history."""
+
+
+def raise_if_not_mt(index: HistoryIndex) -> None:
+    """Raise :class:`MTHistoryError` unless the indexed history is MT-valid.
+
+    Shared by the serial pre-checks and the parallel executor so strict-mode
+    failures are identical whichever pipeline runs.
+    """
+    problems = index.mt_problems()
+    if problems:
+        raise MTHistoryError(
+            "not a valid mini-transaction history: "
+            + "; ".join(str(p) for p in problems[:5])
+        )
 
 
 def check_ser(
@@ -49,6 +74,7 @@ def check_ser(
     *,
     transitive_ww: bool = False,
     strict_mt: bool = False,
+    index: Optional[HistoryIndex] = None,
 ) -> CheckResult:
     """CHECKSER: verify serializability of a mini-transaction history.
 
@@ -60,6 +86,9 @@ def check_ser(
             variant of Section IV-C.
         strict_mt: raise :class:`MTHistoryError` if the history is not a
             valid MT history instead of checking on a best-effort basis.
+        index: optional pre-built :class:`~repro.core.index.HistoryIndex`;
+            :meth:`repro.core.checker.MTChecker.verify` builds it once and
+            threads it through every stage, so the history is scanned once.
     """
     return _check_graph_level(
         history,
@@ -67,6 +96,7 @@ def check_ser(
         with_rt=False,
         transitive_ww=transitive_ww,
         strict_mt=strict_mt,
+        index=index,
     )
 
 
@@ -76,6 +106,7 @@ def check_sser(
     transitive_ww: bool = False,
     strict_mt: bool = False,
     reduced_rt: bool = True,
+    index: Optional[HistoryIndex] = None,
 ) -> CheckResult:
     """CHECKSSER: verify strict serializability of a mini-transaction history.
 
@@ -89,6 +120,7 @@ def check_sser(
         transitive_ww=transitive_ww,
         strict_mt=strict_mt,
         reduced_rt=reduced_rt,
+        index=index,
     )
 
 
@@ -98,6 +130,7 @@ def check_si(
     transitive_ww: bool = False,
     strict_mt: bool = False,
     early_divergence_exit: bool = True,
+    index: Optional[HistoryIndex] = None,
 ) -> CheckResult:
     """CHECKSI: verify snapshot isolation of a mini-transaction history.
 
@@ -116,17 +149,18 @@ def check_si(
             for the final verdict.
     """
     started = time.perf_counter()
-    num_txns = len(history.committed_transactions(include_initial=False))
+    if index is None:
+        index = HistoryIndex.build(history)
+    num_txns = index.num_committed
 
-    pre = _pre_checks(history, strict_mt=strict_mt)
+    pre = _pre_checks(index, strict_mt=strict_mt)
     if pre is not None:
         pre.level = IsolationLevel.SNAPSHOT_ISOLATION
         pre.num_transactions = num_txns
         pre.elapsed_seconds = time.perf_counter() - started
         return pre
 
-    write_index = build_write_index(history)
-    divergence = find_divergence(history, write_index=write_index)
+    divergence = find_divergence(history, index=index)
     if early_divergence_exit and divergence is not None:
         result = CheckResult.violated(
             IsolationLevel.SNAPSHOT_ISOLATION,
@@ -140,7 +174,7 @@ def check_si(
         history,
         with_rt=False,
         transitive_ww=transitive_ww,
-        write_index=write_index,
+        index=index,
     )
     induced = graph.si_induced_graph()
     cycle = induced.find_cycle()
@@ -169,20 +203,18 @@ def check_si(
 # ----------------------------------------------------------------------
 # Shared machinery
 # ----------------------------------------------------------------------
-def _pre_checks(history: History, *, strict_mt: bool) -> Optional[CheckResult]:
-    """Run MT-history validation and the INT pre-pass.
+def _pre_checks(index: HistoryIndex, *, strict_mt: bool) -> Optional[CheckResult]:
+    """Run MT-history validation and the INT pre-pass on the shared index.
 
-    Returns a failing :class:`CheckResult` (level filled in by the caller)
-    when the pre-pass finds violations, else ``None``.
+    Both verdicts are cached on the :class:`~repro.core.index.HistoryIndex`,
+    so a facade that validated the history up front (or a repeated check of
+    the same index) never re-scans it.  Returns a failing
+    :class:`CheckResult` (level filled in by the caller) when the pre-pass
+    finds violations, else ``None``.
     """
     if strict_mt:
-        problems = validate_mt_history(history)
-        if problems:
-            raise MTHistoryError(
-                "not a valid mini-transaction history: "
-                + "; ".join(str(p) for p in problems[:5])
-            )
-    int_violations = check_internal_consistency(history)
+        raise_if_not_mt(index)
+    int_violations = index.int_violations()
     if int_violations:
         return CheckResult.violated(
             IsolationLevel.SERIALIZABILITY, int_violations
@@ -198,11 +230,14 @@ def _check_graph_level(
     transitive_ww: bool,
     strict_mt: bool,
     reduced_rt: bool = True,
+    index: Optional[HistoryIndex] = None,
 ) -> CheckResult:
     started = time.perf_counter()
-    num_txns = len(history.committed_transactions(include_initial=False))
+    if index is None:
+        index = HistoryIndex.build(history)
+    num_txns = index.num_committed
 
-    pre = _pre_checks(history, strict_mt=strict_mt)
+    pre = _pre_checks(index, strict_mt=strict_mt)
     if pre is not None:
         pre.level = level
         pre.num_transactions = num_txns
@@ -214,6 +249,7 @@ def _check_graph_level(
         with_rt=with_rt,
         transitive_ww=transitive_ww,
         reduced_rt=reduced_rt,
+        index=index,
     )
     cycle = graph.find_cycle()
     if cycle is None:

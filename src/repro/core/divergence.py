@@ -11,11 +11,10 @@ before constructing the full dependency graph.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from .intcheck import WriteIndex, build_write_index
+from .index import HistoryIndex
 from .model import History
 from .result import AnomalyKind, Violation
 
@@ -50,7 +49,9 @@ class DivergenceInstance:
 
 
 def find_divergence(
-    history: History, *, write_index: Optional[WriteIndex] = None
+    history: History,
+    *,
+    index: Optional[HistoryIndex] = None,
 ) -> Optional[DivergenceInstance]:
     """Return the first DIVERGENCE instance found, or ``None``.
 
@@ -59,49 +60,52 @@ def find_divergence(
     read)`` slot is recorded; two different writers landing in the same slot
     form the pattern.
     """
-    instances = find_all_divergences(history, write_index=write_index, first_only=True)
+    instances = find_all_divergences(history, index=index, first_only=True)
     return instances[0] if instances else None
 
 
 def find_all_divergences(
     history: History,
     *,
-    write_index: Optional[WriteIndex] = None,
+    index: Optional[HistoryIndex] = None,
     first_only: bool = False,
 ) -> List[DivergenceInstance]:
-    """Find (all) DIVERGENCE instances in a history."""
-    if write_index is None:
-        write_index = build_write_index(history)
+    """Find (all) DIVERGENCE instances in a history.
+
+    The scan replays the shared :class:`~repro.core.index.HistoryIndex` read
+    records, building the index when the caller did not supply one.
+    """
+    if index is None:
+        index = HistoryIndex.build(history)
 
     # (key, value read) -> (first reader-writer txn id, value it wrote).
-    slots: Dict[Tuple[str, int], Tuple[int, Optional[int]]] = {}
+    slots: Dict[Tuple[str, Optional[int]], Tuple[int, Optional[int]]] = {}
     instances: List[DivergenceInstance] = []
-    for txn in history.committed_transactions(include_initial=False):
-        for key, value in txn.external_reads().items():
-            if not txn.writes_to(key):
-                continue
-            slot = (key, value)
-            other = slots.get(slot)
-            if other is None:
-                slots[slot] = (txn.txn_id, txn.final_write(key))
-                continue
-            other_id, other_written = other
-            if other_id == txn.txn_id:
-                continue
-            if other_written == txn.final_write(key):
-                # Both overwrote with the same value: not DIVERGENCE (only
-                # possible in histories without unique values).
-                continue
-            writer = write_index.final_writer(key, value)
-            writer_id = writer.txn_id if writer is not None else -2
-            instance = DivergenceInstance(
-                key=key,
-                writer=writer_id,
-                value=value,
-                reader_a=other_id,
-                reader_b=txn.txn_id,
-            )
-            instances.append(instance)
-            if first_only:
-                return instances
+    for txn, record in index.iter_read_records():
+        if not record.writes_key:
+            continue
+        slot = (record.key, record.value)
+        other = slots.get(slot)
+        if other is None:
+            slots[slot] = (txn.txn_id, record.written_value)
+            continue
+        other_id, other_written = other
+        if other_id == txn.txn_id:
+            continue
+        if other_written == record.written_value:
+            # Both overwrote with the same value: not DIVERGENCE (only
+            # possible in histories without unique values).
+            continue
+        writer = record.writer
+        writer_id = writer.txn_id if writer is not None else -2
+        instance = DivergenceInstance(
+            key=record.key,
+            writer=writer_id,
+            value=record.value,
+            reader_a=other_id,
+            reader_b=txn.txn_id,
+        )
+        instances.append(instance)
+        if first_only:
+            return instances
     return instances

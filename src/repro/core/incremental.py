@@ -920,9 +920,15 @@ class CheckerSession:
         """Feed a round of transactions (Cobra-style round-based checking)."""
         return self._checker.ingest_round(txns)
 
-    def ingest_history(self, history: History) -> CheckResult:
-        """Stream a complete history in canonical order; return the verdict."""
-        for txn in stream_order(history):
+    def ingest_history(self, history: History, *, index=None) -> CheckResult:
+        """Stream a complete history in canonical order; return the verdict.
+
+        When the caller already built a
+        :class:`~repro.core.index.HistoryIndex` for the history (e.g. after
+        a batch check), pass it as ``index`` — its cached arrival order is
+        replayed instead of re-scanning the raw sessions.
+        """
+        for txn in stream_order(history, index=index):
             self._checker.ingest(txn)
         return self.result()
 
@@ -941,7 +947,7 @@ class CheckerSession:
         return None
 
 
-def stream_order(history: History) -> Iterator[Transaction]:
+def stream_order(history: History, *, index=None) -> Iterator[Transaction]:
     """Yield a history's transactions in a canonical streaming order.
 
     The initial transaction (when present) comes first; sessions are then
@@ -949,7 +955,15 @@ def stream_order(history: History) -> Iterator[Transaction]:
     a commit-log tail would deliver), falling back to round-robin
     interleaving.  Per-session order is always preserved, which is the one
     ordering requirement of :class:`IncrementalChecker`.
+
+    A pre-built :class:`~repro.core.index.HistoryIndex` for the same history
+    short-circuits the merge with its cached order.
     """
+    if index is not None:
+        if index.history is not history:
+            raise ValueError("index was built for a different history")
+        yield from index.stream_order()
+        return
     if history.initial_transaction is not None:
         yield history.initial_transaction
     queues = [list(session.transactions) for session in history.sessions]

@@ -1,0 +1,334 @@
+"""The shared :class:`HistoryIndex`: one scan, many consumers.
+
+Historically every layer of the pipeline re-derived the same per-history
+structures from the raw :class:`~repro.core.model.History`: the INT pre-pass
+built a write index, ``CHECKSI`` built another for the DIVERGENCE scan,
+``BUILDDEPENDENCY`` a third, and each solver baseline a fourth — plus as
+many full passes over every transaction's operations.  The checkers are
+linear-time on paper, but the constant factor was "number of consumers".
+
+:class:`HistoryIndex` is built **once** per history and is the sole
+history-scanning entry point for the batch pipeline:
+
+* transaction ids and object keys are interned to dense integers
+  (``txn_ids`` / ``key_names`` and their reverse maps), which is what the
+  shard partitioner (:mod:`repro.parallel.partition`) and the dependency
+  graph's integer fast path operate on;
+* the write index — ``(key, value) -> final/intermediate writer`` — is
+  API-compatible with :class:`~repro.core.intcheck.WriteIndex`, so the
+  read-provenance classification runs against the shared index;
+* every committed transaction's external reads are resolved to
+  :class:`ReadRecord` entries (writer transaction, RMW flag, value written
+  back), which is all ``BUILDDEPENDENCY``, the DIVERGENCE scan, and the
+  polygraph encoders need;
+* session order, real-time order, per-key version chains, the INT verdict,
+  and the MT-validation verdict are computed once and cached.
+
+The intended usage is one :meth:`build` per ``MTChecker.verify`` call,
+threaded down through :func:`~repro.core.checkers.check_ser` /
+``check_si`` / ``check_sser`` via their ``index=`` parameter; every checker
+also accepts a bare history and builds the index itself, so standalone use
+keeps working.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+from .model import History, Transaction
+
+__all__ = ["ReadRecord", "VersionEntry", "HistoryIndex"]
+
+
+class ReadRecord(NamedTuple):
+    """One resolved external read of a committed transaction.
+
+    Attributes:
+        key: the object read.
+        value: the value observed.
+        writer: the transaction whose *final* write produced ``value`` on
+            ``key``, or ``None`` (thin-air / intermediate / own value).
+        writes_key: whether the reader also writes ``key`` (the RMW pattern
+            that turns the WR edge into a WW edge).
+        written_value: the reader's final write on ``key`` (``None`` unless
+            ``writes_key``); used by the DIVERGENCE scan.
+    """
+
+    key: str
+    value: Optional[int]
+    writer: Optional[Transaction]
+    writes_key: bool
+    written_value: Optional[int]
+
+
+class VersionEntry(NamedTuple):
+    """One version of an object: its writer plus the observers of the version."""
+
+    value: Optional[int]
+    writer_id: int
+    reader_ids: Tuple[int, ...]
+    overwriter_ids: Tuple[int, ...]
+
+
+class HistoryIndex:
+    """Per-history shared index: dense interning + resolved provenance.
+
+    Build with :meth:`build`; the class-level :attr:`builds` counter exists
+    so tests can assert the "one construction per verify call" invariant.
+
+    Example:
+        >>> from repro.core.model import History, Transaction, read, write
+        >>> t1 = Transaction(1, [read("x", 0), write("x", 1)])
+        >>> index = HistoryIndex.build(
+        ...     History.from_transactions([[t1]], initial_keys=["x"]))
+        >>> index.key_names, index.num_committed
+        (['x'], 1)
+        >>> index.final_writer("x", 1).txn_id
+        1
+    """
+
+    #: Total number of indexes constructed (test instrumentation).
+    builds = 0
+
+    def __init__(self, history: History) -> None:
+        type(self).builds += 1
+        self.history = history
+
+        #: Every transaction, including ``⊥T`` and aborted ones (scan order).
+        self.transactions: List[Transaction] = history.transactions(include_initial=True)
+        #: Dense id per transaction: ``txn_ids[dense] == txn_id``.
+        self.txn_ids: List[int] = []
+        self.txn_dense: Dict[int, int] = {}
+        #: Dense id per object key: ``key_names[dense] == key``.
+        self.key_names: List[str] = []
+        self.key_dense: Dict[str, int] = {}
+        #: Per dense transaction: sorted dense key ids it touches.
+        self.txn_keys: List[List[int]] = []
+
+        self.committed: List[Transaction] = []
+        self.committed_non_initial: List[Transaction] = []
+        self.committed_ids: Set[int] = set()
+
+        self._final: Dict[Tuple[str, Optional[int]], Transaction] = {}
+        self._intermediate: Dict[Tuple[str, Optional[int]], Transaction] = {}
+        self._final_writes: Dict[int, Dict[str, int]] = {}
+        self._raw_reads: Dict[int, List[Tuple[str, Optional[int], bool, Optional[int]]]] = {}
+        self._reads: Dict[int, List[ReadRecord]] = {}
+
+        # Lazy caches.
+        self._session_pairs: Optional[List[Tuple[Transaction, Transaction]]] = None
+        self._rt_pairs: Dict[bool, List[Tuple[Transaction, Transaction]]] = {}
+        self._int_violations: Optional[list] = None
+        self._mt_problems: Optional[list] = None
+        self._versions: Optional[Dict[str, List[VersionEntry]]] = None
+        self._stream: Optional[List[Transaction]] = None
+
+        self._scan()
+        self._resolve_reads()
+
+    @classmethod
+    def build(cls, history: History) -> "HistoryIndex":
+        """Construct the index for ``history`` (one linear scan)."""
+        return cls(history)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _scan(self) -> None:
+        """Single pass: intern ids/keys, index writes, collect raw reads."""
+        for txn in self.transactions:
+            dense = len(self.txn_ids)
+            self.txn_ids.append(txn.txn_id)
+            self.txn_dense[txn.txn_id] = dense
+            if txn.committed:
+                self.committed.append(txn)
+                self.committed_ids.add(txn.txn_id)
+                if not txn.is_initial:
+                    self.committed_non_initial.append(txn)
+
+            keys_here: Set[int] = set()
+            finals: Dict[str, int] = {}
+            last_write: Dict[str, Optional[int]] = {}
+            written: Set[str] = set()
+            reads: List[Tuple[str, Optional[int]]] = []
+            read_keys: Set[str] = set()
+            for op in txn.operations:
+                kid = self.key_dense.get(op.key)
+                if kid is None:
+                    kid = len(self.key_names)
+                    self.key_dense[op.key] = kid
+                    self.key_names.append(op.key)
+                keys_here.add(kid)
+                if op.is_write:
+                    if op.key in last_write:
+                        self._intermediate[(op.key, last_write[op.key])] = txn
+                    last_write[op.key] = op.value
+                    written.add(op.key)
+                    if op.value is not None:
+                        finals[op.key] = op.value
+                elif (
+                    op.key not in written
+                    and op.key not in read_keys
+                    and op.value is not None
+                ):
+                    # Mirrors Transaction.external_reads(): the first read of
+                    # a key before any own write on it.
+                    read_keys.add(op.key)
+                    reads.append((op.key, op.value))
+            for key, value in last_write.items():
+                self._final[(key, value)] = txn
+            self._final_writes[txn.txn_id] = finals
+            if txn.committed and not txn.is_initial:
+                self._raw_reads[txn.txn_id] = [
+                    (key, value, key in written, last_write.get(key))
+                    for key, value in reads
+                ]
+            self.txn_keys.append(sorted(keys_here))
+
+    def _resolve_reads(self) -> None:
+        """Second pass: attribute every external read to its writer."""
+        for txn in self.committed_non_initial:
+            records = [
+                ReadRecord(
+                    key=key,
+                    value=value,
+                    writer=self._final.get((key, value)),
+                    writes_key=writes_key,
+                    written_value=written_value,
+                )
+                for key, value, writes_key, written_value in self._raw_reads.get(
+                    txn.txn_id, ()
+                )
+            ]
+            self._reads[txn.txn_id] = records
+        # The raw tuples are fully superseded by the resolved records.
+        self._raw_reads.clear()
+
+    # ------------------------------------------------------------------
+    # Write index (API-compatible with intcheck.WriteIndex)
+    # ------------------------------------------------------------------
+    def final_writer(self, key: str, value: Optional[int]) -> Optional[Transaction]:
+        """The transaction whose final write on ``key`` has ``value``."""
+        return self._final.get((key, value))
+
+    def intermediate_writer(self, key: str, value: Optional[int]) -> Optional[Transaction]:
+        """The transaction that wrote ``value`` to ``key`` as a non-final write."""
+        return self._intermediate.get((key, value))
+
+    # ------------------------------------------------------------------
+    # Resolved provenance and version chains
+    # ------------------------------------------------------------------
+    def external_reads(self, txn_id: int) -> List[ReadRecord]:
+        """The resolved external reads of a committed transaction."""
+        return self._reads.get(txn_id, [])
+
+    def final_writes(self, txn_id: int) -> Dict[str, int]:
+        """The final ``{key: value}`` writes of a transaction."""
+        return self._final_writes.get(txn_id, {})
+
+    def iter_read_records(self) -> Iterator[Tuple[Transaction, ReadRecord]]:
+        """All resolved reads in (transaction, program) scan order."""
+        for txn in self.committed_non_initial:
+            for record in self._reads.get(txn.txn_id, ()):
+                yield txn, record
+
+    def version_chains(self) -> Dict[str, List[VersionEntry]]:
+        """Per-key version chains: writer plus readers/overwriters per version.
+
+        Versions appear in the order their committed writers were scanned;
+        only committed writers anchor a version (reads of aborted or unborn
+        values are provenance anomalies, not versions).
+        """
+        if self._versions is None:
+            readers: Dict[Tuple[str, Optional[int]], List[int]] = {}
+            overwriters: Dict[Tuple[str, Optional[int]], List[int]] = {}
+            for txn, record in self.iter_read_records():
+                writer = record.writer
+                if writer is None or not writer.committed or writer.txn_id == txn.txn_id:
+                    continue
+                slot = (record.key, record.value)
+                readers.setdefault(slot, []).append(txn.txn_id)
+                if record.writes_key:
+                    overwriters.setdefault(slot, []).append(txn.txn_id)
+            chains: Dict[str, List[VersionEntry]] = {}
+            for txn in self.committed:
+                for key, value in self._final_writes.get(txn.txn_id, {}).items():
+                    chains.setdefault(key, []).append(
+                        VersionEntry(
+                            value=value,
+                            writer_id=txn.txn_id,
+                            reader_ids=tuple(readers.get((key, value), ())),
+                            overwriter_ids=tuple(overwriters.get((key, value), ())),
+                        )
+                    )
+            self._versions = chains
+        return self._versions
+
+    # ------------------------------------------------------------------
+    # Orders
+    # ------------------------------------------------------------------
+    @property
+    def session_order_pairs(self) -> List[Tuple[Transaction, Transaction]]:
+        """Adjacent committed session-order pairs (cached)."""
+        if self._session_pairs is None:
+            self._session_pairs = self.history.session_order()
+        return self._session_pairs
+
+    def real_time_pairs(self, reduced: bool = True) -> List[Tuple[Transaction, Transaction]]:
+        """Committed real-time order pairs (cached per ``reduced`` flag)."""
+        if reduced not in self._rt_pairs:
+            self._rt_pairs[reduced] = self.history.real_time_order(reduced=reduced)
+        return self._rt_pairs[reduced]
+
+    def stream_order(self) -> List[Transaction]:
+        """The canonical streaming arrival order (cached).
+
+        Same contract as :func:`repro.core.incremental.stream_order`: ``⊥T``
+        first, sessions merged by finish timestamp with a round-robin
+        fallback, per-session order preserved.
+        """
+        if self._stream is None:
+            from .incremental import stream_order  # local import: no cycle at module load
+
+            self._stream = list(stream_order(self.history))
+        return self._stream
+
+    # ------------------------------------------------------------------
+    # Cached verdict pre-passes
+    # ------------------------------------------------------------------
+    def int_violations(self) -> list:
+        """The INT/read-provenance pre-pass verdict (cached)."""
+        if self._int_violations is None:
+            from .intcheck import check_internal_consistency
+
+            self._int_violations = check_internal_consistency(self.history, index=self)
+        return self._int_violations
+
+    def mt_problems(self) -> list:
+        """The MT-history validation verdict (cached)."""
+        if self._mt_problems is None:
+            from .mini import validate_mt_history
+
+            self._mt_problems = validate_mt_history(self.history)
+        return self._mt_problems
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    @property
+    def num_committed(self) -> int:
+        """Committed transactions excluding ``⊥T``."""
+        return len(self.committed_non_initial)
+
+    def transaction(self, txn_id: int) -> Transaction:
+        return self.transactions[self.txn_dense[txn_id]]
+
+    def keys_of(self, txn_id: int) -> List[str]:
+        """The object keys a transaction touches (via the dense interning)."""
+        return [self.key_names[k] for k in self.txn_keys[self.txn_dense[txn_id]]]
+
+    def __repr__(self) -> str:
+        return (
+            f"HistoryIndex(transactions={len(self.transactions)}, "
+            f"keys={len(self.key_names)}, committed={self.num_committed})"
+        )

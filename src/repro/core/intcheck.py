@@ -16,10 +16,13 @@ value can be attributed to exactly one writing transaction.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from .model import History, Operation, Transaction
 from .result import AnomalyKind, Violation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .index import HistoryIndex
 
 __all__ = [
     "WriteIndex",
@@ -72,20 +75,31 @@ def build_write_index(history: History) -> WriteIndex:
 
 
 def check_internal_consistency(
-    history: History, *, write_index: Optional[WriteIndex] = None
+    history: History,
+    *,
+    write_index: Optional[WriteIndex] = None,
+    index: Optional["HistoryIndex"] = None,
 ) -> List[Violation]:
     """Check the INT axiom and read-provenance anomalies for a history.
 
     Returns the list of violations found (empty if the history is internally
     consistent and every read can be attributed to the committed final write
     of some transaction or to the reader's own preceding write).
+
+    When a shared :class:`~repro.core.index.HistoryIndex` is supplied, its
+    write index is consulted directly (it is API-compatible with
+    :class:`WriteIndex`) and no per-call index is constructed.
     """
-    if write_index is None:
-        write_index = build_write_index(history)
+    if index is not None:
+        lookup: WriteIndex = index  # duck-typed: final_writer / intermediate_writer
+        committed = index.committed_non_initial
+    else:
+        lookup = write_index if write_index is not None else build_write_index(history)
+        committed = history.committed_transactions(include_initial=False)
 
     violations: List[Violation] = []
-    for txn in history.committed_transactions(include_initial=False):
-        violations.extend(_check_transaction(txn, write_index))
+    for txn in committed:
+        violations.extend(_check_transaction(txn, lookup))
     return violations
 
 

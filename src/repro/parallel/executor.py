@@ -1,0 +1,172 @@
+"""Multiprocessing fan-out over history shards.
+
+:func:`check_parallel` is the parallel counterpart of the serial
+``check_ser`` / ``check_si`` / ``check_sser`` pipeline:
+
+1. partition the history into key-connected shards
+   (:mod:`repro.parallel.partition`);
+2. check every shard independently — in ``workers`` OS processes when
+   ``workers > 1``, inline otherwise (shard order and per-shard work are
+   identical either way, so worker counts never change the result);
+3. merge the shard verdicts (:mod:`repro.parallel.merge`); SSER
+   additionally reassembles the shard graphs under the global real-time
+   order, which is the one relation that crosses shard boundaries.
+
+Invariant: **sharded verdicts equal serial verdicts on every history** —
+the randomized equivalence suite (``tests/test_parallel.py``) enforces it
+across SER/SI/SSER, every simulated engine, and injected faults.
+
+The pool is a best-effort optimisation: environments where processes
+cannot be spawned (sandboxes, restricted containers) transparently fall
+back to inline execution.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import List, Optional, Tuple
+
+from ..core.checkers import (
+    GRAPH_CHECKED_LEVELS,
+    check_ser,
+    check_si,
+    check_sser,
+    raise_if_not_mt,
+)
+from ..core.graph import build_dependency
+from ..core.index import HistoryIndex
+from ..core.model import History
+from ..core.result import CheckResult, IsolationLevel
+from .merge import ShardOutcome, merge_shard_results, merge_sser_graphs, serialize_edges
+from .partition import DEFAULT_MAX_SHARDS, Shard, partition_history
+
+__all__ = ["check_parallel"]
+
+#: One shard task shipped to a worker process.
+_Payload = Tuple[int, History, IsolationLevel, bool]
+
+
+def check_parallel(
+    history: History,
+    level: IsolationLevel,
+    *,
+    workers: int = 1,
+    strict_mt: bool = False,
+    transitive_ww: bool = False,
+    index: Optional[HistoryIndex] = None,
+    max_shards: Optional[int] = DEFAULT_MAX_SHARDS,
+) -> CheckResult:
+    """Verify ``history`` against ``level`` via the sharded pipeline.
+
+    Args:
+        history: the MT history to verify.
+        level: SER, SI, SSER, or LIN (checked as SSER on plain histories).
+        workers: number of OS processes to fan shard checks out over;
+            ``1`` runs the same shard checks inline (identical result).
+        strict_mt: validate the history against Definition 9 up front and
+            raise :class:`~repro.core.checkers.MTHistoryError` on failure.
+        transitive_ww: forward the unoptimized BUILDDEPENDENCY variant to
+            every shard check.
+        index: pre-built :class:`~repro.core.index.HistoryIndex` (built
+            here when absent); also drives the partitioner.
+        max_shards: cap on the shard fan-out (fixed, never worker-derived).
+    """
+    if level not in GRAPH_CHECKED_LEVELS:
+        raise ValueError(f"unsupported isolation level for sharded checking: {level}")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if level is IsolationLevel.LINEARIZABILITY:
+        level = IsolationLevel.STRICT_SERIALIZABILITY
+
+    started = time.perf_counter()
+    if index is None:
+        index = HistoryIndex.build(history)
+
+    if strict_mt:
+        raise_if_not_mt(index)
+
+    shards = partition_history(history, index=index, max_shards=max_shards)
+    if len(shards) == 1:
+        # Fully connected history: the serial pipeline on the shared index
+        # is already optimal (and strict validation has been done above).
+        if level is IsolationLevel.SNAPSHOT_ISOLATION:
+            return check_si(history, transitive_ww=transitive_ww, index=index)
+        if level is IsolationLevel.SERIALIZABILITY:
+            return check_ser(history, transitive_ww=transitive_ww, index=index)
+        return check_sser(history, transitive_ww=transitive_ww, index=index)
+
+    payloads: List[_Payload] = [
+        (shard.index, shard.history, level, transitive_ww) for shard in shards
+    ]
+    outcomes = _execute(payloads, workers)
+    outcomes.sort(key=lambda o: o.shard_index)
+
+    elapsed = time.perf_counter() - started
+    if level is IsolationLevel.STRICT_SERIALIZABILITY:
+        pre = merge_shard_results(level, outcomes, elapsed_seconds=elapsed)
+        if not pre.satisfied:
+            # An INT/provenance violation in any shard settles the verdict
+            # before the merged graph is assembled, mirroring the serial
+            # pre-pass-first ordering.
+            pre.num_transactions = index.num_committed
+            return pre
+        result = merge_sser_graphs(outcomes, index, elapsed_seconds=elapsed)
+    else:
+        result = merge_shard_results(level, outcomes, elapsed_seconds=elapsed)
+    result.elapsed_seconds = time.perf_counter() - started
+    return result
+
+
+# ----------------------------------------------------------------------
+# Worker-side machinery
+# ----------------------------------------------------------------------
+def _run_shard(payload: _Payload) -> ShardOutcome:
+    """Check one shard; module-level so process pools can import it."""
+    shard_index, shard_history, level, transitive_ww = payload
+    shard_idx_obj = HistoryIndex.build(shard_history)
+
+    if level is IsolationLevel.STRICT_SERIALIZABILITY:
+        int_violations = shard_idx_obj.int_violations()
+        if int_violations:
+            return ShardOutcome(
+                shard_index=shard_index,
+                num_transactions=shard_idx_obj.num_committed,
+                violations=list(int_violations),
+            )
+        graph = build_dependency(
+            shard_history,
+            with_rt=False,
+            transitive_ww=transitive_ww,
+            index=shard_idx_obj,
+        )
+        return ShardOutcome(
+            shard_index=shard_index,
+            num_transactions=shard_idx_obj.num_committed,
+            nodes=sorted(shard_idx_obj.committed_ids),
+            edges=serialize_edges(graph),
+        )
+
+    if level is IsolationLevel.SNAPSHOT_ISOLATION:
+        result = check_si(shard_history, transitive_ww=transitive_ww, index=shard_idx_obj)
+    else:
+        result = check_ser(shard_history, transitive_ww=transitive_ww, index=shard_idx_obj)
+    return ShardOutcome(
+        shard_index=shard_index,
+        num_transactions=result.num_transactions,
+        violations=list(result.violations),
+    )
+
+
+def _execute(payloads: List[_Payload], workers: int) -> List[ShardOutcome]:
+    """Fan the shard checks out, falling back to inline execution."""
+    if workers <= 1 or len(payloads) <= 1:
+        return [_run_shard(p) for p in payloads]
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
+            return list(pool.map(_run_shard, payloads))
+    except (OSError, BrokenProcessPool):
+        # Process spawning unavailable (sandbox / resource limits): the
+        # sharded pipeline still runs — just on this process.
+        return [_run_shard(p) for p in payloads]

@@ -1,0 +1,108 @@
+"""Merging shard outcomes back into a single :class:`CheckResult`.
+
+For SER and SI no dependency edge crosses a shard boundary, so the merged
+verdict is simply the conjunction of the shard verdicts; violations are
+concatenated in shard order, which makes the merged result deterministic
+and identical across worker counts.
+
+SSER is the exception: the real-time order ``RT`` relates transactions in
+*different* shards, so a cycle can thread through several shards even when
+each shard is internally acyclic (dependency path in shard A, RT hop to
+shard B, dependency path there, RT hop back).  The merger therefore
+reassembles the per-shard dependency edges into one graph, adds the global
+(transitively reduced) real-time edges, and runs a single acyclicity check
+— exactly the graph the serial ``CHECKSSER`` would have built, with the
+expensive per-shard construction already done in parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.checkers import classify_cycle
+from ..core.graph import DependencyGraph, EdgeType
+from ..core.index import HistoryIndex
+from ..core.result import CheckResult, IsolationLevel, Violation
+
+__all__ = ["ShardOutcome", "merge_shard_results", "merge_sser_graphs"]
+
+#: Wire format of one dependency edge: ``(source, target, type name, key)``.
+WireEdge = Tuple[int, int, str, Optional[str]]
+
+
+@dataclass
+class ShardOutcome:
+    """What one shard check sends back to the merger (cheap to pickle)."""
+
+    shard_index: int
+    num_transactions: int
+    #: SER/SI: the shard's full verdict.  SSER: INT pre-pass violations only.
+    violations: List[Violation] = field(default_factory=list)
+    #: SSER only: the shard's committed transaction ids.
+    nodes: Optional[List[int]] = None
+    #: SSER only: the shard's SO/WR/WW/RW edges, serialized.
+    edges: Optional[List[WireEdge]] = None
+
+
+def merge_shard_results(
+    level: IsolationLevel,
+    outcomes: List[ShardOutcome],
+    *,
+    elapsed_seconds: float,
+) -> CheckResult:
+    """Conjunction merge for SER/SI (and the SSER INT pre-pass).
+
+    Outcomes must already be sorted by shard index; the merged violation
+    list concatenates the failing shards' violations in that order.
+    """
+    num_transactions = sum(o.num_transactions for o in outcomes)
+    violations: List[Violation] = []
+    for outcome in outcomes:
+        violations.extend(outcome.violations)
+    if violations:
+        result = CheckResult.violated(level, violations, num_transactions=num_transactions)
+    else:
+        result = CheckResult.ok(level, num_transactions)
+    result.elapsed_seconds = elapsed_seconds
+    return result
+
+
+def merge_sser_graphs(
+    outcomes: List[ShardOutcome],
+    index: HistoryIndex,
+    *,
+    level: IsolationLevel = IsolationLevel.STRICT_SERIALIZABILITY,
+    reduced_rt: bool = True,
+    elapsed_seconds: float = 0.0,
+) -> CheckResult:
+    """Reassemble shard dependency graphs, add global RT, check acyclicity."""
+    num_transactions = sum(o.num_transactions for o in outcomes)
+    graph = DependencyGraph()
+    for outcome in outcomes:
+        for node in outcome.nodes or ():
+            graph.add_node(node)
+        for source, target, type_name, key in outcome.edges or ():
+            graph.add_edge(source, target, EdgeType[type_name], key)
+
+    committed_ids = index.committed_ids
+    for source, target in index.real_time_pairs(reduced=reduced_rt):
+        if source.txn_id in committed_ids and target.txn_id in committed_ids:
+            graph.add_edge(source.txn_id, target.txn_id, EdgeType.RT)
+
+    cycle = graph.find_cycle()
+    if cycle is None:
+        result = CheckResult.ok(level, num_transactions)
+    else:
+        violation = classify_cycle(cycle, graph, level=level)
+        result = CheckResult.violated(level, [violation], num_transactions=num_transactions)
+    result.elapsed_seconds = elapsed_seconds
+    return result
+
+
+def serialize_edges(graph: DependencyGraph) -> List[WireEdge]:
+    """Flatten a dependency graph into picklable wire edges (sorted)."""
+    return sorted(
+        (edge.source, edge.target, edge.edge_type.name, edge.key)
+        for edge in graph.edges()
+    )

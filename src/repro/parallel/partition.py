@@ -1,0 +1,215 @@
+"""Key-connectivity partitioning of histories into checkable shards.
+
+Two transactions can only ever be joined by a dependency edge when they
+touch a common object (WR/WW/RW are per-key) or follow each other in a
+session (SO).  Union-finding objects that co-occur in a transaction — and
+then merging the components bridged by multi-component sessions — therefore
+yields shards with **no dependency edge between them**: each shard can be
+checked independently, and for SER and SI the conjunction of the shard
+verdicts equals the serial verdict (real-time edges are the one global
+relation; :mod:`repro.parallel.merge` handles SSER with a merged check).
+
+Sessions that span otherwise-disjoint key groups are the fallback case:
+their components are merged into a single residual shard rather than split,
+so the session order is never cut.  Aborted and unknown-outcome
+transactions participate in connectivity too — their writes anchor the
+read-provenance pre-pass, which must stay shard-local.
+
+The partition is fully deterministic (component order follows first key
+appearance; an optional ``max_shards`` cap coalesces shards greedily by
+size) and — crucially — independent of the worker count, so running the
+same history with 1 or 8 workers produces identical shard checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.index import HistoryIndex
+from ..core.model import History, Session, Transaction
+
+__all__ = ["Shard", "partition_history"]
+
+#: Default cap on the number of shards the executor fans out over.  Fixed
+#: (never derived from the worker count) so results are reproducible across
+#: worker counts; 32 keeps per-shard pickling overhead negligible while
+#: leaving plenty of slack for load balancing.
+DEFAULT_MAX_SHARDS = 32
+
+
+@dataclass
+class Shard:
+    """One independently checkable slice of a history."""
+
+    index: int
+    history: History
+    keys: List[str]
+    session_ids: List[int]
+    #: Committed transactions in the shard (excluding ``⊥T``).
+    num_transactions: int
+
+
+def partition_history(
+    history: History,
+    *,
+    index: Optional[HistoryIndex] = None,
+    max_shards: Optional[int] = DEFAULT_MAX_SHARDS,
+) -> List[Shard]:
+    """Split ``history`` into key-connected, session-closed shards.
+
+    Returns a single shard wrapping the original history when the history is
+    fully connected (or has no keys at all).  The union of the shard
+    sub-histories covers every transaction exactly once, and the initial
+    transaction ``⊥T`` is restricted to each shard's keys.
+    """
+    if index is None:
+        index = HistoryIndex.build(history)
+    num_keys = len(index.key_names)
+    if num_keys == 0 or not history.sessions:
+        return [_whole_history_shard(history, index)]
+
+    parent = list(range(num_keys))
+
+    def find(k: int) -> int:
+        root = k
+        while parent[root] != root:
+            root = parent[root]
+        while parent[k] != root:  # path compression
+            parent[k], k = root, parent[k]
+        return root
+
+    def union(a: int, b: int) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[max(ra, rb)] = min(ra, rb)
+
+    # 1. Keys co-accessed by one transaction belong together (``⊥T`` exempt:
+    #    it touches every key by construction and carries no constraint).
+    for dense, key_ids in enumerate(index.txn_keys):
+        if index.txn_ids[dense] == _initial_id(history):
+            continue
+        for other in key_ids[1:]:
+            union(key_ids[0], other)
+
+    # 2. Sessions must stay whole: merge the components a session bridges.
+    for session in history.sessions:
+        anchor: Optional[int] = None
+        for txn in session.transactions:
+            key_ids = index.txn_keys[index.txn_dense[txn.txn_id]]
+            if not key_ids:
+                continue
+            if anchor is None:
+                anchor = key_ids[0]
+            else:
+                union(anchor, key_ids[0])
+
+    # 3. Number components by first key appearance (deterministic).
+    component_of_root: Dict[int, int] = {}
+    keys_per_component: List[List[str]] = []
+    for kid in range(num_keys):
+        root = find(kid)
+        slot = component_of_root.get(root)
+        if slot is None:
+            slot = len(keys_per_component)
+            component_of_root[root] = slot
+            keys_per_component.append([])
+        keys_per_component[slot].append(index.key_names[kid])
+
+    # 4. Assign sessions to components (keyless sessions ride in shard 0).
+    sessions_per_component: List[List[Session]] = [[] for _ in keys_per_component]
+    for session in history.sessions:
+        slot = 0
+        for txn in session.transactions:
+            key_ids = index.txn_keys[index.txn_dense[txn.txn_id]]
+            if key_ids:
+                slot = component_of_root[find(key_ids[0])]
+                break
+        sessions_per_component[slot].append(session)
+
+    if len(keys_per_component) <= 1:
+        return [_whole_history_shard(history, index)]
+
+    groups = list(zip(keys_per_component, sessions_per_component))
+    if max_shards is not None and len(groups) > max_shards:
+        groups = _coalesce(groups, max_shards)
+
+    shards: List[Shard] = []
+    for shard_idx, (keys, sessions) in enumerate(groups):
+        shards.append(_make_shard(shard_idx, history, keys, sessions))
+    return shards
+
+
+def _initial_id(history: History) -> Optional[int]:
+    initial = history.initial_transaction
+    return initial.txn_id if initial is not None else None
+
+
+def _whole_history_shard(history: History, index: HistoryIndex) -> Shard:
+    return Shard(
+        index=0,
+        history=history,
+        keys=list(index.key_names),
+        session_ids=[s.session_id for s in history.sessions],
+        num_transactions=index.num_committed,
+    )
+
+
+def _coalesce(groups, max_shards: int):
+    """Greedily pack components into ``max_shards`` buckets by load.
+
+    Components are taken largest-first (ties broken by original order) and
+    placed into the currently lightest bucket (ties broken by bucket index),
+    so the packing — like everything else here — is deterministic.
+    """
+    sized = sorted(
+        enumerate(groups),
+        key=lambda item: (-sum(len(s) for s in item[1][1]), item[0]),
+    )
+    parts: List[List] = [[] for _ in range(max_shards)]
+    loads = [0] * max_shards
+    for orig, (keys, sessions) in sized:
+        target = min(range(max_shards), key=lambda b: (loads[b], b))
+        parts[target].append((orig, keys, sessions))
+        loads[target] += sum(len(s) for s in sessions)
+    merged = []
+    for bucket in parts:
+        if not bucket:
+            continue
+        bucket.sort()
+        keys = [k for _, key_part, _ in bucket for k in key_part]
+        sessions = [s for _, _, session_part in bucket for s in session_part]
+        merged.append((keys, sessions))
+    return merged
+
+
+def _make_shard(
+    shard_idx: int, history: History, keys: List[str], sessions: List[Session]
+) -> Shard:
+    """Build the sub-history of one shard without mutating shared objects."""
+    key_set = set(keys)
+    initial = history.initial_transaction
+    shard_initial: Optional[Transaction] = None
+    if initial is not None:
+        shard_initial = Transaction(
+            txn_id=initial.txn_id,
+            operations=[op for op in initial.operations if op.key in key_set],
+            session_id=initial.session_id,
+            status=initial.status,
+            start_ts=initial.start_ts,
+            finish_ts=initial.finish_ts,
+        )
+    shard_sessions = [
+        Session(session_id=s.session_id, transactions=list(s.transactions))
+        for s in sessions
+    ]
+    num = sum(
+        1 for s in shard_sessions for t in s.transactions if t.committed
+    )
+    return Shard(
+        index=shard_idx,
+        history=History(shard_sessions, initial_transaction=shard_initial),
+        keys=keys,
+        session_ids=[s.session_id for s in shard_sessions],
+        num_transactions=num,
+    )
