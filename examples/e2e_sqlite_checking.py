@@ -1,0 +1,63 @@
+"""End-to-end isolation checking against a real database (SQLite).
+
+Everything before this example checks histories from the in-process
+simulator.  Here the full end-to-end loop of the paper runs against a real
+engine instead: four client threads execute a mini-transaction workload
+over stdlib ``sqlite3``, the collector records what each client observed
+(unique write values, real-time begin/commit intervals), and ``MTChecker``
+verifies the recorded history — first from a healthy database, then from
+the same database with protocol-level chaos injected between the clients
+and the engine, which the checker must catch from the history alone.
+
+Run with: ``python examples/e2e_sqlite_checking.py``
+"""
+
+from repro import Collector, IsolationLevel, MTChecker, make_adapter
+from repro.workloads.mt_generator import MTWorkloadGenerator
+
+
+def main() -> None:
+    workload = MTWorkloadGenerator(
+        num_sessions=4,
+        txns_per_session=50,
+        num_objects=12,
+        distribution="zipf",
+        seed=7,
+    ).generate()
+    checker = MTChecker()
+
+    # ------------------------------------------------------------------
+    # 1. A healthy SQLite: collected histories satisfy SER (and SSER —
+    #    SQLite serializes writers and the collector stamps real time).
+    # ------------------------------------------------------------------
+    with make_adapter("sqlite", wal=True) as adapter:
+        result = Collector(adapter).collect(workload)
+    stats = result.stats
+    print(
+        f"[healthy] collected {stats.committed} committed transactions from "
+        f"{result.adapter_name} with 4 concurrent sessions "
+        f"in {stats.wall_seconds:.2f}s"
+    )
+    for level in (IsolationLevel.SERIALIZABILITY, IsolationLevel.STRICT_SERIALIZABILITY):
+        verdict = checker.verify(result.history, level)
+        print(f"[healthy] {level.short_name}: {'SATISFIED' if verdict.satisfied else 'VIOLATED'}")
+        assert verdict.satisfied
+
+    # ------------------------------------------------------------------
+    # 2. The same healthy engine, but clients occasionally have their
+    #    commits dropped (acknowledged, then rolled back underneath).
+    #    The engine is fine; the *system* is not — and the checker proves
+    #    it end-to-end, with a counterexample cycle.
+    # ------------------------------------------------------------------
+    with make_adapter("sqlite", wal=True, chaos="lost-write", chaos_rate=0.25, seed=7) as adapter:
+        result = Collector(adapter).collect(workload)
+        fired = adapter.injections["lost_write"]
+    print(f"[chaos] dropped {fired} acknowledged commits behind the clients' backs")
+    verdict = checker.verify(result.history, IsolationLevel.SERIALIZABILITY)
+    assert not verdict.satisfied, "lost writes must be detected"
+    print("[chaos] SER: VIOLATED — counterexample:")
+    print(verdict.violation.format())
+
+
+if __name__ == "__main__":
+    main()

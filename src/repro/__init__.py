@@ -48,6 +48,17 @@ from .core import (
     stream_order,
     write,
 )
+from .adapters import (
+    ChaosAdapter,
+    ChaosPlan,
+    CollectionResult,
+    Collector,
+    DatabaseAdapter,
+    SimulatedAdapter,
+    SQLiteAdapter,
+    collect_history,
+    make_adapter,
+)
 from .db import Database, DatabaseStats, FaultPlan, TransactionAborted
 from .parallel import Shard, check_parallel, partition_history
 from .workloads import (
@@ -63,9 +74,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnomalyKind",
+    "ChaosAdapter",
+    "ChaosPlan",
     "CheckResult",
     "CheckerSession",
+    "CollectionResult",
+    "Collector",
     "Database",
+    "DatabaseAdapter",
     "DatabaseStats",
     "DependencyGraph",
     "EdgeType",
@@ -84,8 +100,10 @@ __all__ = [
     "Operation",
     "OpType",
     "PearceKellyOrder",
+    "SQLiteAdapter",
     "Session",
     "Shard",
+    "SimulatedAdapter",
     "Transaction",
     "TransactionAborted",
     "TransactionStatus",
@@ -99,8 +117,10 @@ __all__ = [
     "check_ser",
     "check_si",
     "check_sser",
+    "collect_history",
     "is_mini_transaction",
     "is_mt_history",
+    "make_adapter",
     "partition_history",
     "read",
     "run_workload",

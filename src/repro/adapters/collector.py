@@ -1,0 +1,314 @@
+"""Concurrent history collection over any database adapter.
+
+The serial :class:`~repro.workloads.runner.WorkloadRunner` *simulates*
+concurrency by interleaving session steps; real engines need real
+concurrency.  :class:`Collector` drives one OS thread per workload session
+through a :class:`~repro.adapters.base.DatabaseAdapter`, records what each
+client observed, and assembles the per-session logs into one
+:class:`~repro.core.model.History` — Steps 1–3 of the paper's end-to-end
+workflow (Figure 2), against an arbitrary engine.
+
+Guarantees the checker relies on:
+
+* **Unique written values** (Definition 9): a process-wide counter assigns
+  every write ``session_id * 10_000_000 + n``, the same scheme as the
+  serial runner; the collector additionally verifies no value is ever
+  issued twice.
+* **Real-time intervals**: one shared, lock-protected
+  :class:`~repro.storage.clock.LogicalClock` is ticked immediately before
+  ``begin`` and immediately after ``commit``/abort, so every recorded
+  ``[start_ts, finish_ts]`` interval contains the transaction's actual
+  execution and the derived RT order is sound for SSER checking.
+* **Retry parity with the simulator**: any
+  :class:`~repro.db.errors.TransactionAborted` (simulator conflicts, SQLite
+  busy/locked via :func:`~repro.db.errors.retryable_sqlite_abort`, chaos
+  aborts) is recorded as an aborted attempt and retried with fresh values,
+  up to ``max_retries`` times.
+* **Stream compatibility**: the ``on_transaction`` hook fires under a lock
+  in finish-timestamp order, so a
+  :class:`~repro.history.serialization.HistoryStreamWriter` or a streaming
+  :class:`~repro.core.incremental.CheckerSession` can consume the history
+  live, exactly as with the serial runner.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Set
+
+from ..core.model import (
+    History,
+    Operation,
+    Session,
+    Transaction,
+    TransactionStatus,
+    make_initial_transaction,
+    read,
+    write,
+)
+from ..db.errors import TransactionAborted
+from ..storage.clock import LogicalClock
+from ..workloads.runner import RunStats
+from ..workloads.spec import TransactionSpec, Workload
+from .base import AdapterError, DatabaseAdapter
+
+__all__ = ["ThreadSafeClock", "Collector", "CollectionResult", "collect_history"]
+
+
+class ThreadSafeClock:
+    """A :class:`~repro.storage.clock.LogicalClock` behind a lock.
+
+    Ticks happen at the wall-clock moments events occur and the clock is
+    strictly monotonic across threads, so stamped intervals order exactly
+    like the real-time events they bracket.
+    """
+
+    def __init__(self, base: Optional[LogicalClock] = None) -> None:
+        self._base = base if base is not None else LogicalClock()
+        self._lock = threading.Lock()
+
+    def now(self) -> float:
+        with self._lock:
+            return self._base.now()
+
+    def tick(self, amount: Optional[float] = None) -> float:
+        with self._lock:
+            return self._base.tick(amount)
+
+
+@dataclass
+class CollectionResult:
+    """A concurrently recorded history plus execution statistics."""
+
+    history: History
+    stats: RunStats
+    adapter_name: str = ""
+
+
+class Collector:
+    """Multi-threaded workload driver over a database adapter.
+
+    One thread per workload session (a session is a serial stream of
+    transactions by definition, so session count *is* the concurrency
+    level).  Sessions are opened inside their threads, which keeps
+    thread-affine clients (``sqlite3`` connections) happy.
+
+    Args:
+        adapter: the database under test.
+        max_retries: retries per aborted transaction (fresh values each).
+        record_aborted: include aborted attempts in the history (needed for
+            AbortedRead detection; checkers ignore them otherwise).
+        on_transaction: live hook, called with every recorded transaction
+            in finish-timestamp order (see module docstring).
+        setup_keys: pre-install the workload's keys via ``adapter.setup``
+            so the history's ``⊥T`` matches the database's initial state.
+        initial_value: value installed for each pre-populated key.
+    """
+
+    def __init__(
+        self,
+        adapter: DatabaseAdapter,
+        *,
+        max_retries: int = 3,
+        record_aborted: bool = True,
+        on_transaction: Optional[Callable[[Transaction], object]] = None,
+        setup_keys: bool = True,
+        initial_value: int = 0,
+    ) -> None:
+        self.adapter = adapter
+        self.max_retries = max_retries
+        self.record_aborted = record_aborted
+        self.on_transaction = on_transaction
+        self.setup_keys = setup_keys
+        self.initial_value = initial_value
+        self._clock = ThreadSafeClock()
+        self._id_lock = threading.Lock()
+        self._record_lock = threading.Lock()
+        self._next_txn_id = 1
+        self._value_counter = 0
+        self._issued_values: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    def collect(self, workload: Workload) -> CollectionResult:
+        """Execute the workload concurrently and return the history."""
+        started = time.perf_counter()
+        stats = RunStats()
+        if self.setup_keys:
+            self.adapter.setup(workload.keys, self.initial_value)
+
+        session_logs = [Session(session_id=sid) for sid in range(len(workload.sessions))]
+        errors: List[BaseException] = []
+        threads = [
+            threading.Thread(
+                target=self._run_session,
+                args=(sid, list(specs), session_logs[sid], stats, errors),
+                name=f"collector-session-{sid}",
+                daemon=True,
+            )
+            for sid, specs in enumerate(workload.sessions)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+
+        history = History(sessions=session_logs)
+        # ⊥T must install what the database actually holds initially, or a
+        # healthy engine would be flagged with spurious ThinAirReads.
+        history.initial_transaction = make_initial_transaction(
+            workload.keys, value=self.initial_value
+        )
+        stats.wall_seconds = time.perf_counter() - started
+        stats.logical_time = self._clock.now()
+        return CollectionResult(
+            history=history,
+            stats=stats,
+            adapter_name=self.adapter.capabilities().name,
+        )
+
+    # ------------------------------------------------------------------
+    # Per-session worker
+    # ------------------------------------------------------------------
+    def _run_session(
+        self,
+        session_id: int,
+        specs: List[TransactionSpec],
+        log: Session,
+        stats: RunStats,
+        errors: List[BaseException],
+    ) -> None:
+        try:
+            session = self.adapter.session(session_id)
+        except BaseException as exc:  # noqa: BLE001 - reported to collect()
+            errors.append(exc)
+            return
+        try:
+            for spec in specs:
+                retries_left = self.max_retries
+                while True:
+                    committed, retryable = self._attempt(session, session_id, spec, log, stats)
+                    if committed or not retryable or retries_left <= 0:
+                        break
+                    retries_left -= 1
+                    with self._record_lock:
+                        stats.retries += 1
+        except BaseException as exc:  # noqa: BLE001 - reported to collect()
+            errors.append(exc)
+        finally:
+            session.close()
+
+    def _attempt(self, session, session_id: int, spec, log: Session, stats: RunStats):
+        """Run one transaction attempt and record it.
+
+        Returns ``(committed, retryable)``: whether the attempt committed,
+        and — when it aborted — whether the engine marked the abort as
+        worth retrying (permanent failures are recorded but not re-run).
+        """
+        start_ts = self._clock.tick()
+        txn_id = self._allocate_txn_id()
+        operations: List[Operation] = []
+        retryable = True
+        try:
+            session.begin()
+            for planned in spec.operations:
+                if planned.is_read:
+                    value = session.read(planned.key)
+                    # An absent object reads as the initial value ⊥T installed.
+                    operations.append(
+                        read(planned.key, value if value is not None else self.initial_value)
+                    )
+                else:
+                    value = self._next_value(session_id)
+                    session.write(planned.key, value)
+                    operations.append(write(planned.key, value))
+            session.commit()
+            status = TransactionStatus.COMMITTED
+        except TransactionAborted as exc:
+            session.abort()  # idempotent; most adapters already rolled back
+            status = TransactionStatus.ABORTED
+            retryable = getattr(exc, "retryable", True)
+        self._record(
+            txn_id, session_id, operations, status, start_ts, log, stats,
+            num_ops=len(operations),
+        )
+        return status is TransactionStatus.COMMITTED, retryable
+
+    # ------------------------------------------------------------------
+    # Shared-state helpers
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        txn_id: int,
+        session_id: int,
+        operations: List[Operation],
+        status: TransactionStatus,
+        start_ts: float,
+        log: Session,
+        stats: RunStats,
+        *,
+        num_ops: int,
+    ) -> None:
+        # One lock around the finish stamp, the log append, the stats update,
+        # and the hook call: hooks observe transactions in finish_ts order.
+        with self._record_lock:
+            finish_ts = self._clock.tick()
+            stats.operations += num_ops
+            if status is TransactionStatus.COMMITTED:
+                stats.committed += 1
+            else:
+                stats.aborted += 1
+                if not self.record_aborted:
+                    return
+            txn = Transaction(
+                txn_id=txn_id,
+                operations=operations,
+                session_id=session_id,
+                status=status,
+                start_ts=start_ts,
+                finish_ts=finish_ts,
+            )
+            log.transactions.append(txn)
+            if self.on_transaction is not None:
+                self.on_transaction(txn)
+
+    def _allocate_txn_id(self) -> int:
+        with self._id_lock:
+            txn_id = self._next_txn_id
+            self._next_txn_id += 1
+            return txn_id
+
+    def _next_value(self, session_id: int) -> int:
+        """Globally unique write values (client id + shared counter), with
+        the MT uniqueness invariant enforced rather than assumed."""
+        with self._id_lock:
+            self._value_counter += 1
+            value = session_id * 10_000_000 + self._value_counter
+            if value in self._issued_values:
+                raise AdapterError(
+                    f"unique-written-value invariant violated: {value} issued twice"
+                )
+            self._issued_values.add(value)
+            return value
+
+
+def collect_history(
+    adapter: DatabaseAdapter,
+    workload: Workload,
+    *,
+    max_retries: int = 3,
+    record_aborted: bool = True,
+    on_transaction: Optional[Callable[[Transaction], object]] = None,
+) -> CollectionResult:
+    """Convenience wrapper around :class:`Collector` (mirrors
+    :func:`repro.workloads.runner.run_workload`)."""
+    collector = Collector(
+        adapter,
+        max_retries=max_retries,
+        record_aborted=record_aborted,
+        on_transaction=on_transaction,
+    )
+    return collector.collect(workload)

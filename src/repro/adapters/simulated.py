@@ -1,0 +1,177 @@
+"""The in-process simulator behind the adapter protocol.
+
+Wrapping :class:`repro.db.database.Database` as a
+:class:`~repro.adapters.base.DatabaseAdapter` puts every simulated engine
+(SI, serializable, S2PL, read committed) and every
+:class:`~repro.db.faults.FaultPlan` combination behind the same interface
+the real-engine adapters implement, so one collection pipeline covers the
+full matrix: correct engines, fault-injected engines, and real databases.
+
+The simulator is single-threaded, so the adapter serializes all sessions'
+calls behind one lock: threads still submit operations concurrently and the
+OS scheduler still picks the interleaving, but each individual ``begin`` /
+``read`` / ``write`` / ``commit`` executes atomically against the engine —
+the same "concurrency = interleaving of atomic steps" model the serial
+runner uses, now driven by real threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterable, Optional, Union
+
+from ..core.result import IsolationLevel
+from ..db.database import Database
+from ..db.errors import TransactionAborted
+from ..db.faults import FaultPlan, FaultyEngine
+from .base import (
+    AdapterAborted,
+    AdapterCapabilities,
+    AdapterSession,
+    AdapterStateError,
+    DatabaseAdapter,
+)
+
+__all__ = ["SimulatedAdapter", "SimulatedSession"]
+
+#: Levels histories from each (correct) engine are expected to satisfy.
+_ENGINE_LEVELS = {
+    "si": ("SI",),
+    "snapshot-isolation": ("SI",),
+    "serializable": ("SER", "SI"),
+    "ser": ("SER", "SI"),
+    "occ": ("SER", "SI"),
+    "s2pl": ("SSER", "SER", "SI"),
+    "sser": ("SSER", "SER", "SI"),
+    "read-committed": (),
+    "rc": (),
+}
+
+
+class SimulatedSession(AdapterSession):
+    """One simulator session; every call runs under the database lock."""
+
+    def __init__(
+        self,
+        database: Database,
+        session_id: int,
+        lock: threading.Lock,
+        op_delay: float = 0.0,
+    ) -> None:
+        self._db = database
+        self._session_id = session_id
+        self._lock = lock
+        self._op_delay = op_delay
+        self._ctx = None
+
+    def begin(self) -> None:
+        if self._ctx is not None:
+            raise AdapterStateError("begin() inside an open transaction")
+        with self._lock:
+            self._ctx = self._db.begin(self._session_id)
+        self._yield()
+
+    def read(self, key: str) -> Optional[int]:
+        ctx = self._require_txn("read")
+        with self._lock:
+            try:
+                value = self._db.read(ctx, key)
+            except TransactionAborted as exc:
+                self._aborted(exc)
+        self._yield()
+        return value
+
+    def write(self, key: str, value: int) -> None:
+        ctx = self._require_txn("write")
+        with self._lock:
+            try:
+                self._db.write(ctx, key, value)
+            except TransactionAborted as exc:
+                self._aborted(exc)
+        self._yield()
+
+    def commit(self) -> None:
+        ctx = self._require_txn("commit")
+        with self._lock:
+            try:
+                self._db.commit(ctx)
+            except TransactionAborted as exc:
+                self._aborted(exc)
+        self._ctx = None
+
+    def abort(self) -> None:
+        ctx, self._ctx = self._ctx, None
+        if ctx is None:
+            return
+        with self._lock:
+            self._db.abort(ctx)
+
+    # ------------------------------------------------------------------
+    def _require_txn(self, op: str):
+        if self._ctx is None:
+            raise AdapterStateError(f"{op}() outside a transaction")
+        return self._ctx
+
+    def _aborted(self, exc: TransactionAborted) -> None:
+        # The database already rolled the transaction back; re-badge the
+        # abort so protocol-level callers can catch AdapterAborted too.
+        self._ctx = None
+        raise AdapterAborted(exc.reason, exc.txn_id) from exc
+
+    def _yield(self) -> None:
+        """Hold the GIL hostage briefly outside the lock so other session
+        threads interleave mid-transaction (see ``op_delay``)."""
+        if self._op_delay > 0.0:
+            time.sleep(self._op_delay)
+
+
+class SimulatedAdapter(DatabaseAdapter):
+    """Adapter over the in-process simulator.
+
+    Args:
+        isolation: engine name or :class:`~repro.core.result.IsolationLevel`
+            (as accepted by :class:`~repro.db.database.Database`).
+        faults: optional fault plan making the simulated database buggy.
+        database: supply a pre-built database instead (overrides the other
+            arguments); useful for tests that inspect engine state.
+        op_delay: seconds each session sleeps (outside the lock) after an
+            operation.  With the GIL, threaded transactions over the locked
+            simulator often run start-to-finish within one scheduler slice
+            and never actually overlap; a sub-millisecond delay forces the
+            mid-transaction interleavings (and hence conflicts, aborts, and
+            fault-injection opportunities) that the serial runner's
+            step-scheduler produces by construction.  0 disables it.
+    """
+
+    def __init__(
+        self,
+        isolation: Union[str, IsolationLevel] = "si",
+        *,
+        faults: Optional[FaultPlan] = None,
+        database: Optional[Database] = None,
+        op_delay: float = 0.0,
+    ) -> None:
+        self.database = database if database is not None else Database(isolation, faults=faults)
+        self.op_delay = op_delay
+        self._lock = threading.Lock()
+
+    def capabilities(self) -> AdapterCapabilities:
+        name = self.database.isolation_name
+        faulty = isinstance(self.database.engine, FaultyEngine)
+        return AdapterCapabilities(
+            name=f"simulated[{name}{',faulty' if faulty else ''}]",
+            isolation_levels=() if faulty else _ENGINE_LEVELS.get(name, ()),
+            concurrent_sessions=True,  # serialized internally by the adapter lock
+            real_time=True,  # the logical clock is monotonic across sessions
+        )
+
+    def session(self, session_id: int) -> SimulatedSession:
+        return SimulatedSession(self.database, session_id, self._lock, self.op_delay)
+
+    def setup(self, keys: Iterable[str], initial_value: int = 0) -> None:
+        self.database.store.load_initial(keys, value=initial_value)
+
+    def committed_value(self, key: str) -> Optional[int]:
+        with self._lock:
+            return self.database.committed_value(key)

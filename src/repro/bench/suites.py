@@ -37,6 +37,7 @@ __all__ = [
     "make_disjoint_history",
     "parallel_benchmark",
     "incremental_benchmark",
+    "e2e_benchmark",
     "write_benchmark_json",
 ]
 
@@ -215,6 +216,81 @@ def incremental_benchmark(
         "smoke": smoke,
         "cpu_count": os.cpu_count(),
         "level": "si",
+        "rows": rows,
+    }
+
+
+def e2e_benchmark(
+    *,
+    smoke: bool = False,
+    sessions: int = 4,
+    txns_per_session: Optional[int] = None,
+    num_objects: int = 32,
+) -> Dict[str, object]:
+    """End-to-end collect + check throughput through the adapter layer.
+
+    Each row drives a concurrent (one-thread-per-session) collection
+    through one adapter configuration — SQLite in both journal modes and
+    the simulated SI engine — then batch-checks the recorded history, and
+    reports the collection and verification throughput separately.  Every
+    verdict is asserted (clean engines must satisfy their level; the chaos
+    row must be caught) before timings are trusted.
+    """
+    from ..adapters import make_adapter
+    from ..adapters.collector import Collector
+    from ..workloads.mt_generator import MTWorkloadGenerator
+
+    if txns_per_session is None:
+        txns_per_session = 60 if smoke else 500
+
+    configs = [
+        # (label, make_adapter kwargs, check level, expect_satisfied)
+        ("sqlite-immediate", dict(name="sqlite", mode="immediate", wal=False), "ser", True),
+        ("sqlite-wal", dict(name="sqlite", mode="immediate", wal=True), "ser", True),
+        ("sqlite-sser", dict(name="sqlite", mode="immediate", wal=True), "sser", True),
+        ("simulated-si", dict(name="simulated", isolation="si"), "si", True),
+        ("sqlite-chaos-lost-write", dict(name="sqlite", chaos="lost-write", chaos_rate=0.2), "ser", False),
+    ]
+    workload = MTWorkloadGenerator(
+        num_sessions=sessions,
+        txns_per_session=txns_per_session,
+        num_objects=num_objects,
+        distribution="zipf",
+        seed=13,
+    ).generate()
+
+    rows: List[Dict[str, object]] = []
+    for label, kwargs, level_name, expect_satisfied in configs:
+        with make_adapter(**kwargs) as adapter:
+            started = time.perf_counter()
+            collected = Collector(adapter).collect(workload)
+            collect_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        verdict = MTChecker().verify(collected.history, _LEVELS[level_name])
+        check_seconds = time.perf_counter() - started
+        assert verdict.satisfied == expect_satisfied, (label, verdict.violation)
+        committed = collected.stats.committed
+        rows.append(
+            {
+                "adapter": collected.adapter_name,
+                "config": label,
+                "level": level_name.upper(),
+                "sessions": sessions,
+                "committed": committed,
+                "aborted": collected.stats.aborted,
+                "collect_s": round(collect_seconds, 4),
+                "collect_txn_per_s": round(committed / max(collect_seconds, 1e-9), 1),
+                "check_s": round(check_seconds, 4),
+                "check_txn_per_s": round(committed / max(check_seconds, 1e-9), 1),
+                "verdict": verdict.satisfied,
+            }
+        )
+    return {
+        "suite": "e2e",
+        "smoke": smoke,
+        "cpu_count": os.cpu_count(),
+        "sessions": sessions,
+        "txns_per_session": txns_per_session,
         "rows": rows,
     }
 

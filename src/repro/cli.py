@@ -11,6 +11,14 @@ Usage examples::
     python -m repro generate --isolation si --sessions 8 --txns 100 \
         --objects 50 --distribution zipf --output history.json
 
+    # Collect a history from a real database (SQLite, 4 concurrent client
+    # threads) and verify it in the same invocation.
+    python -m repro collect --adapter sqlite --sessions 4 --txns 500 --check SER
+
+    # The same with protocol-level fault injection: a healthy engine whose
+    # clients are lied to, detected end-to-end from the history alone.
+    python -m repro collect --adapter sqlite --chaos lost-write --check SER
+
     # Generate a history from a buggy database (lost-update defect).
     python -m repro generate --isolation si --fault lostupdate --fault-rate 0.5 \
         --output buggy.json
@@ -67,9 +75,14 @@ _LEVELS = {
 
 def build_parser() -> argparse.ArgumentParser:
     """Build the argument parser for the ``repro`` command."""
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Black-box isolation checking with mini-transactions (MTC reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -124,6 +137,58 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--fault-rate", type=float, default=0.3)
     generate.add_argument("--output", required=True, help="where to write the history JSON")
 
+    collect = subparsers.add_parser(
+        "collect",
+        help="execute a workload against a real database through an adapter "
+        "(one thread per session) and record/verify the observed history",
+    )
+    collect.add_argument(
+        "--adapter",
+        choices=["sqlite", "simulated"],
+        default="sqlite",
+        help="database adapter (sqlite = real engine via stdlib sqlite3)",
+    )
+    collect.add_argument("--sessions", type=int, default=4, help="concurrent client sessions (= threads)")
+    collect.add_argument("--txns", type=int, default=100, help="transactions per session")
+    collect.add_argument("--objects", type=int, default=50)
+    collect.add_argument("--distribution", default="uniform", help="uniform, zipf, hotspot, or exp")
+    collect.add_argument("--workload", choices=["mt", "gt"], default="mt", help="mini- or general-transaction workload")
+    collect.add_argument("--seed", type=int, default=0)
+    collect.add_argument("--max-retries", type=int, default=3, help="retries per aborted transaction")
+    collect.add_argument(
+        "--isolation", default="si", help="simulated adapter only: engine (si, serializable, s2pl, read-committed)"
+    )
+    collect.add_argument("--db-path", default=None, help="sqlite only: database file (default: a private temp file)")
+    collect.add_argument(
+        "--mode", choices=["immediate", "deferred"], default="immediate", help="sqlite only: BEGIN mode"
+    )
+    collect.add_argument("--wal", action="store_true", help="sqlite only: write-ahead-log journal mode")
+    collect.add_argument(
+        "--busy-timeout-ms", type=int, default=2000, help="sqlite only: lock wait before a retryable abort"
+    )
+    collect.add_argument(
+        "--chaos",
+        choices=["lost-write", "stale-read", "duplicate-commit"],
+        default=None,
+        help="inject a protocol-boundary fault between the clients and the (healthy) database",
+    )
+    collect.add_argument("--chaos-rate", type=float, default=0.2)
+    collect.add_argument(
+        "--check",
+        metavar="LEVEL",
+        default=None,
+        help="verify the collected history in the same invocation (si, ser, or sser; case-insensitive)",
+    )
+    collect.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="with --check: verify through the sharded parallel pipeline",
+    )
+    collect.add_argument(
+        "--output", default=None, help="where to save the history (.json document or .jsonl stream)"
+    )
+
     anomaly = subparsers.add_parser("anomaly", help="print a canonical anomaly history from the catalog")
     anomaly.add_argument("name", nargs="?", default=None, help="anomaly name (omit to list all)")
 
@@ -132,7 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=["parallel", "incremental", "all"],
+        choices=["parallel", "incremental", "e2e", "all"],
         default="all",
         help="which suite to run",
     )
@@ -268,6 +333,78 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_collect(args: argparse.Namespace) -> int:
+    from .adapters import make_adapter
+    from .adapters.collector import Collector
+    from .workloads.gt_generator import GTWorkloadGenerator
+
+    if args.check is None and args.output is None:
+        print("error: nothing to do; pass --check LEVEL and/or --output PATH")
+        return 2
+    if args.check is not None and args.check.lower() not in _LEVELS:
+        print(f"error: unknown isolation level {args.check!r}; known: {', '.join(sorted(_LEVELS))}")
+        return 2
+    if args.workers is not None and args.check is None:
+        print("error: --workers applies to verification; pass --check LEVEL")
+        return 2
+
+    if args.workload == "mt":
+        generator = MTWorkloadGenerator(
+            num_sessions=args.sessions,
+            txns_per_session=args.txns,
+            num_objects=args.objects,
+            distribution=args.distribution,
+            seed=args.seed,
+        )
+    else:
+        generator = GTWorkloadGenerator(
+            num_sessions=args.sessions,
+            txns_per_session=args.txns,
+            num_objects=args.objects,
+            distribution=args.distribution,
+            seed=args.seed,
+        )
+    workload = generator.generate()
+
+    adapter = make_adapter(
+        args.adapter,
+        isolation=args.isolation,
+        path=args.db_path,
+        mode=args.mode,
+        wal=args.wal,
+        busy_timeout_ms=args.busy_timeout_ms,
+        chaos=args.chaos,
+        chaos_rate=args.chaos_rate,
+        seed=args.seed,
+    )
+    with adapter:
+        result = Collector(adapter, max_retries=args.max_retries).collect(workload)
+    stats = result.stats
+    print(
+        f"collected {stats.committed} committed / {stats.aborted} aborted "
+        f"transactions from {result.adapter_name} with {args.sessions} "
+        f"concurrent sessions in {stats.wall_seconds:.2f}s "
+        f"(abort rate {stats.abort_rate:.1%})"
+    )
+    if args.chaos is not None:
+        fired = {name: count for name, count in adapter.injections.items() if count}
+        print(f"injected chaos: {fired or 'none fired'}")
+
+    if args.output is not None:
+        if is_stream_path(args.output):
+            write_history_jsonl(result.history, args.output)
+        else:
+            save_history(result.history, args.output)
+        print(f"wrote {args.output}")
+
+    if args.check is None:
+        return 0
+    checker = MTChecker(workers=args.workers)
+    verdict = checker.verify(result.history, _LEVELS[args.check.lower()])
+    print(verdict.format())
+    return 0 if verdict.satisfied else 1
+
+
 def _cmd_anomaly(args: argparse.Namespace) -> int:
     catalog = anomaly_catalog()
     if args.name is None:
@@ -292,6 +429,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from .bench.reporting import format_table
     from .bench.suites import (
+        e2e_benchmark,
         incremental_benchmark,
         parallel_benchmark,
         write_benchmark_json,
@@ -300,6 +438,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     suites = {
         "parallel": parallel_benchmark,
         "incremental": incremental_benchmark,
+        "e2e": e2e_benchmark,
     }
     selected = list(suites) if args.suite == "all" else [args.suite]
     # Fail on an unwritable destination before minutes of benchmarking, not after.
@@ -324,6 +463,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_watch(args)
         if args.command == "generate":
             return _cmd_generate(args)
+        if args.command == "collect":
+            return _cmd_collect(args)
         if args.command == "anomaly":
             return _cmd_anomaly(args)
         if args.command == "bench":

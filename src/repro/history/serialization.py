@@ -32,6 +32,7 @@ from ..core.model import (
     Session,
     Transaction,
     TransactionStatus,
+    make_initial_transaction,
 )
 
 __all__ = [
@@ -168,7 +169,13 @@ class HistoryStreamWriter:
         path: Union[str, Path],
         *,
         initial_transaction: Optional[Transaction] = None,
+        initial_keys: Optional[Iterable[str]] = None,
     ) -> None:
+        """``initial_keys`` synthesises the header's ``⊥T`` from a key list —
+        the convenient form when tailing a live run (serial or concurrent)
+        whose workload keys are known before any transaction commits."""
+        if initial_transaction is None and initial_keys is not None:
+            initial_transaction = make_initial_transaction(initial_keys)
         self._fh: IO[str] = open(path, "w", encoding="utf-8")
         header: Dict[str, Any] = {"format": STREAM_FORMAT}
         if initial_transaction is not None:

@@ -19,6 +19,13 @@ as in the paper's Figure 11.
 Aborted transactions are retried with fresh unique write values up to
 ``max_retries`` times, mirroring how real checkers obtain histories with
 sufficiently many committed transactions.
+
+For *real* databases (and genuine thread-level concurrency over any
+engine), the adapter layer provides the counterpart of this runner:
+:class:`repro.adapters.collector.Collector` drives the same workloads
+through a :class:`~repro.adapters.base.DatabaseAdapter` with one thread
+per session, preserving the same recording contract (unique values,
+begin/commit intervals, retryable-abort handling, ``on_transaction``).
 """
 
 from __future__ import annotations

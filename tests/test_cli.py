@@ -182,6 +182,100 @@ class TestStreamingCommands:
         assert check_tags and check_tags == watch_tags
 
 
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestCollectCommand:
+    def test_collect_sqlite_check_ser(self, capsys):
+        code = main(
+            ["collect", "--adapter", "sqlite", "--sessions", "4", "--txns", "25",
+             "--objects", "10", "--check", "SER"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "collected" in output and "SATISFIED" in output
+
+    def test_collect_chaos_lost_write_reports_cycle(self, capsys):
+        code = main(
+            ["collect", "--adapter", "sqlite", "--sessions", "4", "--txns", "60",
+             "--objects", "10", "--chaos", "lost-write", "--chaos-rate", "0.3",
+             "--check", "ser"]
+        )
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "injected chaos" in output
+        assert "VIOLATED" in output and "cycle:" in output
+
+    def test_collect_writes_jsonl_and_json(self, tmp_path, capsys):
+        jsonl = tmp_path / "e2e.jsonl"
+        code = main(
+            ["collect", "--adapter", "simulated", "--isolation", "si", "--sessions", "2",
+             "--txns", "10", "--objects", "6", "--output", str(jsonl)]
+        )
+        assert code == 0
+        header = json.loads(jsonl.read_text().splitlines()[0])
+        assert header["format"] == "repro-history-stream-v1"
+        # The saved stream is checkable by the existing pipeline, workers included.
+        assert main(["check", "--level", "ser", str(jsonl)]) == 0
+        capsys.readouterr()
+
+        doc = tmp_path / "e2e.json"
+        assert main(
+            ["collect", "--adapter", "sqlite", "--wal", "--mode", "deferred",
+             "--sessions", "2", "--txns", "10", "--objects", "6", "--output", str(doc)]
+        ) == 0
+        assert json.loads(doc.read_text())["format"] == "repro-history-v1"
+
+    def test_collect_gt_workload(self, capsys):
+        code = main(
+            ["collect", "--adapter", "sqlite", "--workload", "gt", "--sessions", "2",
+             "--txns", "10", "--objects", "8", "--check", "ser"]
+        )
+        assert code == 0
+        assert "SATISFIED" in capsys.readouterr().out
+
+    def test_collect_check_with_workers(self, capsys):
+        code = main(
+            ["collect", "--adapter", "sqlite", "--sessions", "4", "--txns", "20",
+             "--objects", "10", "--check", "ser", "--workers", "2"]
+        )
+        assert code == 0
+        assert "SATISFIED" in capsys.readouterr().out
+
+    def test_collect_requires_check_or_output(self, capsys):
+        assert main(["collect", "--adapter", "sqlite"]) == 2
+        assert "nothing to do" in capsys.readouterr().out
+
+    def test_collect_rejects_unknown_level(self, capsys):
+        assert main(["collect", "--check", "strongest"]) == 2
+        assert "unknown isolation level" in capsys.readouterr().out
+
+    def test_collect_rejects_workers_without_check(self, tmp_path, capsys):
+        out = tmp_path / "h.json"
+        assert main(["collect", "--workers", "4", "--output", str(out)]) == 2
+        assert "--workers applies to verification" in capsys.readouterr().out
+
+
+class TestBenchE2E:
+    def test_bench_e2e_smoke_writes_json(self, tmp_path, capsys):
+        code = main(
+            ["bench", "--suite", "e2e", "--smoke", "--output-dir", str(tmp_path)]
+        )
+        assert code == 0
+        payload = json.loads((tmp_path / "BENCH_e2e.json").read_text())
+        assert payload["suite"] == "e2e"
+        configs = {row["config"] for row in payload["rows"]}
+        assert "sqlite-wal" in configs and "sqlite-chaos-lost-write" in configs
+        assert all(row["collect_txn_per_s"] > 0 for row in payload["rows"])
+
+
 class TestAnomalyCommand:
     def test_list_all(self, capsys):
         assert main(["anomaly"]) == 0
