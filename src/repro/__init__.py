@@ -19,6 +19,7 @@ from .core import (
     AnomalyKind,
     CheckResult,
     CheckerSession,
+    CSRGraph,
     DependencyGraph,
     EdgeType,
     History,
@@ -74,6 +75,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnomalyKind",
+    "CSRGraph",
     "ChaosAdapter",
     "ChaosPlan",
     "CheckResult",

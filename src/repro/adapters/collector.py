@@ -287,6 +287,13 @@ class Collector:
         with self._id_lock:
             self._value_counter += 1
             value = session_id * 10_000_000 + self._value_counter
+            if value == self.initial_value:
+                # The pre-populated value already belongs to ⊥T; re-issuing
+                # it would break unique written values (session 0's values
+                # are the bare counter, so e.g. initial_value=7 collides
+                # with its 7th write — a timing-dependent FutureRead).
+                self._value_counter += 1
+                value = session_id * 10_000_000 + self._value_counter
             if value in self._issued_values:
                 raise AdapterError(
                     f"unique-written-value invariant violated: {value} issued twice"

@@ -26,6 +26,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..core.csr import first_nontrivial_scc
 from .polygraph import Constraint, LabeledEdge, Polygraph
 
 __all__ = ["SolveResult", "PolygraphSolver"]
@@ -82,14 +83,23 @@ class PolygraphSolver:
         )
 
         # Install the known edges; a forbidden cycle here is already a
-        # violation regardless of any constraint choices.
-        for edge in self.polygraph.known_edges:
-            if self._edge_closes_cycle(edge):
-                result.satisfiable = False
-                result.conflict_edge = edge
-                result.elapsed_seconds = time.perf_counter() - started
-                return result
-            self._add_edge(edge)
+        # violation regardless of any constraint choices.  Accept path: one
+        # Tarjan SCC pass over the expanded known-edge graph (shared with
+        # the dense CSR kernel) replaces a reachability DFS per edge; only
+        # when the pass reports a cycle is the legacy per-edge installation
+        # replayed, to identify the first offending edge for diagnostics.
+        known_edges = self.polygraph.known_edges
+        if self._known_edges_cyclic(known_edges):
+            for edge in known_edges:
+                if self._edge_closes_cycle(edge):
+                    result.satisfiable = False
+                    result.conflict_edge = edge
+                    result.elapsed_seconds = time.perf_counter() - started
+                    return result
+                self._add_edge(edge)
+        else:
+            for edge in known_edges:
+                self._add_edge(edge)
 
         constraints = list(self.polygraph.constraints)
         assignment: Dict[int, int] = {}
@@ -167,6 +177,29 @@ class PolygraphSolver:
     # ------------------------------------------------------------------
     # Graph plumbing
     # ------------------------------------------------------------------
+    def _known_edges_cyclic(self, edges: Sequence[LabeledEdge]) -> bool:
+        """Whether the expanded known-edge graph contains a cycle.
+
+        Dense interning of the expanded ``(txn, BASE/RW)`` vertices plus
+        one :func:`~repro.core.csr.first_nontrivial_scc` pass — the same
+        accept-path shape as the MTC CSR kernel.
+        """
+        interning: Dict[_Node, int] = {}
+        adjacency: List[List[int]] = []
+
+        def intern(node: _Node) -> int:
+            dense = interning.get(node)
+            if dense is None:
+                dense = len(adjacency)
+                interning[node] = dense
+                adjacency.append([])
+            return dense
+
+        for edge in edges:
+            for source, target in self._expand(edge):
+                adjacency[intern(source)].append(intern(target))
+        return first_nontrivial_scc(adjacency) is not None
+
     def _expand(self, edge: LabeledEdge) -> List[Tuple[_Node, _Node]]:
         source, target, label = edge
         if self.mode == "ser":

@@ -22,19 +22,25 @@ there, it just timeshares).
 
 from __future__ import annotations
 
+import gc
 import json
 import os
+import sys
 import time
 from typing import Dict, List, Optional, Sequence
 
 from ..core.checker import MTChecker
+from ..core.checkers import check_ser, check_si
+from ..core.graph import DependencyGraph, build_dependency
 from ..core.incremental import CheckerSession, stream_order
+from ..core.index import HistoryIndex
 from ..core.model import History, Session, Transaction, read, write
 from ..core.result import IsolationLevel
 from .harness import generate_mt_history
 
 __all__ = [
     "make_disjoint_history",
+    "core_benchmark",
     "parallel_benchmark",
     "incremental_benchmark",
     "e2e_benchmark",
@@ -108,6 +114,131 @@ def make_disjoint_history(
     return history
 
 
+def _multigraph_nbytes(graph: DependencyGraph) -> int:
+    """Retained bytes of a legacy labeled multigraph (containers + tags)."""
+    total = sys.getsizeof(graph.nodes) + sys.getsizeof(graph._succ)
+    for targets in graph._succ.values():
+        total += sys.getsizeof(targets)
+        for labels in targets.values():
+            total += sys.getsizeof(labels)
+            for tag in labels:
+                total += sys.getsizeof(tag)
+    total += sys.getsizeof(graph._pred)
+    for sources in graph._pred.values():
+        total += sys.getsizeof(sources)
+    return total
+
+
+def core_benchmark(
+    *,
+    smoke: bool = False,
+    sizes: Optional[Sequence[int]] = None,
+) -> Dict[str, object]:
+    """Dense CSR kernel vs. legacy multigraph on the accept path.
+
+    For each history size, a healthy single-shard SER history is built once
+    (shared :class:`HistoryIndex`), then BUILDDEPENDENCY + the acyclicity
+    check run through both kernels:
+
+    * **legacy** — ``build_dependency`` (dict-of-dict-of-sets multigraph)
+      followed by ``find_cycle`` (and ``si_induced_graph`` for SI);
+    * **dense** — ``build_dependency(dense=True)`` (flat ``array('i')``
+      columns) followed by one Tarjan SCC pass (``CSRGraph.has_cycle``;
+      ``CSRGraph.si_induced`` composes the SI check graph at the CSR level).
+
+    Every row asserts the two kernels agree on the acyclicity verdict AND
+    runs the *full* checkers both ways, asserting verdict equality end to
+    end (untimed).  ``legacy_graph_mb`` / ``dense_graph_mb``
+    compare the retained graph representations; ``ru_maxrss_mb`` records
+    the process peak RSS at row end (monotonic, informational).
+    """
+    if sizes is None:
+        sizes = [1_000] if smoke else [5_000, 20_000, 50_000, 100_000]
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        resource = None
+
+    rows: List[Dict[str, object]] = []
+    for total_txns in sizes:
+        history = make_disjoint_history(
+            num_groups=1,
+            sessions_per_group=4,
+            txns_per_session=max(1, total_txns // 4),
+            keys_per_group=32,
+        )
+        index = HistoryIndex.build(history)
+        num_txns = history.num_transactions()
+        for level_name in ("ser", "si"):
+            started = time.perf_counter()
+            graph = build_dependency(history, index=index)
+            legacy_induced = None
+            if level_name == "si":
+                legacy_induced = graph.si_induced_graph()
+                legacy_cyclic = legacy_induced.find_cycle() is not None
+            else:
+                legacy_cyclic = graph.find_cycle() is not None
+            legacy_seconds = time.perf_counter() - started
+            legacy_bytes = _multigraph_nbytes(graph)
+            if legacy_induced is not None:
+                legacy_bytes += _multigraph_nbytes(legacy_induced)
+            # Release the (large) legacy structures so the dense timing is
+            # not taxed by GC pressure from the other kernel's allocations.
+            del graph, legacy_induced
+            gc.collect()
+
+            started = time.perf_counter()
+            csr = build_dependency(history, index=index, dense=True)
+            if level_name == "si":
+                induced = csr.si_induced()
+                dense_cyclic = induced.has_cycle() is not None
+                dense_bytes = csr.nbytes + induced.nbytes
+            else:
+                dense_cyclic = csr.has_cycle() is not None
+                dense_bytes = csr.nbytes
+            dense_seconds = time.perf_counter() - started
+
+            assert dense_cyclic == legacy_cyclic, (level_name, total_txns)
+            check = check_si if level_name == "si" else check_ser
+            dense_result = check(history, index=index, dense=True)
+            legacy_result = check(history, index=index, dense=False)
+            verdicts_equal = dense_result.satisfied == legacy_result.satisfied and [
+                v.kind for v in dense_result.violations
+            ] == [v.kind for v in legacy_result.violations]
+            assert verdicts_equal, (level_name, total_txns)
+            rows.append(
+                {
+                    "level": level_name.upper(),
+                    "txns": num_txns,
+                    "legacy_s": round(legacy_seconds, 4),
+                    "dense_s": round(dense_seconds, 4),
+                    "speedup": round(legacy_seconds / max(dense_seconds, 1e-9), 2),
+                    "legacy_graph_mb": round(legacy_bytes / (1024 * 1024), 3),
+                    "dense_graph_mb": round(dense_bytes / (1024 * 1024), 3),
+                    "mem_ratio": round(legacy_bytes / max(dense_bytes, 1), 2),
+                    "verdict": not dense_cyclic,
+                    "verdicts_equal": verdicts_equal,
+                    "ru_maxrss_mb": (
+                        # ru_maxrss is kilobytes on Linux but bytes on macOS.
+                        round(
+                            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                            / (1024 * 1024 if sys.platform == "darwin" else 1024),
+                            1,
+                        )
+                        if resource is not None
+                        else None
+                    ),
+                }
+            )
+    return {
+        "suite": "core",
+        "smoke": smoke,
+        "cpu_count": os.cpu_count(),
+        "sizes": list(sizes),
+        "rows": rows,
+    }
+
+
 def parallel_benchmark(
     *,
     smoke: bool = False,
@@ -121,6 +252,12 @@ def parallel_benchmark(
     The full-size run checks a >=50k-transaction history; ``smoke`` drops to
     ~1k transactions for CI.  Every parallel verdict is asserted equal to
     the serial one before timings are reported.
+
+    Speedup rows are only meaningful when the machine can actually run the
+    requested fan-out: every row records the ``cpu_count`` it was measured
+    on, and rows with ``workers > cpu_count`` are marked ``advisory: true``
+    (process fan-out still works there, it just timeshares one core, so a
+    speedup < 1 is expected and regression tooling must skip those rows).
     """
     if total_txns is None:
         total_txns = 1_000 if smoke else 51_200
@@ -133,6 +270,7 @@ def parallel_benchmark(
     )
     num_txns = history.num_transactions()
 
+    cpu_count = os.cpu_count() or 1
     rows: List[Dict[str, object]] = []
     for level_name in levels:
         level = _LEVELS[level_name]
@@ -150,6 +288,8 @@ def parallel_benchmark(
                     "level": level_name.upper(),
                     "txns": num_txns,
                     "workers": count,
+                    "cpu_count": cpu_count,
+                    "advisory": count > cpu_count,
                     "serial_s": round(serial_seconds, 4),
                     "parallel_s": round(elapsed, 4),
                     "speedup": round(serial_seconds / max(elapsed, 1e-9), 2),

@@ -197,7 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=["parallel", "incremental", "e2e", "all"],
+        choices=["core", "parallel", "incremental", "e2e", "all"],
         default="all",
         help="which suite to run",
     )
@@ -429,6 +429,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from .bench.reporting import format_table
     from .bench.suites import (
+        core_benchmark,
         e2e_benchmark,
         incremental_benchmark,
         parallel_benchmark,
@@ -436,6 +437,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
     suites = {
+        "core": core_benchmark,
         "parallel": parallel_benchmark,
         "incremental": incremental_benchmark,
         "e2e": e2e_benchmark,

@@ -48,6 +48,11 @@ class MTChecker:
             serial verdicts on every history, and ``workers=1`` vs
             ``workers=k`` produce *identical* results — only where the shard
             checks execute changes.
+        dense: run batch graph construction and acyclicity on the
+            array-native CSR kernel (:mod:`repro.core.csr`, the default).
+            ``dense=False`` selects the legacy labeled-multigraph path;
+            verdicts, anomaly kinds, and counterexample cycles are
+            identical either way (enforced by ``tests/test_csr.py``).
     """
 
     def __init__(
@@ -56,12 +61,14 @@ class MTChecker:
         strict_mt: bool = False,
         transitive_ww: bool = False,
         workers: Optional[int] = None,
+        dense: bool = True,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be a positive process count (or None)")
         self.strict_mt = strict_mt
         self.transitive_ww = transitive_ww
         self.workers = workers
+        self.dense = dense
 
     # ------------------------------------------------------------------
     # Verification
@@ -103,6 +110,7 @@ class MTChecker:
                 strict_mt=self.strict_mt,
                 transitive_ww=self.transitive_ww,
                 index=index,
+                dense=self.dense,
             )
 
         if level is IsolationLevel.SERIALIZABILITY:
@@ -111,6 +119,7 @@ class MTChecker:
                 transitive_ww=self.transitive_ww,
                 strict_mt=self.strict_mt,
                 index=index,
+                dense=self.dense,
             )
         if level is IsolationLevel.SNAPSHOT_ISOLATION:
             return check_si(
@@ -118,12 +127,14 @@ class MTChecker:
                 transitive_ww=self.transitive_ww,
                 strict_mt=self.strict_mt,
                 index=index,
+                dense=self.dense,
             )
         return check_sser(
             history,
             transitive_ww=self.transitive_ww,
             strict_mt=self.strict_mt,
             index=index,
+            dense=self.dense,
         )
 
     # Convenience aliases matching the paper's component names.

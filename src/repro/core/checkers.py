@@ -75,6 +75,7 @@ def check_ser(
     transitive_ww: bool = False,
     strict_mt: bool = False,
     index: Optional[HistoryIndex] = None,
+    dense: bool = True,
 ) -> CheckResult:
     """CHECKSER: verify serializability of a mini-transaction history.
 
@@ -89,6 +90,11 @@ def check_ser(
         index: optional pre-built :class:`~repro.core.index.HistoryIndex`;
             :meth:`repro.core.checker.MTChecker.verify` builds it once and
             threads it through every stage, so the history is scanned once.
+        dense: run BUILDDEPENDENCY and the acyclicity check on the
+            array-native CSR kernel (:mod:`repro.core.csr`) — the default.
+            The legacy multigraph path (``dense=False``) exists for
+            cross-validation and ablation; both paths produce identical
+            verdicts, anomaly kinds, and labeled counterexample cycles.
     """
     return _check_graph_level(
         history,
@@ -97,6 +103,7 @@ def check_ser(
         transitive_ww=transitive_ww,
         strict_mt=strict_mt,
         index=index,
+        dense=dense,
     )
 
 
@@ -107,6 +114,7 @@ def check_sser(
     strict_mt: bool = False,
     reduced_rt: bool = True,
     index: Optional[HistoryIndex] = None,
+    dense: bool = True,
 ) -> CheckResult:
     """CHECKSSER: verify strict serializability of a mini-transaction history.
 
@@ -121,6 +129,7 @@ def check_sser(
         strict_mt=strict_mt,
         reduced_rt=reduced_rt,
         index=index,
+        dense=dense,
     )
 
 
@@ -131,6 +140,7 @@ def check_si(
     strict_mt: bool = False,
     early_divergence_exit: bool = True,
     index: Optional[HistoryIndex] = None,
+    dense: bool = True,
 ) -> CheckResult:
     """CHECKSI: verify snapshot isolation of a mini-transaction history.
 
@@ -170,14 +180,32 @@ def check_si(
         result.elapsed_seconds = time.perf_counter() - started
         return result
 
-    graph = build_dependency(
-        history,
-        with_rt=False,
-        transitive_ww=transitive_ww,
-        index=index,
-    )
-    induced = graph.si_induced_graph()
-    cycle = induced.find_cycle()
+    if dense:
+        # Accept path: array-native build + CSR-level composition + one
+        # Tarjan pass.  The legacy multigraph is only materialised when a
+        # counterexample must be labeled, keeping violation output
+        # byte-identical to the legacy pipeline.
+        csr = build_dependency(
+            history,
+            with_rt=False,
+            transitive_ww=transitive_ww,
+            index=index,
+            dense=True,
+        )
+        if csr.si_induced().has_cycle() is None:
+            cycle = None
+            graph = None
+        else:
+            graph = csr.to_multigraph()
+            cycle = graph.si_induced_graph().find_cycle()
+    else:
+        graph = build_dependency(
+            history,
+            with_rt=False,
+            transitive_ww=transitive_ww,
+            index=index,
+        )
+        cycle = graph.si_induced_graph().find_cycle()
     if cycle is None and divergence is not None:
         # The induced graph can be acyclic even though the history violates
         # SI via DIVERGENCE (Example 3); completeness requires reporting it.
@@ -231,6 +259,7 @@ def _check_graph_level(
     strict_mt: bool,
     reduced_rt: bool = True,
     index: Optional[HistoryIndex] = None,
+    dense: bool = True,
 ) -> CheckResult:
     started = time.perf_counter()
     if index is None:
@@ -244,13 +273,32 @@ def _check_graph_level(
         pre.elapsed_seconds = time.perf_counter() - started
         return pre
 
-    graph = build_dependency(
-        history,
-        with_rt=with_rt,
-        transitive_ww=transitive_ww,
-        reduced_rt=reduced_rt,
-        index=index,
-    )
+    if dense:
+        # Accept path: flat-array BUILDDEPENDENCY + one Tarjan SCC pass; no
+        # Edge objects, no per-root DFS re-densification.  Only a rejection
+        # materialises the legacy multigraph, whose find_cycle/label_cycle
+        # keep the counterexample byte-identical to the legacy pipeline.
+        csr = build_dependency(
+            history,
+            with_rt=with_rt,
+            transitive_ww=transitive_ww,
+            reduced_rt=reduced_rt,
+            index=index,
+            dense=True,
+        )
+        if csr.has_cycle() is None:
+            result = CheckResult.ok(level, num_txns)
+            result.elapsed_seconds = time.perf_counter() - started
+            return result
+        graph = csr.to_multigraph()
+    else:
+        graph = build_dependency(
+            history,
+            with_rt=with_rt,
+            transitive_ww=transitive_ww,
+            reduced_rt=reduced_rt,
+            index=index,
+        )
     cycle = graph.find_cycle()
     if cycle is None:
         result = CheckResult.ok(level, num_txns)

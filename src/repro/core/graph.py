@@ -19,10 +19,25 @@ from __future__ import annotations
 import enum
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from .index import HistoryIndex
 from .model import History, Transaction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .csr import CSRGraph
 
 __all__ = ["EdgeType", "Edge", "DependencyGraph", "build_dependency", "find_cycle"]
 
@@ -68,6 +83,10 @@ class DependencyGraph:
         self.nodes: Set[int] = set(nodes) if nodes is not None else set()
         #: adjacency: source -> {target -> set of (EdgeType, key)}
         self._succ: Dict[int, Dict[int, Set[Tuple[EdgeType, Optional[str]]]]] = defaultdict(dict)
+        #: reverse adjacency: target -> {sources}; maintained so that
+        #: :meth:`remove_node` (the streaming window GC hot path) touches
+        #: only the incident nodes instead of scanning the whole graph.
+        self._pred: Dict[int, Set[int]] = {}
         self._edge_count = 0
 
     # ------------------------------------------------------------------
@@ -90,25 +109,34 @@ class DependencyGraph:
         tag = (edge_type, key)
         if tag in labels:
             return False
+        if not labels:
+            self._pred.setdefault(target, set()).add(source)
         labels.add(tag)
         self._edge_count += 1
         return True
 
     def remove_node(self, node: int) -> None:
-        """Remove a node and every edge incident to it.
+        """Remove a node and every edge incident to it — in O(degree).
 
         Used by the streaming checker's bounded-window garbage collection
-        (:class:`repro.core.incremental.IncrementalChecker`); costs time
-        linear in the number of remaining nodes because only forward
-        adjacency is indexed.
+        (:class:`repro.core.incremental.IncrementalChecker`); the reverse
+        adjacency map makes the cost proportional to the node's own degree,
+        so window GC never scans the rest of the graph.
         """
         if node not in self.nodes:
             return
         self.nodes.discard(node)
-        outgoing = self._succ.pop(node, {})
-        self._edge_count -= sum(len(labels) for labels in outgoing.values())
-        for targets in self._succ.values():
-            labels = targets.pop(node, None)
+        outgoing = self._succ.pop(node, None)
+        if outgoing:
+            self._edge_count -= sum(len(labels) for labels in outgoing.values())
+            for target in outgoing:
+                sources = self._pred.get(target)
+                if sources is not None:
+                    sources.discard(node)
+                    if not sources:
+                        del self._pred[target]
+        for source in self._pred.pop(node, ()):
+            labels = self._succ.get(source, {}).pop(node, None)
             if labels is not None:
                 self._edge_count -= len(labels)
 
@@ -117,6 +145,10 @@ class DependencyGraph:
     # ------------------------------------------------------------------
     def successors(self, node: int) -> Iterator[int]:
         return iter(self._succ.get(node, {}))
+
+    def predecessors(self, node: int) -> Iterator[int]:
+        """Sources of the edges into ``node`` (via the reverse adjacency)."""
+        return iter(self._pred.get(node, ()))
 
     def has_edge(
         self,
@@ -208,9 +240,17 @@ class DependencyGraph:
             target = cycle_nodes[(i + 1) % n]
             labels = self._succ.get(source, {}).get(target, set())
             if labels:
-                # Prefer the most informative label (anything but RT/SO).
+                # Prefer the most informative label (anything but RT/SO);
+                # the key breaks ties so the choice never depends on set
+                # iteration order (the dense and legacy pipelines must label
+                # identically).
                 etype, key = min(
-                    labels, key=lambda tag: (tag[0] in (EdgeType.RT, EdgeType.SO), tag[0].value)
+                    labels,
+                    key=lambda tag: (
+                        tag[0] in (EdgeType.RT, EdgeType.SO),
+                        tag[0].value,
+                        tag[1] or "",
+                    ),
                 )
                 edges.append(Edge(source, target, etype, key))
             else:  # pragma: no cover - defensive: cycle must use real edges
@@ -350,7 +390,8 @@ def build_dependency(
     transitive_ww: bool = False,
     reduced_rt: bool = True,
     index: Optional[HistoryIndex] = None,
-) -> DependencyGraph:
+    dense: bool = False,
+) -> Union[DependencyGraph, "CSRGraph"]:
     """Algorithm 1's BUILDDEPENDENCY for mini-transaction histories.
 
     Args:
@@ -367,12 +408,30 @@ def build_dependency(
         index: the shared :class:`~repro.core.index.HistoryIndex`; built
             here when not supplied, so the resolved read records and cached
             SO/RT pairs are computed exactly once per call chain.
+        dense: emit an array-native :class:`~repro.core.csr.CSRGraph`
+            instead of the labeled multigraph.  The dense graph never
+            allocates an :class:`Edge` on the accept path and converts to
+            the legacy :class:`DependencyGraph` lazily
+            (``CSRGraph.to_multigraph()``) when a cycle must be labeled or
+            a caller asks for the multigraph.  This is the default path of
+            the batch checkers.
 
     Returns:
-        The dependency graph over committed transactions (including ``⊥T``).
+        The dependency graph over committed transactions (including ``⊥T``)
+        — a :class:`DependencyGraph`, or a :class:`~repro.core.csr.CSRGraph`
+        when ``dense=True``.
     """
     if index is None:
         index = HistoryIndex.build(history)
+    if dense:
+        from .csr import CSRGraph  # deferred: csr builds on this module
+
+        return CSRGraph.from_index(
+            index,
+            with_rt=with_rt,
+            transitive_ww=transitive_ww,
+            reduced_rt=reduced_rt,
+        )
     committed = index.committed
     graph = DependencyGraph(t.txn_id for t in committed)
     committed_ids = index.committed_ids
@@ -428,26 +487,97 @@ def build_dependency(
 
 
 def _transitive_closure(pairs: Sequence[Tuple[int, int]]) -> Set[Tuple[int, int]]:
-    """Transitive closure of a relation given as a list of pairs."""
-    succ: Dict[int, Set[int]] = defaultdict(set)
+    """Transitive closure of a relation given as a list of pairs.
+
+    One Tarjan pass condenses the relation into its SCC DAG; because Tarjan
+    emits components in reverse topological order, a single accumulation
+    sweep then assigns every component the union of its successors'
+    reachable sets — no fixpoint re-iteration.  On the per-key WW relations
+    of ``transitive_ww=True`` this is a single linear walk plus the
+    (inherently quadratic) closure output; anomalous histories whose WW
+    relation is cyclic are handled by the condensation (members of a
+    nontrivial SCC all reach each other).
+    """
+    succ: Dict[int, List[int]] = {}
+    nodes: List[int] = []
+    seen: Set[int] = set()
     for source, target in pairs:
-        succ[source].add(target)
+        succ.setdefault(source, []).append(target)
+        for node in (source, target):
+            if node not in seen:
+                seen.add(node)
+                nodes.append(node)
+
+    # Iterative Tarjan over the (sparse, int-keyed) relation.
+    ids: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    scc_stack: List[int] = []
+    comp_of: Dict[int, int] = {}
+    comp_members: List[List[int]] = []
+    #: nodes reachable from each component, members included when cyclic.
+    comp_reach: List[Set[int]] = []
+    counter = 0
+    for root in nodes:
+        if root in ids:
+            continue
+        ids[root] = low[root] = counter
+        counter += 1
+        scc_stack.append(root)
+        on_stack.add(root)
+        work: List[Tuple[int, int]] = [(root, 0)]
+        while work:
+            node, ptr = work[-1]
+            row = succ.get(node, ())
+            if ptr < len(row):
+                work[-1] = (node, ptr + 1)
+                nxt = row[ptr]
+                if nxt not in ids:
+                    ids[nxt] = low[nxt] = counter
+                    counter += 1
+                    scc_stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, 0))
+                elif nxt in on_stack and ids[nxt] < low[node]:
+                    low[node] = ids[nxt]
+            else:
+                work.pop()
+                low_node = low[node]
+                if work and low_node < low[work[-1][0]]:
+                    low[work[-1][0]] = low_node
+                if low_node == ids[node]:
+                    members: List[int] = []
+                    while True:
+                        popped = scc_stack.pop()
+                        on_stack.discard(popped)
+                        members.append(popped)
+                        if popped == node:
+                            break
+                    comp = len(comp_members)
+                    for member in members:
+                        comp_of[member] = comp
+                    cyclic = len(members) > 1 or any(
+                        member in succ.get(member, ()) for member in members
+                    )
+                    # Successor components are already emitted (reverse
+                    # topological order), so their reach sets are final.
+                    reach: Set[int] = set()
+                    for member in members:
+                        for nxt in succ.get(member, ()):
+                            target_comp = comp_of[nxt]
+                            if target_comp != comp:
+                                reach.add(nxt)
+                                reach.update(comp_reach[target_comp])
+                    if cyclic:
+                        reach.update(members)
+                    comp_members.append(members)
+                    comp_reach.append(reach)
+
     closure: Set[Tuple[int, int]] = set(pairs)
-    changed = True
-    while changed:
-        changed = False
-        for source in list(succ):
-            reachable = set(succ[source])
-            frontier = list(reachable)
-            while frontier:
-                node = frontier.pop()
-                for nxt in succ.get(node, ()):
-                    if nxt not in reachable:
-                        reachable.add(nxt)
-                        frontier.append(nxt)
-            for target in reachable:
-                if (source, target) not in closure and source != target:
+    for comp, members in enumerate(comp_members):
+        reach = comp_reach[comp]
+        for source in members:
+            for target in reach:
+                if source != target:
                     closure.add((source, target))
-                    succ[source].add(target)
-                    changed = True
     return closure

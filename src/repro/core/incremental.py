@@ -819,6 +819,10 @@ class IncrementalChecker:
     def _evict(self, txn_id: int) -> None:
         """Retire a transaction that can no longer participate in a cycle.
 
+        Costs O(degree) of the evicted node: both the topology and the
+        labeled graph index reverse adjacency, so collecting one
+        transaction never scans the rest of the window.
+
         Safe because, once the window has passed, no new *incoming* edge can
         reach the node on a W-bounded stream: its reads resolved long ago
         (WR/WW in-edges), every version it overwrote is sealed here and now

@@ -39,13 +39,19 @@ from ..core.graph import build_dependency
 from ..core.index import HistoryIndex
 from ..core.model import History
 from ..core.result import CheckResult, IsolationLevel
-from .merge import ShardOutcome, merge_shard_results, merge_sser_graphs, serialize_edges
+from .merge import (
+    ShardOutcome,
+    merge_shard_results,
+    merge_sser_csr,
+    merge_sser_graphs,
+    serialize_edges,
+)
 from .partition import DEFAULT_MAX_SHARDS, Shard, partition_history
 
 __all__ = ["check_parallel"]
 
 #: One shard task shipped to a worker process.
-_Payload = Tuple[int, History, IsolationLevel, bool]
+_Payload = Tuple[int, History, IsolationLevel, bool, bool]
 
 
 def check_parallel(
@@ -57,6 +63,7 @@ def check_parallel(
     transitive_ww: bool = False,
     index: Optional[HistoryIndex] = None,
     max_shards: Optional[int] = DEFAULT_MAX_SHARDS,
+    dense: bool = True,
 ) -> CheckResult:
     """Verify ``history`` against ``level`` via the sharded pipeline.
 
@@ -72,6 +79,11 @@ def check_parallel(
         index: pre-built :class:`~repro.core.index.HistoryIndex` (built
             here when absent); also drives the partitioner.
         max_shards: cap on the shard fan-out (fixed, never worker-derived).
+        dense: run shard checks on the array-native CSR kernel (default);
+            SSER shard graphs then cross the process boundary as compact
+            ``array('i')`` buffers instead of pickled edge-tuple lists.
+            ``dense=False`` keeps the legacy multigraph path; verdicts are
+            identical either way.
     """
     if level not in GRAPH_CHECKED_LEVELS:
         raise ValueError(f"unsupported isolation level for sharded checking: {level}")
@@ -92,13 +104,13 @@ def check_parallel(
         # Fully connected history: the serial pipeline on the shared index
         # is already optimal (and strict validation has been done above).
         if level is IsolationLevel.SNAPSHOT_ISOLATION:
-            return check_si(history, transitive_ww=transitive_ww, index=index)
+            return check_si(history, transitive_ww=transitive_ww, index=index, dense=dense)
         if level is IsolationLevel.SERIALIZABILITY:
-            return check_ser(history, transitive_ww=transitive_ww, index=index)
-        return check_sser(history, transitive_ww=transitive_ww, index=index)
+            return check_ser(history, transitive_ww=transitive_ww, index=index, dense=dense)
+        return check_sser(history, transitive_ww=transitive_ww, index=index, dense=dense)
 
     payloads: List[_Payload] = [
-        (shard.index, shard.history, level, transitive_ww) for shard in shards
+        (shard.index, shard.history, level, transitive_ww, dense) for shard in shards
     ]
     outcomes = _execute(payloads, workers)
     outcomes.sort(key=lambda o: o.shard_index)
@@ -112,7 +124,10 @@ def check_parallel(
             # pre-pass-first ordering.
             pre.num_transactions = index.num_committed
             return pre
-        result = merge_sser_graphs(outcomes, index, elapsed_seconds=elapsed)
+        if dense:
+            result = merge_sser_csr(outcomes, index, elapsed_seconds=elapsed)
+        else:
+            result = merge_sser_graphs(outcomes, index, elapsed_seconds=elapsed)
     else:
         result = merge_shard_results(level, outcomes, elapsed_seconds=elapsed)
     result.elapsed_seconds = time.perf_counter() - started
@@ -124,7 +139,7 @@ def check_parallel(
 # ----------------------------------------------------------------------
 def _run_shard(payload: _Payload) -> ShardOutcome:
     """Check one shard; module-level so process pools can import it."""
-    shard_index, shard_history, level, transitive_ww = payload
+    shard_index, shard_history, level, transitive_ww, dense = payload
     shard_idx_obj = HistoryIndex.build(shard_history)
 
     if level is IsolationLevel.STRICT_SERIALIZABILITY:
@@ -134,6 +149,21 @@ def _run_shard(payload: _Payload) -> ShardOutcome:
                 shard_index=shard_index,
                 num_transactions=shard_idx_obj.num_committed,
                 violations=list(int_violations),
+            )
+        if dense:
+            # Build array-native and ship the raw buffers: four bytes per
+            # edge column instead of a pickled list of labeled tuples.
+            csr = build_dependency(
+                shard_history,
+                with_rt=False,
+                transitive_ww=transitive_ww,
+                index=shard_idx_obj,
+                dense=True,
+            )
+            return ShardOutcome(
+                shard_index=shard_index,
+                num_transactions=shard_idx_obj.num_committed,
+                csr=csr.to_wire(),
             )
         graph = build_dependency(
             shard_history,
@@ -149,9 +179,13 @@ def _run_shard(payload: _Payload) -> ShardOutcome:
         )
 
     if level is IsolationLevel.SNAPSHOT_ISOLATION:
-        result = check_si(shard_history, transitive_ww=transitive_ww, index=shard_idx_obj)
+        result = check_si(
+            shard_history, transitive_ww=transitive_ww, index=shard_idx_obj, dense=dense
+        )
     else:
-        result = check_ser(shard_history, transitive_ww=transitive_ww, index=shard_idx_obj)
+        result = check_ser(
+            shard_history, transitive_ww=transitive_ww, index=shard_idx_obj, dense=dense
+        )
     return ShardOutcome(
         shard_index=shard_index,
         num_transactions=result.num_transactions,

@@ -17,15 +17,22 @@ expensive per-shard construction already done in parallel.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from ..core.checkers import classify_cycle
+from ..core.csr import CSRGraph, EDGE_TYPE_CODES, WireCSR
 from ..core.graph import DependencyGraph, EdgeType
 from ..core.index import HistoryIndex
 from ..core.result import CheckResult, IsolationLevel, Violation
 
-__all__ = ["ShardOutcome", "merge_shard_results", "merge_sser_graphs"]
+__all__ = [
+    "ShardOutcome",
+    "merge_shard_results",
+    "merge_sser_graphs",
+    "merge_sser_csr",
+]
 
 #: Wire format of one dependency edge: ``(source, target, type name, key)``.
 WireEdge = Tuple[int, int, str, Optional[str]]
@@ -39,10 +46,13 @@ class ShardOutcome:
     num_transactions: int
     #: SER/SI: the shard's full verdict.  SSER: INT pre-pass violations only.
     violations: List[Violation] = field(default_factory=list)
-    #: SSER only: the shard's committed transaction ids.
+    #: SSER only: the shard's committed transaction ids (legacy wire path).
     nodes: Optional[List[int]] = None
-    #: SSER only: the shard's SO/WR/WW/RW edges, serialized.
+    #: SSER only, legacy path: the shard's SO/WR/WW/RW edges, serialized.
     edges: Optional[List[WireEdge]] = None
+    #: SSER only, dense path: the shard graph as compact CSR buffers — four
+    #: raw ``array('i')`` byte strings instead of a pickled dict multigraph.
+    csr: Optional[WireCSR] = None
 
 
 def merge_shard_results(
@@ -94,6 +104,71 @@ def merge_sser_graphs(
     if cycle is None:
         result = CheckResult.ok(level, num_transactions)
     else:
+        violation = classify_cycle(cycle, graph, level=level)
+        result = CheckResult.violated(level, [violation], num_transactions=num_transactions)
+    result.elapsed_seconds = elapsed_seconds
+    return result
+
+
+def merge_sser_csr(
+    outcomes: List[ShardOutcome],
+    index: HistoryIndex,
+    *,
+    level: IsolationLevel = IsolationLevel.STRICT_SERIALIZABILITY,
+    reduced_rt: bool = True,
+    elapsed_seconds: float = 0.0,
+) -> CheckResult:
+    """Dense counterpart of :func:`merge_sser_graphs`.
+
+    Shard workers ship their dependency graphs as compact ``array('i')``
+    buffers (:meth:`~repro.core.csr.CSRGraph.to_wire`); the merger remaps
+    each shard's local node/key interning onto the parent index's global
+    one with two translation arrays, appends the global (reduced) RT edges,
+    and runs a single Tarjan pass.  Only a rejection materialises the
+    labeled multigraph, so the counterexample equals what the legacy merge
+    would report.
+    """
+    num_transactions = sum(o.num_transactions for o in outcomes)
+    node_ids = [t.txn_id for t in index.committed]
+    global_dense = {txn_id: i for i, txn_id in enumerate(node_ids)}
+    key_dense = index.key_dense
+
+    src = array("i")
+    dst = array("i")
+    etype = array("i")
+    key_id = array("i")
+    src_append = src.append
+    dst_append = dst.append
+    et_append = etype.append
+    kid_append = key_id.append
+    for outcome in outcomes:
+        if outcome.csr is None:
+            continue
+        shard = CSRGraph.from_wire(outcome.csr)
+        node_map = array("i", [global_dense[txn_id] for txn_id in shard.node_ids])
+        key_map = array("i", [key_dense[name] for name in shard.key_names])
+        for s, t, e, k in zip(shard.src, shard.dst, shard.etype, shard.key_id):
+            src_append(node_map[s])
+            dst_append(node_map[t])
+            et_append(e)
+            kid_append(key_map[k] if k >= 0 else -1)
+
+    rt_code = EDGE_TYPE_CODES[EdgeType.RT]
+    for source, target in index.real_time_pairs(reduced=reduced_rt):
+        s = global_dense.get(source.txn_id)
+        t = global_dense.get(target.txn_id)
+        if s is not None and t is not None:
+            src_append(s)
+            dst_append(t)
+            et_append(rt_code)
+            kid_append(-1)
+
+    merged = CSRGraph(node_ids, index.key_names, src, dst, etype, key_id)
+    if merged.has_cycle() is None:
+        result = CheckResult.ok(level, num_transactions)
+    else:
+        graph = merged.to_multigraph()
+        cycle = graph.find_cycle()
         violation = classify_cycle(cycle, graph, level=level)
         result = CheckResult.violated(level, [violation], num_transactions=num_transactions)
     result.elapsed_seconds = elapsed_seconds

@@ -1,0 +1,257 @@
+"""Tests for the dense CSR graph kernel (``repro.core.csr``).
+
+The central invariant: **the dense accept path and the legacy multigraph
+pipeline are interchangeable** — identical verdicts, identical anomaly
+kinds, and identical labeled counterexample cycles across SER/SI/SSER on
+healthy and faulty histories.  The randomized equivalence suite below
+enforces it over the same composite fault-plan histories the parallel
+pipeline is validated against (``tests/test_parallel.py``).
+"""
+
+import pytest
+
+from repro.core.checkers import check_ser, check_si, check_sser
+from repro.core.csr import CSRGraph, first_nontrivial_scc
+from repro.core.graph import DependencyGraph, EdgeType, build_dependency
+from repro.core.index import HistoryIndex
+from repro.core.model import History, Transaction, read, write
+from repro.core.result import IsolationLevel
+from repro.db import FaultPlan
+
+from test_parallel import composite_history
+
+CHECKERS = [
+    ("SER", check_ser),
+    ("SI", check_si),
+    ("SSER", check_sser),
+]
+
+
+def two_txn_history():
+    t1 = Transaction(1, [read("x", 0), write("x", 1)])
+    t2 = Transaction(2, [read("x", 1), write("x", 2)], session_id=1)
+    return History.from_transactions([[t1], [t2]], initial_keys=["x"])
+
+
+def lost_update_history():
+    t1 = Transaction(1, [read("x", 0), write("x", 1)])
+    t2 = Transaction(2, [read("x", 0), write("x", 2)], session_id=1)
+    return History.from_transactions([[t1], [t2]], initial_keys=["x"])
+
+
+def assert_dense_equivalent(history, *, transitive_ww=False):
+    """Dense and legacy paths agree byte-for-byte on every verdict field."""
+    for name, check in CHECKERS:
+        legacy = check(history, transitive_ww=transitive_ww, dense=False)
+        dense = check(history, transitive_ww=transitive_ww, dense=True)
+        assert legacy.satisfied == dense.satisfied, name
+        assert legacy.num_transactions == dense.num_transactions, name
+        assert [v.kind for v in legacy.violations] == [
+            v.kind for v in dense.violations
+        ], name
+        assert [(v.txn_ids, v.key, v.cycle) for v in legacy.violations] == [
+            (v.txn_ids, v.key, v.cycle) for v in dense.violations
+        ], name
+
+
+# ----------------------------------------------------------------------
+# CSRGraph unit behaviour
+# ----------------------------------------------------------------------
+class TestCSRGraph:
+    def test_build_matches_legacy_edge_set(self):
+        history = two_txn_history()
+        index = HistoryIndex.build(history)
+        csr = build_dependency(history, index=index, dense=True)
+        legacy = build_dependency(history, index=index)
+        assert isinstance(csr, CSRGraph)
+        assert sorted(map(str, csr.iter_edges())) == sorted(map(str, legacy.edges()))
+
+    def test_to_multigraph_round_trip(self):
+        history = two_txn_history()
+        csr = build_dependency(history, dense=True)
+        graph = csr.to_multigraph()
+        assert isinstance(graph, DependencyGraph)
+        legacy = build_dependency(history)
+        assert graph.nodes == legacy.nodes
+        assert graph.num_edges == legacy.num_edges
+        assert csr.to_multigraph() is graph  # cached
+
+    def test_has_cycle_accept_and_reject(self):
+        assert build_dependency(two_txn_history(), dense=True).has_cycle() is None
+        scc = build_dependency(lost_update_history(), dense=True).has_cycle()
+        assert scc is not None and sorted(scc) == [1, 2]
+
+    def test_si_induced_matches_legacy_composition(self):
+        history = lost_update_history()
+        csr = build_dependency(history, dense=True)
+        legacy_induced = build_dependency(history).si_induced_graph()
+        dense_edges = {
+            (e.source, e.target, e.edge_type, e.key)
+            for e in csr.si_induced().iter_edges()
+        }
+        legacy_edges = {
+            (e.source, e.target, e.edge_type, e.key) for e in legacy_induced.edges()
+        }
+        assert dense_edges == legacy_edges
+
+    def test_wire_round_trip(self):
+        history = two_txn_history()
+        csr = build_dependency(history, dense=True)
+        clone = CSRGraph.from_wire(csr.to_wire())
+        assert clone.node_ids == csr.node_ids
+        assert list(clone.src) == list(csr.src)
+        assert list(clone.key_id) == list(csr.key_id)
+        assert (clone.has_cycle() is None) == (csr.has_cycle() is None)
+
+    def test_nbytes_is_compact(self):
+        history = two_txn_history()
+        csr = build_dependency(history, dense=True)
+        # Four int32 columns per edge row (+ CSR offsets once compiled).
+        assert csr.nbytes == 4 * csr.num_edges * csr.src.itemsize
+        csr.has_cycle()
+        assert csr.nbytes > 4 * csr.num_edges * csr.src.itemsize
+
+    def test_with_rt_adds_rt_rows(self):
+        t1 = Transaction(1, [read("x", 0), write("x", 1)], start_ts=0.0, finish_ts=1.0)
+        t2 = Transaction(
+            2, [read("x", 1), write("x", 2)], session_id=1, start_ts=2.0, finish_ts=3.0
+        )
+        history = History.from_transactions([[t1], [t2]], initial_keys=["x"])
+        index = HistoryIndex.build(history)
+        csr = CSRGraph.from_index(index, with_rt=True)
+        assert any(e.edge_type is EdgeType.RT for e in csr.iter_edges())
+
+
+class TestTarjan:
+    def test_acyclic(self):
+        assert first_nontrivial_scc([[1], [2], []]) is None
+
+    def test_cycle_component(self):
+        scc = first_nontrivial_scc([[1], [2], [0], []])
+        assert scc is not None and sorted(scc) == [0, 1, 2]
+
+    def test_self_loop(self):
+        assert first_nontrivial_scc([[0]]) == [0]
+
+    def test_first_component_is_deterministic(self):
+        adjacency = [[1], [0], [3], [2]]
+        assert first_nontrivial_scc(adjacency) == first_nontrivial_scc(adjacency)
+
+
+# ----------------------------------------------------------------------
+# Randomized dense-vs-legacy equivalence suite
+# ----------------------------------------------------------------------
+class TestDenseEquivalence:
+    def test_healthy_histories_all_engines(self):
+        for isolation in ("serializable", "si", "s2pl"):
+            history = composite_history(
+                [(isolation, 71, None), (isolation, 72, None)]
+            )
+            assert_dense_equivalent(history)
+
+    @pytest.mark.parametrize(
+        "fault",
+        ["lostupdate", "writeskew", "staleread", "abortedread"],
+    )
+    def test_faulty_histories(self, fault):
+        plan = FaultPlan.for_anomaly(fault, rate=0.5, seed=73)
+        history = composite_history([("si", 74, plan), ("si", 75, None)])
+        assert_dense_equivalent(history)
+
+    def test_seeded_random_sweep(self):
+        for seed in range(80, 90):
+            faults = (
+                FaultPlan.for_anomaly("lostupdate", rate=0.3, seed=seed)
+                if seed % 3 == 0
+                else None
+            )
+            history = composite_history([("si", seed, faults)])
+            assert_dense_equivalent(history)
+
+    def test_transitive_ww_variant(self):
+        plan = FaultPlan.for_anomaly("writeskew", rate=0.5, seed=91)
+        history = composite_history([("si", 92, plan)])
+        assert_dense_equivalent(history, transitive_ww=True)
+
+    def test_read_committed_engine(self):
+        history = composite_history([("read-committed", 93, None)])
+        assert_dense_equivalent(history)
+
+    def test_facade_dense_flag(self):
+        from repro.core.checker import MTChecker
+
+        history = composite_history([("si", 94, None)])
+        for level in (
+            IsolationLevel.SERIALIZABILITY,
+            IsolationLevel.SNAPSHOT_ISOLATION,
+        ):
+            dense = MTChecker().verify(history, level)
+            legacy = MTChecker(dense=False).verify(history, level)
+            assert dense.satisfied == legacy.satisfied
+            assert [v.kind for v in dense.violations] == [
+                v.kind for v in legacy.violations
+            ]
+
+    def test_parallel_sser_dense_wire_equivalence(self):
+        from repro.parallel import check_parallel
+
+        history = composite_history([("si", 95, None), ("serializable", 96, None)])
+        level = IsolationLevel.STRICT_SERIALIZABILITY
+        dense = check_parallel(history, level, workers=1, dense=True)
+        legacy = check_parallel(history, level, workers=1, dense=False)
+        assert dense.satisfied == legacy.satisfied
+        assert [(v.kind, v.txn_ids, v.cycle) for v in dense.violations] == [
+            (v.kind, v.txn_ids, v.cycle) for v in legacy.violations
+        ]
+
+    def test_parallel_sser_dense_wire_catches_cross_shard_cycle(self):
+        from repro.parallel import check_parallel, partition_history
+
+        t1 = Transaction(1, [read("a", 2)], session_id=0, start_ts=0.0, finish_ts=1.0)
+        t2 = Transaction(
+            2, [read("a", 0), write("a", 2)], session_id=1, start_ts=4.0, finish_ts=5.0
+        )
+        t3 = Transaction(
+            3, [read("b", 0), write("b", 3)], session_id=2, start_ts=1.5, finish_ts=2.0
+        )
+        t4 = Transaction(4, [read("b", 3)], session_id=3, start_ts=2.5, finish_ts=3.5)
+        history = History.from_transactions(
+            [[t1], [t2], [t3], [t4]], initial_keys=["a", "b"]
+        )
+        assert len(partition_history(history)) == 2
+        dense = check_parallel(
+            history, IsolationLevel.STRICT_SERIALIZABILITY, workers=1, dense=True
+        )
+        legacy = check_parallel(
+            history, IsolationLevel.STRICT_SERIALIZABILITY, workers=1, dense=False
+        )
+        assert not dense.satisfied and not legacy.satisfied
+        assert [(v.kind, v.txn_ids, v.cycle) for v in dense.violations] == [
+            (v.kind, v.txn_ids, v.cycle) for v in legacy.violations
+        ]
+
+
+# ----------------------------------------------------------------------
+# Bench suite plumbing
+# ----------------------------------------------------------------------
+class TestCoreBenchmark:
+    def test_smoke_rows_assert_equality(self):
+        from repro.bench import core_benchmark
+
+        payload = core_benchmark(smoke=True, sizes=[200])
+        assert payload["suite"] == "core"
+        assert {row["level"] for row in payload["rows"]} == {"SER", "SI"}
+        assert all(row["verdicts_equal"] for row in payload["rows"])
+        assert all(row["verdict"] for row in payload["rows"])
+
+    def test_parallel_rows_marked_advisory_beyond_cpu_count(self, monkeypatch):
+        import repro.bench.suites as suites
+
+        monkeypatch.setattr(suites.os, "cpu_count", lambda: 1)
+        payload = suites.parallel_benchmark(
+            smoke=True, workers=(1, 2), levels=("ser",), total_txns=80
+        )
+        by_workers = {row["workers"]: row for row in payload["rows"]}
+        assert by_workers[1]["advisory"] is False
+        assert by_workers[2]["advisory"] is True
+        assert all(row["cpu_count"] == 1 for row in payload["rows"])
