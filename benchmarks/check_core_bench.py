@@ -1,0 +1,55 @@
+"""CI regression guard over ``BENCH_core.json``.
+
+Fails (exit 1) when any row of the core-kernel benchmark reports a
+dense-vs-legacy verdict mismatch, or when the recorded dense speedup drops
+below the floor (2x by default — the committed full-scale run shows 4-10x,
+and even CI smoke sizes sit well above 3x, so 2x flags a real regression
+rather than runner noise).
+
+Usage::
+
+    python benchmarks/check_core_bench.py [BENCH_core.json] [--min-speedup 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", nargs="?", default="BENCH_core.json")
+    parser.add_argument("--min-speedup", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    with open(args.path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    rows = payload.get("rows", [])
+    if not rows:
+        print(f"error: {args.path} contains no benchmark rows")
+        return 1
+
+    failures = []
+    for row in rows:
+        label = f"{row.get('level')} @ {row.get('txns')} txns"
+        if row.get("verdicts_equal") is not True:
+            failures.append(f"dense vs legacy verdict mismatch on {label}")
+        speedup = row.get("speedup")
+        if not isinstance(speedup, (int, float)) or speedup < args.min_speedup:
+            failures.append(
+                f"dense speedup {speedup}x below the {args.min_speedup}x floor on {label}"
+            )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"ok: {len(rows)} rows, verdicts equal everywhere, "
+        f"min speedup {min(row['speedup'] for row in rows)}x "
+        f"(floor {args.min_speedup}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -61,7 +61,14 @@ from .adapters import (
     make_adapter,
 )
 from .db import Database, DatabaseStats, FaultPlan, TransactionAborted
-from .parallel import Shard, check_parallel, partition_history
+from .history import (
+    ColumnarHistory,
+    HistoryStreamWriter,
+    SegmentWriter,
+    load_history_segment,
+    write_history_segment,
+)
+from .parallel import Shard, check_parallel, partition_columns, partition_history
 from .workloads import (
     GTWorkloadGenerator,
     LWTHistoryGenerator,
@@ -82,6 +89,7 @@ __all__ = [
     "CheckerSession",
     "CollectionResult",
     "Collector",
+    "ColumnarHistory",
     "Database",
     "DatabaseAdapter",
     "DatabaseStats",
@@ -91,6 +99,7 @@ __all__ = [
     "GTWorkloadGenerator",
     "History",
     "HistoryIndex",
+    "HistoryStreamWriter",
     "IncrementalChecker",
     "IsolationLevel",
     "LWTHistory",
@@ -103,6 +112,7 @@ __all__ = [
     "OpType",
     "PearceKellyOrder",
     "SQLiteAdapter",
+    "SegmentWriter",
     "Session",
     "Shard",
     "SimulatedAdapter",
@@ -122,11 +132,14 @@ __all__ = [
     "collect_history",
     "is_mini_transaction",
     "is_mt_history",
+    "load_history_segment",
     "make_adapter",
+    "partition_columns",
     "partition_history",
     "read",
     "run_workload",
     "stream_order",
     "write",
+    "write_history_segment",
     "__version__",
 ]

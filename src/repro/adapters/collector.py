@@ -26,9 +26,13 @@ Guarantees the checker relies on:
   up to ``max_retries`` times.
 * **Stream compatibility**: the ``on_transaction`` hook fires under a lock
   in finish-timestamp order, so a
-  :class:`~repro.history.serialization.HistoryStreamWriter` or a streaming
-  :class:`~repro.core.incremental.CheckerSession` can consume the history
-  live, exactly as with the serial runner.
+  :class:`~repro.history.serialization.HistoryStreamWriter` (JSONL), a
+  :class:`~repro.history.columnar.SegmentWriter` (binary columnar segment
+  — the checker's zero-copy fast path, persisted when the writer closes),
+  or a streaming :class:`~repro.core.incremental.CheckerSession` can
+  consume the history live, exactly as with the serial runner.  (``repro
+  collect --output x.seg`` writes the segment from the assembled history
+  after the run completes.)
 """
 
 from __future__ import annotations

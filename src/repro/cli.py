@@ -34,6 +34,11 @@ Usage examples::
     # Follow a growing stream, reporting violations as they happen.
     python -m repro watch --level si --once history.jsonl
 
+    # Columnar segments: the binary fast path (gzip optional via .gz).
+    python -m repro generate --isolation si --output history.seg
+    python -m repro check --level si history.seg
+    python -m repro convert history.seg history.jsonl.gz
+
     # Show the canonical MT history for an anomaly.
     python -m repro anomaly LostUpdate
 """
@@ -49,13 +54,22 @@ from typing import List, Optional, Sequence
 from .core.anomalies import ANOMALY_NAMES, anomaly_catalog
 from .core.checker import MTChecker
 from .core.incremental import stream_order
+from .core.model import INITIAL_TXN_ID
 from .core.result import IsolationLevel
 from .db.database import Database
 from .db.faults import FaultPlan
+from .history.columnar import (
+    ColumnarHistory,
+    is_segment_path,
+    load_history_segment,
+    write_history_segment,
+)
 from .history.serialization import (
+    HistoryStreamWriter,
     is_stream_path,
     iter_history_jsonl,
     load_history,
+    open_history_stream,
     parse_stream_header,
     save_history,
     transaction_from_dict,
@@ -87,7 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     check = subparsers.add_parser("check", help="verify a saved history against an isolation level")
-    check.add_argument("history", help="path to a history JSON (or JSONL stream) file")
+    check.add_argument(
+        "history",
+        help="path to a history file: .json document, .jsonl[.gz] stream, "
+        "or .seg[.gz] columnar segment",
+    )
     check.add_argument("--level", choices=sorted(_LEVELS), default="ser", help="isolation level to check")
     check.add_argument("--strict-mt", action="store_true", help="reject non-MT histories")
     check.add_argument(
@@ -189,6 +207,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, help="where to save the history (.json document or .jsonl stream)"
     )
 
+    convert = subparsers.add_parser(
+        "convert",
+        help="convert a history between formats (.json / .jsonl[.gz] / .seg[.gz]), losslessly",
+    )
+    convert.add_argument("input", help="source history file (format inferred from suffix)")
+    convert.add_argument("output", help="destination history file (format inferred from suffix)")
+
     anomaly = subparsers.add_parser("anomaly", help="print a canonical anomaly history from the catalog")
     anomaly.add_argument("name", nargs="?", default=None, help="anomaly name (omit to list all)")
 
@@ -197,7 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=["core", "parallel", "incremental", "e2e", "all"],
+        choices=["core", "parallel", "incremental", "e2e", "io", "all"],
         default="all",
         help="which suite to run",
     )
@@ -215,6 +240,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    if is_segment_path(args.history):
+        return _check_segment(args)
     streaming = args.stream or is_stream_path(args.history)
     if streaming and args.workers is not None:
         reason = (
@@ -245,6 +272,44 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return _finish_stream(session)
 
 
+def _check_segment(args: argparse.Namespace) -> int:
+    """Verify a columnar segment: batch (workers allowed) or bulk-streamed."""
+    if args.stream and args.workers is not None:
+        print("error: --workers applies to batch checking; drop --stream to use it")
+        return 2
+    columns = load_history_segment(args.history)
+    checker = MTChecker(strict_mt=args.strict_mt, workers=args.workers)
+    if not args.stream:
+        result = checker.verify(columns, _LEVELS[args.level])
+        print(result.format())
+        return 0 if result.satisfied else 1
+    session = checker.session(_LEVELS[args.level], window=args.window)
+    offset = 1 if columns.has_initial else 0
+
+    def report(row: int, violations) -> None:
+        # Same labels as the JSONL stream path: "initial" for ⊥T, else the
+        # zero-based index among non-initial transactions in arrival order.
+        if columns.txn_ids[row] == INITIAL_TXN_ID:
+            label = "initial"
+        else:
+            label = f"txn #{row - offset}"
+        for violation in violations:
+            print(f"[{label}] {violation.format()}", flush=True)
+
+    session.ingest_segment(columns, on_row_violations=report)
+    return _finish_stream(session)
+
+
+def _save_history_output(history, path: str) -> None:
+    """Write a history as a segment, JSONL stream, or JSON document by suffix."""
+    if is_segment_path(path):
+        write_history_segment(history, path)
+    elif is_stream_path(path):
+        write_history_jsonl(history, path)
+    else:
+        save_history(history, path)
+
+
 def _report_violations(violations, txn, index: int) -> None:
     """Print violations tagged with the (non-initial) transaction index."""
     label = "initial" if txn.is_initial else f"txn #{index}"
@@ -265,13 +330,20 @@ def _finish_stream(session) -> int:
 
 
 def _cmd_watch(args: argparse.Namespace) -> int:
+    if is_segment_path(args.history):
+        print(
+            "error: columnar segments are written atomically and cannot be "
+            "followed; use `repro check` (or convert to .jsonl to tail a "
+            "live stream)"
+        )
+        return 2
     session = MTChecker().session(_LEVELS[args.level], window=args.window)
     started = time.monotonic()
     index = 0
-    with open(args.history, "r", encoding="utf-8") as fh:
+    with open_history_stream(args.history) as fh:
         try:
             header = parse_stream_header(fh.readline())
-        except ValueError as exc:
+        except (ValueError, EOFError) as exc:
             print(f"error: {args.history}: {exc}")
             return 2
         initial = header.get("initial_transaction")
@@ -281,7 +353,18 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         # producer caught mid-append never aborts the watch.
         pending_line = ""
         while True:
-            chunk = fh.readline()
+            try:
+                chunk = fh.readline()
+            except EOFError:
+                # Torn gzip tail: the compressed stream ends mid-member (a
+                # live writer has not emitted the trailer yet).  gzip cannot
+                # resume a broken member, so stop at the verified prefix.
+                print(
+                    "warning: compressed stream is truncated mid-member "
+                    "(producer still writing?); stopping at the last "
+                    "complete transaction"
+                )
+                break
             if chunk:
                 pending_line += chunk
                 if not pending_line.endswith("\n"):
@@ -319,10 +402,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     )
     database = Database(args.isolation, keys=workload.keys, faults=faults)
     run = run_workload(database, workload, seed=args.seed + 1)
-    if is_stream_path(args.output):
-        write_history_jsonl(run.history, args.output)
-    else:
-        save_history(run.history, args.output)
+    _save_history_output(run.history, args.output)
     print(
         f"generated {run.stats.committed} committed / {run.stats.aborted} aborted "
         f"transactions (abort rate {run.stats.abort_rate:.1%}) -> {args.output}"
@@ -391,10 +471,7 @@ def _cmd_collect(args: argparse.Namespace) -> int:
         print(f"injected chaos: {fired or 'none fired'}")
 
     if args.output is not None:
-        if is_stream_path(args.output):
-            write_history_jsonl(result.history, args.output)
-        else:
-            save_history(result.history, args.output)
+        _save_history_output(result.history, args.output)
         print(f"wrote {args.output}")
 
     if args.check is None:
@@ -403,6 +480,52 @@ def _cmd_collect(args: argparse.Namespace) -> int:
     verdict = checker.verify(result.history, _LEVELS[args.check.lower()])
     print(verdict.format())
     return 0 if verdict.satisfied else 1
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    """Lossless conversion between the three history formats.
+
+    JSONL and segments both record the exact arrival order, per-transaction
+    status, and timestamps, so ``jsonl <-> seg`` round-trips byte-identically
+    at the transaction level; the ``.json`` document format groups by
+    session (order is recovered canonically on the way back out).
+    """
+    source, destination = args.input, args.output
+
+    if is_segment_path(source):
+        transactions = load_history_segment(source).iter_transactions()
+    elif is_stream_path(source):
+        transactions = iter_history_jsonl(source)
+    else:
+        transactions = iter(stream_order(load_history(source)))
+
+    count = 0
+    if is_segment_path(destination):
+        segment = ColumnarHistory.from_transactions(transactions)
+        segment.save(destination)
+        count = segment.num_transactions
+    elif is_stream_path(destination):
+        iterator = iter(transactions)
+        first = next(iterator, None)
+        initial = None
+        if first is not None and first.is_initial:
+            initial, first = first, None
+            count += 1
+        with HistoryStreamWriter(
+            destination, initial_transaction=initial, flush_every=1024
+        ) as writer:
+            if first is not None:
+                writer.write(first)
+                count += 1
+            for txn in iterator:
+                writer.write(txn)
+                count += 1
+    else:
+        segment = ColumnarHistory.from_transactions(transactions)
+        save_history(segment.to_history(), destination)
+        count = segment.num_transactions
+    print(f"converted {source} -> {destination} ({count} transactions)")
+    return 0
 
 
 def _cmd_anomaly(args: argparse.Namespace) -> int:
@@ -432,6 +555,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         core_benchmark,
         e2e_benchmark,
         incremental_benchmark,
+        io_benchmark,
         parallel_benchmark,
         write_benchmark_json,
     )
@@ -441,6 +565,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "parallel": parallel_benchmark,
         "incremental": incremental_benchmark,
         "e2e": e2e_benchmark,
+        "io": io_benchmark,
     }
     selected = list(suites) if args.suite == "all" else [args.suite]
     # Fail on an unwritable destination before minutes of benchmarking, not after.
@@ -467,13 +592,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_generate(args)
         if args.command == "collect":
             return _cmd_collect(args)
+        if args.command == "convert":
+            return _cmd_convert(args)
         if args.command == "anomaly":
             return _cmd_anomaly(args)
         if args.command == "bench":
             return _cmd_bench(args)
     except BrokenPipeError:
         return 1  # stdout consumer (e.g. `| head`) went away mid-report
-    except OSError as exc:
+    except (OSError, EOFError) as exc:
+        # EOFError: a gzip stream cut off mid-member (EOFError is not an
+        # OSError even though gzip raises it for I/O-shaped corruption).
         print(f"error: {exc}")
         return 2
     except ValueError as exc:

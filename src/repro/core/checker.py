@@ -8,7 +8,7 @@ call, mirroring Step 4 of the black-box checking workflow (Figure 2).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Union
+from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 from .checkers import GRAPH_CHECKED_LEVELS, check_ser, check_si, check_sser
 from .incremental import CheckerSession
@@ -17,6 +17,9 @@ from .lwt import LWTHistory, check_linearizability
 from .mini import validate_mt_history
 from .model import History
 from .result import CheckResult, IsolationLevel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..history.columnar import ColumnarHistory
 
 __all__ = ["MTChecker"]
 
@@ -75,7 +78,7 @@ class MTChecker:
     # ------------------------------------------------------------------
     def verify(
         self,
-        history: Union[History, LWTHistory],
+        history: Union[History, LWTHistory, "ColumnarHistory"],
         level: IsolationLevel,
     ) -> CheckResult:
         """Verify ``history`` against ``level`` and return a :class:`CheckResult`.
@@ -84,6 +87,12 @@ class MTChecker:
         once here and threaded through every stage of the chosen checker —
         MT validation, the INT pre-pass, the DIVERGENCE scan, and
         BUILDDEPENDENCY all consume the same index.
+
+        A :class:`~repro.history.columnar.ColumnarHistory` segment is
+        accepted in place of an object history: the index is then built
+        column-natively (:meth:`HistoryIndex.from_columns`) and the accept
+        path — pre-passes, BUILDDEPENDENCY, acyclicity, and parallel shard
+        dispatch — runs without materialising ``Transaction`` objects.
         """
         if isinstance(history, LWTHistory):
             if level not in (
@@ -99,23 +108,34 @@ class MTChecker:
         if level not in GRAPH_CHECKED_LEVELS:
             raise ValueError(f"unsupported isolation level for MTC: {level}")
 
-        index = HistoryIndex.build(history)
+        from ..history.columnar import ColumnarHistory  # deferred: avoids cycle
+
+        columns: Optional[ColumnarHistory] = None
+        plain_history: Optional[History]
+        if isinstance(history, ColumnarHistory):
+            columns = history
+            plain_history = None
+            index = HistoryIndex.from_columns(columns)
+        else:
+            plain_history = history
+            index = HistoryIndex.build(history)
         if self.workers is not None:
             from ..parallel import check_parallel  # deferred: parallel builds on core
 
             return check_parallel(
-                history,
+                plain_history,
                 level,
                 workers=self.workers,
                 strict_mt=self.strict_mt,
                 transitive_ww=self.transitive_ww,
                 index=index,
                 dense=self.dense,
+                columns=columns,
             )
 
         if level is IsolationLevel.SERIALIZABILITY:
             return check_ser(
-                history,
+                plain_history,
                 transitive_ww=self.transitive_ww,
                 strict_mt=self.strict_mt,
                 index=index,
@@ -123,14 +143,14 @@ class MTChecker:
             )
         if level is IsolationLevel.SNAPSHOT_ISOLATION:
             return check_si(
-                history,
+                plain_history,
                 transitive_ww=self.transitive_ww,
                 strict_mt=self.strict_mt,
                 index=index,
                 dense=self.dense,
             )
         return check_sser(
-            history,
+            plain_history,
             transitive_ww=self.transitive_ww,
             strict_mt=self.strict_mt,
             index=index,

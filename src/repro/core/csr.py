@@ -155,14 +155,17 @@ class CSRGraph:
         (the randomized equivalence suite asserts the two paths agree on
         verdicts, anomaly kinds, and labeled cycles) but appends integers to
         ``array('i')`` columns instead of allocating ``Edge``-labeled dict
-        entries.
+        entries.  Only the index's *dense* accessors are consumed
+        (``committed_txn_ids`` / ``session_order_id_pairs`` /
+        ``real_time_id_pairs`` / ``iter_read_edges``), so on a
+        columnar-built index (:meth:`HistoryIndex.from_columns`) the whole
+        build runs without materialising a single ``Transaction``.
         """
         graph = cls(
-            [t.txn_id for t in index.committed],
+            index.committed_txn_ids,
             index.key_names,
         )
         dense = graph.node_dense
-        key_dense = index.key_dense
         # Composite radix for (writer, key) lookups: one int dict key beats a
         # tuple in the hot loop.
         radix = len(index.key_names) + 1
@@ -172,18 +175,18 @@ class CSRGraph:
         kid_append = graph.key_id.append
 
         if with_rt:
-            for source, target in index.real_time_pairs(reduced=reduced_rt):
-                s = dense.get(source.txn_id)
-                t = dense.get(target.txn_id)
+            for source_id, target_id in index.real_time_id_pairs(reduced=reduced_rt):
+                s = dense.get(source_id)
+                t = dense.get(target_id)
                 if s is not None and t is not None:
                     src_append(s)
                     dst_append(t)
                     et_append(_RT)
                     kid_append(-1)
 
-        for source, target in index.session_order_pairs:
-            s = dense.get(source.txn_id)
-            t = dense.get(target.txn_id)
+        for source_id, target_id in index.session_order_id_pairs():
+            s = dense.get(source_id)
+            t = dense.get(target_id)
             if s is not None and t is not None:
                 src_append(s)
                 dst_append(t)
@@ -196,14 +199,12 @@ class CSRGraph:
         wr_key = array("i")
         ww_succ: Dict[int, List[int]] = {}
         ww_pairs_per_key: Dict[int, List[Tuple[int, int]]] = {}
-        for txn, record in index.iter_read_records():
-            writer = record.writer
-            if writer is None or not writer.committed or writer.txn_id == txn.txn_id:
+        for reader_id, k, writer_id, writer_committed, writes_key in index.iter_read_edges():
+            if not writer_committed or writer_id == reader_id:
                 # Read-provenance anomalies are reported by the INT pre-pass.
                 continue
-            w = dense[writer.txn_id]
-            r = dense[txn.txn_id]
-            k = key_dense[record.key]
+            w = dense[writer_id]
+            r = dense[reader_id]
             src_append(w)
             dst_append(r)
             et_append(_WR)
@@ -211,7 +212,7 @@ class CSRGraph:
             wr_src.append(w)
             wr_dst.append(r)
             wr_key.append(k)
-            if record.writes_key:
+            if writes_key:
                 src_append(w)
                 dst_append(r)
                 et_append(_WW)

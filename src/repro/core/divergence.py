@@ -73,7 +73,9 @@ def find_all_divergences(
     """Find (all) DIVERGENCE instances in a history.
 
     The scan replays the shared :class:`~repro.core.index.HistoryIndex` read
-    records, building the index when the caller did not supply one.
+    resolutions (building the index when the caller did not supply one) via
+    the flat :meth:`~repro.core.index.HistoryIndex.iter_read_tuples`
+    accessor, so it stays object-free on columnar-built indexes.
     """
     if index is None:
         index = HistoryIndex.build(history)
@@ -81,29 +83,27 @@ def find_all_divergences(
     # (key, value read) -> (first reader-writer txn id, value it wrote).
     slots: Dict[Tuple[str, Optional[int]], Tuple[int, Optional[int]]] = {}
     instances: List[DivergenceInstance] = []
-    for txn, record in index.iter_read_records():
-        if not record.writes_key:
+    for reader_id, key, value, writer_id, writes_key, written_value in index.iter_read_tuples():
+        if not writes_key:
             continue
-        slot = (record.key, record.value)
+        slot = (key, value)
         other = slots.get(slot)
         if other is None:
-            slots[slot] = (txn.txn_id, record.written_value)
+            slots[slot] = (reader_id, written_value)
             continue
         other_id, other_written = other
-        if other_id == txn.txn_id:
+        if other_id == reader_id:
             continue
-        if other_written == record.written_value:
+        if other_written == written_value:
             # Both overwrote with the same value: not DIVERGENCE (only
             # possible in histories without unique values).
             continue
-        writer = record.writer
-        writer_id = writer.txn_id if writer is not None else -2
         instance = DivergenceInstance(
-            key=record.key,
-            writer=writer_id,
-            value=record.value,
+            key=key,
+            writer=writer_id if writer_id is not None else -2,
+            value=value,
             reader_a=other_id,
-            reader_b=txn.txn_id,
+            reader_b=reader_id,
         )
         instances.append(instance)
         if first_only:

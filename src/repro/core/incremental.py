@@ -57,20 +57,35 @@ import heapq
 import time
 from bisect import bisect_left, bisect_right
 from collections import defaultdict, deque
-from typing import Deque, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from .checkers import MTHistoryError, classify_cycle
 from .graph import DependencyGraph, EdgeType
-from .intcheck import transaction_int_violations
+from .intcheck import ops_int_candidate, transaction_int_violations
 from .mini import mt_violations
 from .model import (
     INITIAL_TXN_ID,
+    STATUS_FROM_CODE,
     History,
     Transaction,
     TransactionStatus,
     make_initial_transaction,
 )
 from .result import AnomalyKind, CheckResult, IsolationLevel, Violation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..history.columnar import ColumnarHistory
 
 __all__ = [
     "PearceKellyOrder",
@@ -382,7 +397,7 @@ class IncrementalChecker:
                 self._num_committed += 1
                 self._add_node(txn.txn_id)
                 self._violations.extend(transaction_int_violations(txn))
-                self._session_edge(txn)
+                self._session_edge(txn.session_id, txn.txn_id)
             self._register_writes(txn)
             if txn.committed:
                 self._resolve_reads(txn)
@@ -391,7 +406,7 @@ class IncrementalChecker:
                     and txn.start_ts is not None
                     and txn.finish_ts is not None
                 ):
-                    self._real_time_edges(txn)
+                    self._real_time_edges(txn.txn_id, txn.start_ts, txn.finish_ts)
                 if self.window is not None:
                     self._arrivals.append(txn.txn_id)
                     while len(self._arrivals) > self.window:
@@ -405,6 +420,133 @@ class IncrementalChecker:
         for txn in txns:
             out.extend(self.ingest(txn))
         return out
+
+    def ingest_segment(
+        self,
+        segment: "ColumnarHistory",
+        *,
+        on_row_violations: Optional[
+            Callable[[int, List[Violation]], object]
+        ] = None,
+    ) -> List[Violation]:
+        """Bulk-ingest one columnar segment epoch; return its violations.
+
+        ``on_row_violations(row, violations)`` is invoked after any segment
+        row whose ingestion triggered violations — the hook the CLI uses to
+        tag stream output with the offending transaction, without giving up
+        the bulk column scan.
+
+        The columnar counterpart of :meth:`ingest_round`: edge derivation
+        (write registration, read resolution, SO/RT stitching) runs straight
+        off the segment's flat columns, and only the resulting dependency
+        *deltas* are handed to the Pearce–Kelly structure — per transaction,
+        in the segment's arrival order, so violations surface at the exact
+        offending transaction exactly as with one-at-a-time :meth:`ingest`.
+        ``Transaction`` objects are materialised only for rows that actually
+        contain an intra-transactional INT candidate (or under
+        ``strict_mt``), keeping the accept path allocation-free.
+
+        The batch-equivalence invariant extends to segments: ingesting a
+        history via any split into segments yields the same verdict as the
+        batch checker (enforced by ``tests/test_columnar.py``).
+        """
+        started = time.perf_counter()
+        before = len(self._violations)
+        for row in range(segment.num_transactions):
+            row_before = len(self._violations)
+            self._ingest_row(segment, row)
+            if on_row_violations is not None and len(self._violations) > row_before:
+                on_row_violations(row, self._violations[row_before:])
+        self._elapsed += time.perf_counter() - started
+        return self._violations[before:]
+
+    def _ingest_row(self, segment: "ColumnarHistory", row: int) -> None:
+        """Column-native mirror of :meth:`ingest` for one segment row."""
+        txn_id = segment.txn_ids[row]
+        status = STATUS_FROM_CODE[segment.statuses[row]]
+        committed = status is TransactionStatus.COMMITTED
+        key_names = segment.key_names
+        ops = list(segment.row_ops(row))
+
+        if txn_id == INITIAL_TXN_ID:
+            self._has_initial = True
+            self._add_node(txn_id)
+            self._register_ops_writes(ops, key_names, txn_id, status)
+            return
+        if self.strict_mt:
+            self._strict_check(segment.transaction_at(row))
+        if committed:
+            self._num_committed += 1
+            self._add_node(txn_id)
+            if ops_int_candidate(ops):
+                # Rare path: the row provably contains an intra-transactional
+                # anomaly candidate; materialise it once for the identical
+                # object-level classification.
+                self._violations.extend(
+                    transaction_int_violations(segment.transaction_at(row))
+                )
+            self._session_edge(segment.session_ids[row], txn_id)
+        self._register_ops_writes(ops, key_names, txn_id, status)
+        if committed:
+            self._resolve_ops_reads(ops, key_names, txn_id)
+            if self.level is IsolationLevel.STRICT_SERIALIZABILITY:
+                start, finish = segment.timestamps_at(row)
+                if start is not None and finish is not None:
+                    self._real_time_edges(txn_id, start, finish)
+            if self.window is not None:
+                self._arrivals.append(txn_id)
+                while len(self._arrivals) > self.window:
+                    self._evict(self._arrivals.popleft())
+
+    def _register_ops_writes(
+        self,
+        ops: List[Tuple[int, int, Optional[int]]],
+        key_names: List[str],
+        txn_id: int,
+        status: TransactionStatus,
+    ) -> None:
+        """Mirror :meth:`_register_writes` over ``(kind, key_id, value)`` rows."""
+        finals: Dict[int, Optional[int]] = {}
+        for kind, kid, value in ops:
+            if not kind:
+                continue
+            if kid in finals:
+                self._register_intermediate(key_names[kid], finals[kid], txn_id)
+            finals[kid] = value
+        for kid, value in finals.items():
+            self._register_final(key_names[kid], value, txn_id, status)
+
+    def _resolve_ops_reads(
+        self,
+        ops: List[Tuple[int, int, Optional[int]]],
+        key_names: List[str],
+        txn_id: int,
+    ) -> None:
+        """Mirror :meth:`_resolve_reads` over ``(kind, key_id, value)`` rows."""
+        own_writes: Set[Tuple[int, Optional[int]]] = set()
+        written: Set[int] = set()
+        last_write: Dict[int, Optional[int]] = {}
+        external: Dict[int, Optional[int]] = {}
+        for kind, kid, value in ops:
+            if kind:
+                own_writes.add((kid, value))
+                written.add(kid)
+                last_write[kid] = value
+            elif kid not in written and kid not in external and value is not None:
+                external[kid] = value
+        for kid, value in external.items():
+            if (kid, value) in own_writes:
+                # FutureRead: already reported by the intra-transactional INT
+                # pass (see _resolve_reads).
+                continue
+            writes_key = kid in written
+            self._resolve_one_read(
+                txn_id,
+                key_names[kid],
+                value,
+                writes_key,
+                last_write.get(kid) if writes_key else None,
+            )
 
     # ------------------------------------------------------------------
     # Results
@@ -527,33 +669,35 @@ class IncrementalChecker:
             if not op.is_write:
                 continue
             if op.key in finals:
-                self._register_intermediate(op.key, finals[op.key], txn)
+                self._register_intermediate(op.key, finals[op.key], txn.txn_id)
             finals[op.key] = op.value
         for key, value in finals.items():
-            self._register_final(key, value, txn)
+            self._register_final(key, value, txn.txn_id, txn.status)
 
-    def _register_final(self, key: str, value: Optional[int], txn: Transaction) -> None:
+    def _register_final(
+        self, key: str, value: Optional[int], txn_id: int, status: TransactionStatus
+    ) -> None:
         slot = self._slot(key, value)
         if slot is None:
             return
-        slot.writer_id = txn.txn_id
-        slot.writer_status = txn.status
+        slot.writer_id = txn_id
+        slot.writer_status = status
         if slot.pending:
             pending, slot.pending = slot.pending, []
             for reader_id, writes_key in pending:
                 self._attach_read(key, value, slot, reader_id, writes_key)
 
     def _register_intermediate(
-        self, key: str, value: Optional[int], txn: Transaction
+        self, key: str, value: Optional[int], txn_id: int
     ) -> None:
         slot = self._slot(key, value)
         if slot is None:
             return
-        slot.intermediate_id = txn.txn_id
+        slot.intermediate_id = txn_id
         if slot.pending and slot.writer_id is None:
             pending, slot.pending = slot.pending, []
             for reader_id, _ in pending:
-                if reader_id != txn.txn_id:
+                if reader_id != txn_id:
                     self._violations.append(
                         self._intermediate_violation(reader_id, slot, key)
                     )
@@ -580,38 +724,54 @@ class IncrementalChecker:
                 # pass; attributing provenance to the reader itself (or
                 # leaving it pending) would fabricate a second anomaly.
                 continue
-            slot = self._slot(key, value)
-            if slot is None:
-                self.stale_reads += 1
-                continue
             writes_key = txn.writes_to(key)
+            self._resolve_one_read(
+                txn.txn_id,
+                key,
+                value,
+                writes_key,
+                txn.final_write(key) if writes_key else None,
+            )
 
-            # DIVERGENCE (SI only): two RMW readers of the same version that
-            # wrote different values — flagged before writer resolution, as
-            # in the batch early-exit (Lemma 1).
-            if writes_key and self.level is IsolationLevel.SNAPSHOT_ISOLATION:
-                written = txn.final_write(key)
-                for other_id, other_written in slot.rmw_seen:
-                    if other_id != txn.txn_id and other_written != written:
-                        self._violations.append(
-                            self._divergence_violation(
-                                key, value, slot, other_id, txn.txn_id
-                            )
+    def _resolve_one_read(
+        self,
+        txn_id: int,
+        key: str,
+        value: Optional[int],
+        writes_key: bool,
+        written_value: Optional[int],
+    ) -> None:
+        """Resolve one external read against the slot table (shared core)."""
+        slot = self._slot(key, value)
+        if slot is None:
+            self.stale_reads += 1
+            return
+
+        # DIVERGENCE (SI only): two RMW readers of the same version that
+        # wrote different values — flagged before writer resolution, as
+        # in the batch early-exit (Lemma 1).
+        if writes_key and self.level is IsolationLevel.SNAPSHOT_ISOLATION:
+            for other_id, other_written in slot.rmw_seen:
+                if other_id != txn_id and other_written != written_value:
+                    self._violations.append(
+                        self._divergence_violation(
+                            key, value, slot, other_id, txn_id
                         )
-                        break
-                slot.rmw_seen.append((txn.txn_id, written))
+                    )
+                    break
+            slot.rmw_seen.append((txn_id, written_value))
 
-            if slot.writer_id is not None:
-                self._attach_read(key, value, slot, txn.txn_id, writes_key)
-            elif (
-                slot.intermediate_id is not None
-                and slot.intermediate_id != txn.txn_id
-            ):
-                self._violations.append(
-                    self._intermediate_violation(txn.txn_id, slot, key)
-                )
-            else:
-                slot.pending.append((txn.txn_id, writes_key))
+        if slot.writer_id is not None:
+            self._attach_read(key, value, slot, txn_id, writes_key)
+        elif (
+            slot.intermediate_id is not None
+            and slot.intermediate_id != txn_id
+        ):
+            self._violations.append(
+                self._intermediate_violation(txn_id, slot, key)
+            )
+        else:
+            slot.pending.append((txn_id, writes_key))
 
     def _divergence_violation(
         self, key: str, value: Optional[int], slot: _Slot, a: int, b: int
@@ -679,35 +839,35 @@ class IncrementalChecker:
             if self.window is not None:
                 self._overwrote.setdefault(reader_id, []).append((key, value))
 
-    def _session_edge(self, txn: Transaction) -> None:
-        prev = self._last_in_session.get(txn.session_id)
+    def _session_edge(self, session_id: int, txn_id: int) -> None:
+        prev = self._last_in_session.get(session_id)
         if prev is None:
             if self._has_initial:
-                self._dep_edge(INITIAL_TXN_ID, txn.txn_id, EdgeType.SO, None)
+                self._dep_edge(INITIAL_TXN_ID, txn_id, EdgeType.SO, None)
         else:
-            self._dep_edge(prev, txn.txn_id, EdgeType.SO, None)
-        self._last_in_session[txn.session_id] = txn.txn_id
+            self._dep_edge(prev, txn_id, EdgeType.SO, None)
+        self._last_in_session[session_id] = txn_id
 
     # ------------------------------------------------------------------
     # Real-time order (SSER): online interval-order reduction
     # ------------------------------------------------------------------
-    def _real_time_edges(self, txn: Transaction) -> None:
-        """Add the transitively-reduced RT edges incident to ``txn``.
+    def _real_time_edges(self, txn_id: int, start_ts: float, finish_ts: float) -> None:
+        """Add the transitively-reduced RT edges incident to one transaction.
 
-        Among the existing predecessors (``finish < txn.start``), only those
+        Among the existing predecessors (``finish < start_ts``), only those
         finishing after every predecessor's start are immediate — the same
         pruning as :func:`repro.core.model.interval_order_reduction`, applied
         per arrival; symmetrically for successors.  The two prunings together
         keep the reduction reachability-complete under any arrival order.
         """
-        start, finish = float(txn.start_ts), float(txn.finish_ts)  # type: ignore[arg-type]
+        start, finish = float(start_ts), float(finish_ts)
 
         idx = bisect_left(self._by_finish, (start,))
         if idx:
             max_start = self._prefix_max_start[idx - 1]
             t = idx - 1
             while t >= 0 and self._by_finish[t][0] >= max_start:
-                self._dep_edge(self._by_finish[t][2], txn.txn_id, EdgeType.RT, None)
+                self._dep_edge(self._by_finish[t][2], txn_id, EdgeType.RT, None)
                 t -= 1
 
         jdx = bisect_right(self._by_start, (finish, float("inf"), float("inf")))
@@ -715,10 +875,10 @@ class IncrementalChecker:
             min_finish = self._suffix_min_finish[jdx]
             t = jdx
             while t < len(self._by_start) and self._by_start[t][0] <= min_finish:
-                self._dep_edge(txn.txn_id, self._by_start[t][2], EdgeType.RT, None)
+                self._dep_edge(txn_id, self._by_start[t][2], EdgeType.RT, None)
                 t += 1
 
-        self._insert_rt_entry(start, finish, txn.txn_id)
+        self._insert_rt_entry(start, finish, txn_id)
 
     def _insert_rt_entry(self, start: float, finish: float, txn_id: int) -> None:
         """Insert into both sorted lists and patch the helper aggregates.
@@ -923,6 +1083,19 @@ class CheckerSession:
     def ingest_round(self, txns: Iterable[Transaction]) -> List[Violation]:
         """Feed a round of transactions (Cobra-style round-based checking)."""
         return self._checker.ingest_round(txns)
+
+    def ingest_segment(
+        self,
+        segment: "ColumnarHistory",
+        *,
+        on_row_violations: Optional[
+            Callable[[int, List[Violation]], object]
+        ] = None,
+    ) -> List[Violation]:
+        """Feed one columnar segment epoch (bulk, object-free ingestion)."""
+        return self._checker.ingest_segment(
+            segment, on_row_violations=on_row_violations
+        )
 
     def ingest_history(self, history: History, *, index=None) -> CheckResult:
         """Stream a complete history in canonical order; return the verdict.

@@ -17,27 +17,70 @@ history-scanning entry point for the batch pipeline:
 * the write index — ``(key, value) -> final/intermediate writer`` — is
   API-compatible with :class:`~repro.core.intcheck.WriteIndex`, so the
   read-provenance classification runs against the shared index;
-* every committed transaction's external reads are resolved to
-  :class:`ReadRecord` entries (writer transaction, RMW flag, value written
-  back), which is all ``BUILDDEPENDENCY``, the DIVERGENCE scan, and the
-  polygraph encoders need;
+* every committed transaction's external reads are resolved to writer /
+  RMW-flag / written-value tuples, which is all ``BUILDDEPENDENCY``, the
+  DIVERGENCE scan, and the polygraph encoders need;
 * session order, real-time order, per-key version chains, the INT verdict,
   and the MT-validation verdict are computed once and cached.
 
-The intended usage is one :meth:`build` per ``MTChecker.verify`` call,
-threaded down through :func:`~repro.core.checkers.check_ser` /
-``check_si`` / ``check_sser`` via their ``index=`` parameter; every checker
-also accepts a bare history and builds the index itself, so standalone use
-keeps working.
+Since the columnar refactor the index has **two construction paths over one
+dense core**:
+
+* :meth:`build` scans a :class:`~repro.core.model.History` of
+  ``Transaction`` objects (the legacy object pipeline);
+* :meth:`from_columns` scans a
+  :class:`~repro.history.columnar.ColumnarHistory` segment directly —
+  no ``Transaction`` or ``Operation`` is materialised on the accept path.
+
+Either way the index stores its resolved structures *densely* (integer
+transaction positions, interned key ids, flat read tuples).  The
+object-facing API — ``committed``, ``iter_read_records``, ``history``,
+``final_writer`` returning a ``Transaction`` — materialises lazily and is
+only paid for by consumers that actually need objects (the legacy
+multigraph path, cycle labeling on the reject path, the solver baselines).
+The dense kernel (:mod:`repro.core.csr`) consumes the integer accessors
+(:meth:`committed_txn_ids <HistoryIndex>`, :meth:`iter_read_edges`,
+:meth:`session_order_id_pairs`, :meth:`real_time_id_pairs`) exclusively.
+
+The intended usage is one :meth:`build` (or :meth:`from_columns`) per
+``MTChecker.verify`` call, threaded down through
+:func:`~repro.core.checkers.check_ser` / ``check_si`` / ``check_sser`` via
+their ``index=`` parameter; every checker also accepts a bare history and
+builds the index itself, so standalone use keeps working.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, NamedTuple, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
-from .model import History, Transaction
+from .model import (
+    INITIAL_TXN_ID,
+    STATUS_CODES,
+    History,
+    Transaction,
+    TransactionStatus,
+    history_from_stream,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..history.columnar import ColumnarHistory
 
 __all__ = ["ReadRecord", "VersionEntry", "HistoryIndex"]
+
+#: Columnar ``statuses`` codes this module branches on (single source of
+#: truth: :data:`repro.core.model.STATUS_CODES`).
+_COMMITTED_CODE = STATUS_CODES[TransactionStatus.COMMITTED]
+_ABORTED_CODE = STATUS_CODES[TransactionStatus.ABORTED]
 
 
 class ReadRecord(NamedTuple):
@@ -73,8 +116,9 @@ class VersionEntry(NamedTuple):
 class HistoryIndex:
     """Per-history shared index: dense interning + resolved provenance.
 
-    Build with :meth:`build`; the class-level :attr:`builds` counter exists
-    so tests can assert the "one construction per verify call" invariant.
+    Build with :meth:`build` (object histories) or :meth:`from_columns`
+    (columnar segments); the class-level :attr:`builds` counter exists so
+    tests can assert the "one construction per verify call" invariant.
 
     Example:
         >>> from repro.core.model import History, Transaction, read, write
@@ -92,11 +136,43 @@ class HistoryIndex:
 
     def __init__(self, history: History) -> None:
         type(self).builds += 1
-        self.history = history
+        self._history: Optional[History] = history
+        self._columns: Optional["ColumnarHistory"] = None
+        self._transactions: Optional[List[Transaction]] = history.transactions(
+            include_initial=True
+        )
+        self._init_core()
+        self._has_initial = history.initial_transaction is not None
+        self._scan_objects()
 
-        #: Every transaction, including ``⊥T`` and aborted ones (scan order).
-        self.transactions: List[Transaction] = history.transactions(include_initial=True)
-        #: Dense id per transaction: ``txn_ids[dense] == txn_id``.
+    @classmethod
+    def build(cls, history: History) -> "HistoryIndex":
+        """Construct the index for ``history`` (one linear scan)."""
+        return cls(history)
+
+    @classmethod
+    def from_columns(cls, columns: "ColumnarHistory") -> "HistoryIndex":
+        """Construct the index straight from a columnar segment.
+
+        One linear pass over the flat columns — no ``Transaction`` or
+        ``Operation`` object is created.  The resulting index is
+        structurally identical to ``HistoryIndex.build(columns.to_history())``
+        (rows are scanned ``⊥T`` first, then grouped by ascending session
+        id, matching :meth:`ColumnarHistory.to_history`); consumers that ask
+        for objects (``committed``, ``history``, ``iter_read_records``)
+        trigger lazy materialisation from the columns instead.
+        """
+        self = cls.__new__(cls)
+        type(self).builds += 1
+        self._history = None
+        self._columns = columns
+        self._transactions = None
+        self._init_core()
+        self._scan_columns()
+        return self
+
+    def _init_core(self) -> None:
+        #: Dense id per transaction position: ``txn_ids[dense] == txn_id``.
         self.txn_ids: List[int] = []
         self.txn_dense: Dict[int, int] = {}
         #: Dense id per object key: ``key_names[dense] == key``.
@@ -105,132 +181,440 @@ class HistoryIndex:
         #: Per dense transaction: sorted dense key ids it touches.
         self.txn_keys: List[List[int]] = []
 
-        self.committed: List[Transaction] = []
-        self.committed_non_initial: List[Transaction] = []
+        #: Transaction ids of committed transactions (``⊥T`` included),
+        #: in scan order — the dense kernel's node universe.
+        self.committed_txn_ids: List[int] = []
         self.committed_ids: Set[int] = set()
 
-        self._final: Dict[Tuple[str, Optional[int]], Transaction] = {}
-        self._intermediate: Dict[Tuple[str, Optional[int]], Transaction] = {}
-        self._final_writes: Dict[int, Dict[str, int]] = {}
-        self._raw_reads: Dict[int, List[Tuple[str, Optional[int], bool, Optional[int]]]] = {}
-        self._reads: Dict[int, List[ReadRecord]] = {}
+        # Dense core: positions index the scan order (same order as
+        # ``transactions``); reads resolve to writer positions.
+        self._committed_pos: List[int] = []
+        self._committed_non_initial_pos: List[int] = []
+        self._committed_mask = bytearray()
+        self._status_of = bytearray()
+        self._session_of: List[int] = []
+        self._final_pos: Dict[Tuple[int, Optional[int]], int] = {}
+        self._intermediate_pos: Dict[Tuple[int, Optional[int]], int] = {}
+        #: position -> [(key_id, value, writer_pos | -1, writes_key, written_value)]
+        self._reads_dense: Dict[
+            int, List[Tuple[int, Optional[int], int, bool, Optional[int]]]
+        ] = {}
+        self._has_initial = False
+
+        # Columnar backend state (lazy object materialisation).
+        self._row_order: Optional[List[int]] = None
+        self._txn_cache: Dict[int, Transaction] = {}
 
         # Lazy caches.
+        self._committed_txns: Optional[List[Transaction]] = None
+        self._committed_non_initial_txns: Optional[List[Transaction]] = None
+        self._reads: Dict[int, List[ReadRecord]] = {}
+        self._final_writes: Optional[Dict[int, Dict[str, int]]] = None
         self._session_pairs: Optional[List[Tuple[Transaction, Transaction]]] = None
+        self._session_id_pairs: Optional[List[Tuple[int, int]]] = None
         self._rt_pairs: Dict[bool, List[Tuple[Transaction, Transaction]]] = {}
+        self._rt_id_pairs: Dict[bool, List[Tuple[int, int]]] = {}
         self._int_violations: Optional[list] = None
         self._mt_problems: Optional[list] = None
         self._versions: Optional[Dict[str, List[VersionEntry]]] = None
         self._stream: Optional[List[Transaction]] = None
 
-        self._scan()
-        self._resolve_reads()
-
-    @classmethod
-    def build(cls, history: History) -> "HistoryIndex":
-        """Construct the index for ``history`` (one linear scan)."""
-        return cls(history)
-
     # ------------------------------------------------------------------
-    # Construction
+    # Construction: object scan
     # ------------------------------------------------------------------
-    def _scan(self) -> None:
+    def _scan_objects(self) -> None:
         """Single pass: intern ids/keys, index writes, collect raw reads."""
-        for txn in self.transactions:
-            dense = len(self.txn_ids)
-            self.txn_ids.append(txn.txn_id)
-            self.txn_dense[txn.txn_id] = dense
-            if txn.committed:
-                self.committed.append(txn)
-                self.committed_ids.add(txn.txn_id)
-                if not txn.is_initial:
-                    self.committed_non_initial.append(txn)
+        assert self._transactions is not None
+        final_writes: Dict[int, Dict[str, int]] = {}
+        raw: Dict[int, List[Tuple[int, Optional[int], bool, Optional[int]]]] = {}
+        key_dense = self.key_dense
+        key_names = self.key_names
+        for txn in self._transactions:
+            pos = self._intern_txn(
+                txn.txn_id, txn.committed, txn.is_initial, txn.session_id,
+                STATUS_CODES[txn.status],
+            )
 
             keys_here: Set[int] = set()
             finals: Dict[str, int] = {}
-            last_write: Dict[str, Optional[int]] = {}
-            written: Set[str] = set()
-            reads: List[Tuple[str, Optional[int]]] = []
-            read_keys: Set[str] = set()
+            last_write: Dict[int, Optional[int]] = {}
+            written: Set[int] = set()
+            reads: List[Tuple[int, Optional[int]]] = []
+            read_keys: Set[int] = set()
             for op in txn.operations:
-                kid = self.key_dense.get(op.key)
+                kid = key_dense.get(op.key)
                 if kid is None:
-                    kid = len(self.key_names)
-                    self.key_dense[op.key] = kid
-                    self.key_names.append(op.key)
+                    kid = len(key_names)
+                    key_dense[op.key] = kid
+                    key_names.append(op.key)
                 keys_here.add(kid)
                 if op.is_write:
-                    if op.key in last_write:
-                        self._intermediate[(op.key, last_write[op.key])] = txn
-                    last_write[op.key] = op.value
-                    written.add(op.key)
+                    if kid in last_write:
+                        self._intermediate_pos[(kid, last_write[kid])] = pos
+                    last_write[kid] = op.value
+                    written.add(kid)
                     if op.value is not None:
                         finals[op.key] = op.value
                 elif (
-                    op.key not in written
-                    and op.key not in read_keys
+                    kid not in written
+                    and kid not in read_keys
                     and op.value is not None
                 ):
                     # Mirrors Transaction.external_reads(): the first read of
                     # a key before any own write on it.
-                    read_keys.add(op.key)
-                    reads.append((op.key, op.value))
-            for key, value in last_write.items():
-                self._final[(key, value)] = txn
-            self._final_writes[txn.txn_id] = finals
-            if txn.committed and not txn.is_initial:
-                self._raw_reads[txn.txn_id] = [
-                    (key, value, key in written, last_write.get(key))
-                    for key, value in reads
+                    read_keys.add(kid)
+                    reads.append((kid, op.value))
+            for kid, value in last_write.items():
+                self._final_pos[(kid, value)] = pos
+            final_writes[txn.txn_id] = finals
+            if reads and txn.committed and not txn.is_initial:
+                raw[pos] = [
+                    (kid, value, kid in written, last_write.get(kid))
+                    for kid, value in reads
                 ]
             self.txn_keys.append(sorted(keys_here))
+        self._final_writes = final_writes
+        self._resolve_reads(raw)
 
-    def _resolve_reads(self) -> None:
-        """Second pass: attribute every external read to its writer."""
-        for txn in self.committed_non_initial:
-            records = [
-                ReadRecord(
-                    key=key,
-                    value=value,
-                    writer=self._final.get((key, value)),
-                    writes_key=writes_key,
-                    written_value=written_value,
-                )
-                for key, value, writes_key, written_value in self._raw_reads.get(
-                    txn.txn_id, ()
-                )
+    # ------------------------------------------------------------------
+    # Construction: columnar scan
+    # ------------------------------------------------------------------
+    def _scan_columns(self) -> None:
+        """Single pass over the flat columns; no objects are allocated.
+
+        The ``array`` columns are expanded to plain lists up front —
+        ``list(array)`` boxes every element once in C, where indexing the
+        array inside the Python loop would box on every access — and the
+        per-row op walk zips over list slices, which is the fastest pure-
+        Python iteration shape available.
+        """
+        cols = self._columns
+        assert cols is not None
+        col_txn_ids = list(cols.txn_ids)
+        col_sessions = list(cols.session_ids)
+        col_statuses = cols.statuses
+        offsets = list(cols.op_offsets)
+        kinds = list(cols.op_kinds)
+        op_keys = list(cols.op_keys)
+        op_values = list(cols.op_values)
+        op_has = list(cols.op_has_value)
+        col_key_names = cols.key_names
+
+        # Scan order: ``⊥T`` first, then rows grouped by ascending session
+        # id (per-session row order preserved) — exactly the order
+        # ``HistoryIndex.build(columns.to_history())`` would scan in.
+        n = len(col_txn_ids)
+        initial_rows: List[int] = []
+        session_rows: Dict[int, List[int]] = {}
+        for row in range(n):
+            if col_txn_ids[row] == INITIAL_TXN_ID:
+                initial_rows.append(row)
+            else:
+                session_rows.setdefault(col_sessions[row], []).append(row)
+        order = initial_rows[:]
+        for sid in sorted(session_rows):
+            order.extend(session_rows[sid])
+        self._row_order = order
+        self._has_initial = bool(initial_rows)
+
+        # Columnar key ids are re-interned in scan order so the index's key
+        # numbering is identical to the object path's.
+        remap = [-1] * len(col_key_names)
+        key_dense = self.key_dense
+        key_names = self.key_names
+        txn_ids = self.txn_ids
+        txn_dense = self.txn_dense
+        txn_keys_out = self.txn_keys
+        committed_txn_ids = self.committed_txn_ids
+        committed_ids = self.committed_ids
+        committed_pos = self._committed_pos
+        committed_non_initial_pos = self._committed_non_initial_pos
+        committed_mask = self._committed_mask
+        status_of = self._status_of
+        session_of = self._session_of
+        intermediate_pos = self._intermediate_pos
+        final_pos = self._final_pos
+        raw: Dict[int, List[Tuple[int, Optional[int], bool, Optional[int]]]] = {}
+        # Per-row scratch containers are reused across rows (cleared, not
+        # reallocated): five fresh containers per row would dominate the
+        # scan at six-figure transaction counts.
+        keys_here: Set[int] = set()
+        last_write: Dict[int, Optional[int]] = {}
+        written: Set[int] = set()
+        read_keys: Set[int] = set()
+        pos = -1
+        for row in order:
+            txn_id = col_txn_ids[row]
+            status = col_statuses[row]
+            committed = status == _COMMITTED_CODE
+            is_initial = txn_id == INITIAL_TXN_ID
+            pos += 1
+            txn_ids.append(txn_id)
+            txn_dense[txn_id] = pos
+            committed_mask.append(1 if committed else 0)
+            status_of.append(status)
+            session_of.append(col_sessions[row])
+            if committed:
+                committed_txn_ids.append(txn_id)
+                committed_ids.add(txn_id)
+                committed_pos.append(pos)
+                if not is_initial:
+                    committed_non_initial_pos.append(pos)
+
+            keys_here.clear()
+            last_write.clear()
+            written.clear()
+            read_keys.clear()
+            reads: Optional[List[Tuple[int, Optional[int]]]] = None
+            lo, hi = offsets[row], offsets[row + 1]
+            for kind, ckid, boxed, has in zip(
+                kinds[lo:hi], op_keys[lo:hi], op_values[lo:hi], op_has[lo:hi]
+            ):
+                kid = remap[ckid]
+                if kid < 0:
+                    kid = len(key_names)
+                    remap[ckid] = kid
+                    key_dense[col_key_names[ckid]] = kid
+                    key_names.append(col_key_names[ckid])
+                keys_here.add(kid)
+                value: Optional[int] = boxed if has else None
+                if kind:  # write
+                    if kid in last_write:
+                        intermediate_pos[(kid, last_write[kid])] = pos
+                    last_write[kid] = value
+                    written.add(kid)
+                elif (
+                    kid not in written
+                    and kid not in read_keys
+                    and value is not None
+                ):
+                    read_keys.add(kid)
+                    if reads is None:
+                        reads = [(kid, value)]
+                    else:
+                        reads.append((kid, value))
+            for kid, value in last_write.items():
+                final_pos[(kid, value)] = pos
+            if reads is not None and committed and not is_initial:
+                raw[pos] = [
+                    (kid, value, kid in written, last_write.get(kid))
+                    for kid, value in reads
+                ]
+            txn_keys_out.append(sorted(keys_here))
+        self._resolve_reads(raw)
+
+    def _intern_txn(
+        self, txn_id: int, committed: bool, is_initial: bool, session_id: int,
+        status_code: int,
+    ) -> int:
+        pos = len(self.txn_ids)
+        self.txn_ids.append(txn_id)
+        self.txn_dense[txn_id] = pos
+        self._committed_mask.append(1 if committed else 0)
+        self._status_of.append(status_code)
+        self._session_of.append(session_id)
+        if committed:
+            self.committed_txn_ids.append(txn_id)
+            self.committed_ids.add(txn_id)
+            self._committed_pos.append(pos)
+            if not is_initial:
+                self._committed_non_initial_pos.append(pos)
+        return pos
+
+    def _resolve_reads(
+        self, raw: Dict[int, List[Tuple[int, Optional[int], bool, Optional[int]]]]
+    ) -> None:
+        """Second pass: attribute every external read to its writer position."""
+        final_pos = self._final_pos
+        reads_dense = self._reads_dense
+        for pos, entries in raw.items():
+            reads_dense[pos] = [
+                (kid, value, final_pos.get((kid, value), -1), writes_key, written)
+                for kid, value, writes_key, written in entries
             ]
-            self._reads[txn.txn_id] = records
-        # The raw tuples are fully superseded by the resolved records.
-        self._raw_reads.clear()
+
+    # ------------------------------------------------------------------
+    # Object layer (lazy for columnar-built indexes)
+    # ------------------------------------------------------------------
+    def _txn_at(self, pos: int) -> Transaction:
+        """The transaction at dense position ``pos`` (materialised lazily)."""
+        if self._transactions is not None:
+            return self._transactions[pos]
+        txn = self._txn_cache.get(pos)
+        if txn is None:
+            assert self._columns is not None and self._row_order is not None
+            txn = self._columns.transaction_at(self._row_order[pos])
+            self._txn_cache[pos] = txn
+        return txn
+
+    @property
+    def transactions(self) -> List[Transaction]:
+        """Every transaction, including ``⊥T`` and aborted ones (scan order)."""
+        if self._transactions is None:
+            self._transactions = [
+                self._txn_at(pos) for pos in range(len(self.txn_ids))
+            ]
+        return self._transactions
+
+    @property
+    def history(self) -> History:
+        """The indexed history (materialised from the columns on demand).
+
+        Built with the canonical :func:`~repro.core.model.history_from_stream`
+        grouping over the (cached) materialised transactions, so the result
+        — and the identity of its ``Transaction`` objects — is consistent
+        with every other accessor of this index.
+        """
+        if self._history is None:
+            self._history = history_from_stream(self.transactions)
+        return self._history
+
+    @property
+    def columns(self) -> Optional["ColumnarHistory"]:
+        """The backing columnar segment, when built via :meth:`from_columns`."""
+        return self._columns
+
+    @property
+    def committed(self) -> List[Transaction]:
+        """All committed transactions including ``⊥T`` (scan order)."""
+        if self._committed_txns is None:
+            self._committed_txns = [self._txn_at(p) for p in self._committed_pos]
+        return self._committed_txns
+
+    @property
+    def committed_non_initial(self) -> List[Transaction]:
+        """Committed transactions excluding ``⊥T`` (scan order)."""
+        if self._committed_non_initial_txns is None:
+            self._committed_non_initial_txns = [
+                self._txn_at(p) for p in self._committed_non_initial_pos
+            ]
+        return self._committed_non_initial_txns
 
     # ------------------------------------------------------------------
     # Write index (API-compatible with intcheck.WriteIndex)
     # ------------------------------------------------------------------
     def final_writer(self, key: str, value: Optional[int]) -> Optional[Transaction]:
         """The transaction whose final write on ``key`` has ``value``."""
-        return self._final.get((key, value))
+        kid = self.key_dense.get(key)
+        if kid is None:
+            return None
+        pos = self._final_pos.get((kid, value))
+        return None if pos is None else self._txn_at(pos)
 
     def intermediate_writer(self, key: str, value: Optional[int]) -> Optional[Transaction]:
         """The transaction that wrote ``value`` to ``key`` as a non-final write."""
-        return self._intermediate.get((key, value))
+        kid = self.key_dense.get(key)
+        if kid is None:
+            return None
+        pos = self._intermediate_pos.get((kid, value))
+        return None if pos is None else self._txn_at(pos)
 
     # ------------------------------------------------------------------
     # Resolved provenance and version chains
     # ------------------------------------------------------------------
     def external_reads(self, txn_id: int) -> List[ReadRecord]:
         """The resolved external reads of a committed transaction."""
-        return self._reads.get(txn_id, [])
+        records = self._reads.get(txn_id)
+        if records is None:
+            pos = self.txn_dense.get(txn_id)
+            dense = None if pos is None else self._reads_dense.get(pos)
+            if dense is None:
+                return []
+            key_names = self.key_names
+            records = [
+                ReadRecord(
+                    key=key_names[kid],
+                    value=value,
+                    writer=self._txn_at(writer_pos) if writer_pos >= 0 else None,
+                    writes_key=writes_key,
+                    written_value=written_value,
+                )
+                for kid, value, writer_pos, writes_key, written_value in dense
+            ]
+            self._reads[txn_id] = records
+        return records
 
     def final_writes(self, txn_id: int) -> Dict[str, int]:
         """The final ``{key: value}`` writes of a transaction."""
-        return self._final_writes.get(txn_id, {})
+        return self._ensure_final_writes().get(txn_id, {})
+
+    def _ensure_final_writes(self) -> Dict[int, Dict[str, int]]:
+        if self._final_writes is None:
+            cols = self._columns
+            assert cols is not None and self._row_order is not None
+            key_names = cols.key_names
+            offsets = cols.op_offsets
+            kinds = cols.op_kinds
+            op_keys = cols.op_keys
+            op_values = cols.op_values
+            op_has = cols.op_has_value
+            final_writes: Dict[int, Dict[str, int]] = {}
+            for pos, row in enumerate(self._row_order):
+                finals: Dict[str, int] = {}
+                for op in range(offsets[row], offsets[row + 1]):
+                    if kinds[op] and op_has[op]:
+                        finals[key_names[op_keys[op]]] = op_values[op]
+                final_writes[self.txn_ids[pos]] = finals
+            self._final_writes = final_writes
+        return self._final_writes
 
     def iter_read_records(self) -> Iterator[Tuple[Transaction, ReadRecord]]:
-        """All resolved reads in (transaction, program) scan order."""
-        for txn in self.committed_non_initial:
-            for record in self._reads.get(txn.txn_id, ()):
+        """All resolved reads in (transaction, program) scan order.
+
+        Materialises ``Transaction`` objects on a columnar-built index; the
+        dense kernel uses :meth:`iter_read_edges` instead.
+        """
+        txn_ids = self.txn_ids
+        for pos in self._committed_non_initial_pos:
+            txn = self._txn_at(pos)
+            for record in self.external_reads(txn_ids[pos]):
                 yield txn, record
+
+    def iter_read_edges(self) -> Iterator[Tuple[int, int, int, bool, bool]]:
+        """Resolved reads as flat tuples — the dense kernel's input.
+
+        Yields ``(reader_txn_id, key_id, writer_txn_id, writer_committed,
+        reader_writes_key)`` for every read whose writer exists, in the same
+        order as :meth:`iter_read_records`.  No objects are materialised.
+        """
+        txn_ids = self.txn_ids
+        mask = self._committed_mask
+        reads_dense = self._reads_dense
+        for pos in self._committed_non_initial_pos:
+            entries = reads_dense.get(pos)
+            if not entries:
+                continue
+            reader = txn_ids[pos]
+            for kid, _value, writer_pos, writes_key, _written in entries:
+                if writer_pos < 0:
+                    continue
+                yield reader, kid, txn_ids[writer_pos], bool(mask[writer_pos]), writes_key
+
+    def iter_read_tuples(
+        self,
+    ) -> Iterator[Tuple[int, str, Optional[int], Optional[int], bool, Optional[int]]]:
+        """Resolved reads as plain tuples (object-free DIVERGENCE input).
+
+        Yields ``(reader_txn_id, key, value, writer_txn_id_or_None,
+        reader_writes_key, written_value)`` in scan order.
+        """
+        txn_ids = self.txn_ids
+        key_names = self.key_names
+        reads_dense = self._reads_dense
+        for pos in self._committed_non_initial_pos:
+            entries = reads_dense.get(pos)
+            if not entries:
+                continue
+            reader = txn_ids[pos]
+            for kid, value, writer_pos, writes_key, written_value in entries:
+                yield (
+                    reader,
+                    key_names[kid],
+                    value,
+                    txn_ids[writer_pos] if writer_pos >= 0 else None,
+                    writes_key,
+                    written_value,
+                )
 
     def version_chains(self) -> Dict[str, List[VersionEntry]]:
         """Per-key version chains: writer plus readers/overwriters per version.
@@ -240,23 +624,30 @@ class HistoryIndex:
         values are provenance anomalies, not versions).
         """
         if self._versions is None:
+            txn_ids = self.txn_ids
+            key_names = self.key_names
+            mask = self._committed_mask
             readers: Dict[Tuple[str, Optional[int]], List[int]] = {}
             overwriters: Dict[Tuple[str, Optional[int]], List[int]] = {}
-            for txn, record in self.iter_read_records():
-                writer = record.writer
-                if writer is None or not writer.committed or writer.txn_id == txn.txn_id:
-                    continue
-                slot = (record.key, record.value)
-                readers.setdefault(slot, []).append(txn.txn_id)
-                if record.writes_key:
-                    overwriters.setdefault(slot, []).append(txn.txn_id)
+            for pos in self._committed_non_initial_pos:
+                for kid, value, writer_pos, writes_key, _written in self._reads_dense.get(
+                    pos, ()
+                ):
+                    if writer_pos < 0 or not mask[writer_pos] or writer_pos == pos:
+                        continue
+                    slot = (key_names[kid], value)
+                    readers.setdefault(slot, []).append(txn_ids[pos])
+                    if writes_key:
+                        overwriters.setdefault(slot, []).append(txn_ids[pos])
+            final_writes = self._ensure_final_writes()
             chains: Dict[str, List[VersionEntry]] = {}
-            for txn in self.committed:
-                for key, value in self._final_writes.get(txn.txn_id, {}).items():
+            for pos in self._committed_pos:
+                txn_id = txn_ids[pos]
+                for key, value in final_writes.get(txn_id, {}).items():
                     chains.setdefault(key, []).append(
                         VersionEntry(
                             value=value,
-                            writer_id=txn.txn_id,
+                            writer_id=txn_id,
                             reader_ids=tuple(readers.get((key, value), ())),
                             overwriter_ids=tuple(overwriters.get((key, value), ())),
                         )
@@ -271,14 +662,95 @@ class HistoryIndex:
     def session_order_pairs(self) -> List[Tuple[Transaction, Transaction]]:
         """Adjacent committed session-order pairs (cached)."""
         if self._session_pairs is None:
-            self._session_pairs = self.history.session_order()
+            if self._columns is None:
+                self._session_pairs = self.history.session_order()
+            else:
+                self._session_pairs = [
+                    (self.transaction(a), self.transaction(b))
+                    for a, b in self.session_order_id_pairs()
+                ]
         return self._session_pairs
+
+    def session_order_id_pairs(self) -> List[Tuple[int, int]]:
+        """Adjacent committed session-order pairs as transaction ids (cached)."""
+        if self._session_id_pairs is None:
+            if self._columns is None:
+                self._session_id_pairs = [
+                    (a.txn_id, b.txn_id) for a, b in self.session_order_pairs
+                ]
+            else:
+                pairs: List[Tuple[int, int]] = []
+                txn_ids = self.txn_ids
+                session_of = self._session_of
+                has_initial = self._has_initial
+                last_in_session: Dict[int, int] = {}
+                # Dense order groups sessions contiguously (ascending id),
+                # so streaming the positions yields the same pair order as
+                # History.session_order's session-by-session walk.
+                for pos in self._committed_non_initial_pos:
+                    sid = session_of[pos]
+                    prev = last_in_session.get(sid)
+                    if prev is None:
+                        if has_initial:
+                            pairs.append((INITIAL_TXN_ID, txn_ids[pos]))
+                    else:
+                        pairs.append((prev, txn_ids[pos]))
+                    last_in_session[sid] = txn_ids[pos]
+                self._session_id_pairs = pairs
+        return self._session_id_pairs
 
     def real_time_pairs(self, reduced: bool = True) -> List[Tuple[Transaction, Transaction]]:
         """Committed real-time order pairs (cached per ``reduced`` flag)."""
         if reduced not in self._rt_pairs:
-            self._rt_pairs[reduced] = self.history.real_time_order(reduced=reduced)
+            if self._columns is None:
+                self._rt_pairs[reduced] = self.history.real_time_order(reduced=reduced)
+            else:
+                self._rt_pairs[reduced] = [
+                    (self.transaction(a), self.transaction(b))
+                    for a, b in self.real_time_id_pairs(reduced=reduced)
+                ]
         return self._rt_pairs[reduced]
+
+    def real_time_id_pairs(self, reduced: bool = True) -> List[Tuple[int, int]]:
+        """Committed real-time order pairs as transaction ids (cached)."""
+        if reduced not in self._rt_id_pairs:
+            if self._columns is None:
+                self._rt_id_pairs[reduced] = [
+                    (a.txn_id, b.txn_id)
+                    for a, b in self.real_time_pairs(reduced=reduced)
+                ]
+            else:
+                self._rt_id_pairs[reduced] = self._rt_id_pairs_from_columns(reduced)
+        return self._rt_id_pairs[reduced]
+
+    def _rt_id_pairs_from_columns(self, reduced: bool) -> List[Tuple[int, int]]:
+        """Mirror ``History.real_time_order`` over the timestamp columns."""
+        cols = self._columns
+        assert cols is not None and self._row_order is not None
+        txn_ids = self.txn_ids
+        # (start, finish, txn_id) of committed, timestamped, non-initial
+        # transactions in scan order — the same entry order the object path
+        # feeds interval_order_reduction, so stable sorts tie-break alike.
+        entries: List[Tuple[float, float, int]] = []
+        for pos in self._committed_non_initial_pos:
+            row = self._row_order[pos]
+            start, finish = cols.timestamps_at(row)
+            if start is None or finish is None:
+                continue
+            entries.append((start, finish, txn_ids[pos]))
+        if reduced:
+            pairs = _interval_reduction_ids(entries)
+        else:
+            pairs = [
+                (a[2], b[2])
+                for a in entries
+                for b in entries
+                if a is not b and a[1] < b[0]
+            ]
+        if self._has_initial and entries:
+            first = min(entries, key=lambda e: e[0])
+            pairs.append((INITIAL_TXN_ID, first[2]))
+        return pairs
 
     def stream_order(self) -> List[Transaction]:
         """The canonical streaming arrival order (cached).
@@ -297,15 +769,84 @@ class HistoryIndex:
     # Cached verdict pre-passes
     # ------------------------------------------------------------------
     def int_violations(self) -> list:
-        """The INT/read-provenance pre-pass verdict (cached)."""
-        if self._int_violations is None:
-            from .intcheck import check_internal_consistency
+        """The INT/read-provenance pre-pass verdict (cached).
 
-            self._int_violations = check_internal_consistency(self.history, index=self)
+        On a columnar-built index the pre-pass runs column-natively: a flat
+        scan classifies each committed row, and only rows that actually
+        contain a candidate anomaly are materialised for the (identical)
+        object-level classification — zero allocations on the accept path.
+        """
+        if self._int_violations is None:
+            if self._columns is not None:
+                self._int_violations = self._int_violations_from_columns()
+            else:
+                from .intcheck import check_internal_consistency
+
+                self._int_violations = check_internal_consistency(
+                    self.history, index=self
+                )
         return self._int_violations
 
+    def _int_violations_from_columns(self) -> list:
+        from . import intcheck
+
+        cols = self._columns
+        assert cols is not None and self._row_order is not None
+        violations: list = []
+        for pos in self._committed_non_initial_pos:
+            if self._row_has_int_candidate(pos):
+                violations.extend(
+                    intcheck._check_transaction(self._txn_at(pos), self)
+                )
+        return violations
+
+    def _row_has_int_candidate(self, pos: int) -> bool:
+        """Whether the row can contribute an INT/provenance violation.
+
+        A row returning ``False`` provably yields no violation; a row
+        returning ``True`` is re-checked at the object level so the
+        reported violations are identical to the object path.  The
+        intra-transactional trigger is the shared
+        :func:`~repro.core.intcheck.ops_int_candidate` (kept next to the
+        check it mirrors); the provenance trigger below mirrors
+        :func:`~repro.core.intcheck.provenance_violation` against the
+        dense write index.
+        """
+        from .intcheck import ops_int_candidate
+
+        cols = self._columns
+        assert cols is not None and self._row_order is not None
+        row = self._row_order[pos]
+        ops = list(cols.row_ops(row))
+        if ops_int_candidate(ops):
+            return True
+
+        # Provenance: every external-position read (first op of the row on
+        # its key — FutureReads were caught above) must resolve to a
+        # non-aborted final writer other than the reader itself.
+        col_names = cols.key_names
+        key_dense = self.key_dense
+        final_pos = self._final_pos
+        status_of = self._status_of
+        seen: Set[int] = set()
+        for kind, ckid, value in ops:
+            if ckid in seen:
+                continue
+            seen.add(ckid)
+            if kind:
+                continue
+            kid = key_dense[col_names[ckid]]
+            writer = final_pos.get((kid, value), -1)
+            if writer < 0 or writer == pos or status_of[writer] == _ABORTED_CODE:
+                return True  # ThinAir / Intermediate / AbortedRead
+        return False
+
     def mt_problems(self) -> list:
-        """The MT-history validation verdict (cached)."""
+        """The MT-history validation verdict (cached).
+
+        Materialises the object history on a columnar-built index (strict
+        MT validation is opt-in and not on the accept path).
+        """
         if self._mt_problems is None:
             from .mini import validate_mt_history
 
@@ -318,10 +859,23 @@ class HistoryIndex:
     @property
     def num_committed(self) -> int:
         """Committed transactions excluding ``⊥T``."""
-        return len(self.committed_non_initial)
+        return len(self._committed_non_initial_pos)
 
     def transaction(self, txn_id: int) -> Transaction:
-        return self.transactions[self.txn_dense[txn_id]]
+        return self._txn_at(self.txn_dense[txn_id])
+
+    def session_of(self, pos: int) -> int:
+        """The session id of the transaction at dense position ``pos``."""
+        return self._session_of[pos]
+
+    def column_row(self, pos: int) -> int:
+        """The backing column row of dense position ``pos`` (columnar only)."""
+        assert self._row_order is not None, "index was not built from columns"
+        return self._row_order[pos]
+
+    def is_committed_pos(self, pos: int) -> bool:
+        """Whether the transaction at dense position ``pos`` committed."""
+        return bool(self._committed_mask[pos])
 
     def keys_of(self, txn_id: int) -> List[str]:
         """The object keys a transaction touches (via the dense interning)."""
@@ -329,6 +883,40 @@ class HistoryIndex:
 
     def __repr__(self) -> str:
         return (
-            f"HistoryIndex(transactions={len(self.transactions)}, "
+            f"HistoryIndex(transactions={len(self.txn_ids)}, "
             f"keys={len(self.key_names)}, committed={self.num_committed})"
         )
+
+
+def _interval_reduction_ids(
+    entries: Sequence[Tuple[float, float, int]],
+) -> List[Tuple[int, int]]:
+    """Transitive reduction of the interval order over ``(start, finish, id)``.
+
+    The id-level mirror of :func:`repro.core.model.interval_order_reduction`
+    — same algorithm, same stable tie-breaking (both sorts key on a single
+    timestamp, so equal stamps keep their scan order), producing the same
+    pair sequence the object path produces.
+    """
+    if not entries:
+        return []
+    by_finish = sorted(entries, key=lambda e: e[1])
+    by_start = sorted(entries, key=lambda e: e[0])
+
+    pairs: List[Tuple[int, int]] = []
+    finish_idx = 0
+    max_start_of_preds = float("-inf")
+    preds: List[Tuple[float, float, int]] = []
+    for b in by_start:
+        while finish_idx < len(by_finish) and by_finish[finish_idx][1] < b[0]:
+            cand = by_finish[finish_idx]
+            preds.append(cand)
+            if cand[0] > max_start_of_preds:
+                max_start_of_preds = cand[0]
+            finish_idx += 1
+        if not preds:
+            continue
+        preds = [a for a in preds if a[1] >= max_start_of_preds]
+        for a in preds:
+            pairs.append((a[2], b[2]))
+    return pairs

@@ -29,6 +29,7 @@ __all__ = [
     "build_write_index",
     "check_internal_consistency",
     "transaction_int_violations",
+    "ops_int_candidate",
     "provenance_violation",
 ]
 
@@ -159,6 +160,40 @@ def transaction_int_violations(txn: Transaction) -> List[Violation]:
             )
         last_op_on_key[op.key] = op
     return violations
+
+
+def ops_int_candidate(ops: List[Tuple[int, int, Optional[int]]]) -> bool:
+    """Whether ``(kind, key_id, value)`` rows can hold an intra-INT anomaly.
+
+    The columnar fast path's trigger for :func:`transaction_int_violations`
+    — kept in this module, next to the check it mirrors, so the two evolve
+    together.  It fires exactly when the object check would report
+    something: a read whose last same-key predecessor holds a different
+    value (NotMyLastWrite / NotMyOwnWrite / NonRepeatableReads), or an
+    external-position read of a value the transaction itself writes
+    (FutureRead).  ``False`` provably means zero violations, so callers
+    (:meth:`repro.core.index.HistoryIndex.from_columns`'s INT pre-pass and
+    :meth:`repro.core.incremental.IncrementalChecker.ingest_segment`) only
+    materialise a ``Transaction`` for candidate rows.
+    """
+    own_writes: Dict[int, set] = {}
+    for kind, kid, value in ops:
+        if kind:
+            own_writes.setdefault(kid, set()).add(value)
+    last: Dict[int, Optional[int]] = {}
+    for kind, kid, value in ops:
+        if kind:
+            last[kid] = value
+            continue
+        if kid in last:
+            if value != last[kid]:
+                return True
+        else:
+            writes = own_writes.get(kid)
+            if writes is not None and value in writes:
+                return True
+        last[kid] = value
+    return False
 
 
 def _external_position_reads(txn: Transaction) -> List[Operation]:

@@ -33,6 +33,9 @@ __all__ = [
     "History",
     "INITIAL_TXN_ID",
     "INITIAL_VALUE",
+    "STATUS_CODES",
+    "STATUS_FROM_CODE",
+    "history_from_stream",
     "read",
     "write",
 ]
@@ -101,6 +104,23 @@ class TransactionStatus(enum.Enum):
     #: The client never learned the outcome (e.g. a timeout); such
     #: transactions must be treated as possibly committed.
     UNKNOWN = "unknown"
+
+
+#: Stable small-integer codes for :class:`TransactionStatus` — the single
+#: source of truth for the columnar segment encoding
+#: (:mod:`repro.history.columnar`) and every consumer that decodes its
+#: ``statuses`` column.  Append-only: existing codes are part of the
+#: on-disk segment format.
+STATUS_CODES: Dict[TransactionStatus, int] = {
+    TransactionStatus.COMMITTED: 0,
+    TransactionStatus.ABORTED: 1,
+    TransactionStatus.UNKNOWN: 2,
+}
+
+#: Inverse of :data:`STATUS_CODES`: ``STATUS_FROM_CODE[code] -> status``.
+STATUS_FROM_CODE: Tuple[TransactionStatus, ...] = tuple(
+    status for status, _ in sorted(STATUS_CODES.items(), key=lambda item: item[1])
+)
 
 
 @dataclass
@@ -412,6 +432,29 @@ class History:
             f"History(sessions={len(self.sessions)}, "
             f"transactions={self.num_transactions()})"
         )
+
+
+def history_from_stream(transactions: Iterable[Transaction]) -> History:
+    """Group a session-preserving transaction stream into a :class:`History`.
+
+    The canonical reconstruction convention shared by every stream-shaped
+    source (JSONL loads, columnar segments, lazily materialised indexes):
+    ``⊥T`` becomes the initial transaction, the rest are grouped by session
+    id with per-stream order preserved, and sessions are listed in
+    ascending id order.
+    """
+    sessions: Dict[int, Session] = {}
+    initial: Optional[Transaction] = None
+    for txn in transactions:
+        if txn.is_initial:
+            initial = txn
+            continue
+        session = sessions.setdefault(txn.session_id, Session(txn.session_id))
+        session.transactions.append(txn)
+    return History(
+        sessions=[sessions[sid] for sid in sorted(sessions)],
+        initial_transaction=initial,
+    )
 
 
 def make_initial_transaction(keys: Iterable[str], value: int = INITIAL_VALUE) -> Transaction:

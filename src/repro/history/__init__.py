@@ -1,5 +1,24 @@
-"""History persistence: JSON documents and streaming JSONL histories."""
+"""History persistence: JSON documents, streaming JSONL, columnar segments.
 
+Three formats, one data model:
+
+* ``*.json`` — a single JSON document (archival);
+* ``*.jsonl`` / ``*.ndjson`` (optionally ``.gz``) — a line-oriented stream
+  (live tailing, interchange, debugging);
+* ``*.seg`` (optionally ``.gz``) — a binary columnar segment
+  (:mod:`repro.history.columnar`), the zero-copy fast path into the
+  checker.
+
+``repro convert`` moves histories losslessly between all three.
+"""
+
+from .columnar import (
+    ColumnarHistory,
+    SegmentWriter,
+    is_segment_path,
+    load_history_segment,
+    write_history_segment,
+)
 from .serialization import (
     HistoryStreamWriter,
     history_from_dict,
@@ -11,6 +30,7 @@ from .serialization import (
     load_lwt_history,
     lwt_history_from_dict,
     lwt_history_to_dict,
+    open_history_stream,
     parse_stream_header,
     save_history,
     save_lwt_history,
@@ -20,20 +40,26 @@ from .serialization import (
 )
 
 __all__ = [
+    "ColumnarHistory",
+    "SegmentWriter",
     "HistoryStreamWriter",
     "history_from_dict",
     "history_to_dict",
+    "is_segment_path",
     "is_stream_path",
     "iter_history_jsonl",
     "load_history",
     "load_history_jsonl",
+    "load_history_segment",
     "load_lwt_history",
     "lwt_history_from_dict",
     "lwt_history_to_dict",
+    "open_history_stream",
     "parse_stream_header",
     "save_history",
     "save_lwt_history",
     "transaction_from_dict",
     "transaction_to_dict",
     "write_history_jsonl",
+    "write_history_segment",
 ]

@@ -1,0 +1,578 @@
+"""Columnar history segments: the zero-copy data plane of the pipeline.
+
+JSONL (:mod:`repro.history.serialization`) is the *interchange* format —
+human-greppable, append-only, tailable.  It is also the slowest possible way
+to feed the checker: every transaction becomes a parsed dict, then a
+:class:`~repro.core.model.Transaction` with one frozen
+:class:`~repro.core.model.Operation` per op, and every downstream layer
+re-walks those objects attribute by attribute.  At millions of transactions
+the accept path spends more time allocating Python objects than checking.
+
+:class:`ColumnarHistory` stores the same information as flat typed columns —
+the representation the dense kernel (:mod:`repro.core.csr`) and the shared
+index (:class:`~repro.core.index.HistoryIndex`) already work in:
+
+* per transaction: ``txn_ids`` / ``session_ids`` (``array('q')``),
+  ``statuses`` (small codes), ``start_ts`` / ``finish_ts`` (``array('d')``,
+  NaN encodes "no timestamp"), and ``op_offsets`` (CSR-style: transaction
+  ``i`` owns operations ``op_offsets[i]:op_offsets[i+1]``);
+* per operation: ``op_kinds`` (read/write), ``op_keys`` (dense key ids into
+  ``key_names``), ``op_values`` + ``op_has_value`` (``None``-aware values).
+
+A segment round-trips losslessly with the JSONL stream format (``repro
+convert``), serialises to a compact binary file (:meth:`ColumnarHistory.save`
+/ :meth:`ColumnarHistory.load`, gzip-optional via a ``.gz`` suffix), and
+crosses process boundaries as raw buffers (:meth:`ColumnarHistory.to_wire` /
+:meth:`ColumnarHistory.from_wire`) — which is how the parallel executor ships
+shard slices without pickling a single ``Transaction``.
+
+The fast consumption path is :meth:`repro.core.index.HistoryIndex.from_columns`,
+which scans these columns directly; :meth:`to_history` exists for the legacy
+object pipeline and for debugging.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import math
+import sys
+from array import array
+from pathlib import Path
+from typing import (
+    IO,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..core.model import (
+    INITIAL_TXN_ID,
+    STATUS_CODES,
+    STATUS_FROM_CODE,
+    History,
+    Operation,
+    OpType,
+    Transaction,
+    history_from_stream,
+    make_initial_transaction,
+)
+
+__all__ = [
+    "ColumnarHistory",
+    "SegmentWriter",
+    "is_segment_path",
+    "write_history_segment",
+    "load_history_segment",
+    "SEGMENT_FORMAT",
+    "SEGMENT_MAGIC",
+]
+
+SEGMENT_FORMAT = "repro-history-segment-v1"
+SEGMENT_MAGIC = b"REPROSEG1\n"
+
+#: Op-kind codes used in the ``op_kinds`` column.  (Status codes in the
+#: ``statuses`` column are :data:`repro.core.model.STATUS_CODES`,
+#: re-exported here for segment consumers.)
+_READ, _WRITE = 0, 1
+
+_NAN = float("nan")
+
+#: Process-boundary wire format: key names plus one raw buffer per column.
+WireColumns = Tuple[
+    List[str],  # key_names
+    bytes,  # txn_ids      array('q')
+    bytes,  # session_ids  array('q')
+    bytes,  # statuses     array('b')
+    bytes,  # start_ts     array('d')
+    bytes,  # finish_ts    array('d')
+    bytes,  # op_offsets   array('q')
+    bytes,  # op_kinds     array('b')
+    bytes,  # op_keys      array('i')
+    bytes,  # op_values    array('q')
+    bytes,  # op_has_value array('b')
+]
+
+
+def is_segment_path(path: Union[str, Path]) -> bool:
+    """Whether ``path`` looks like a columnar segment file (by suffix)."""
+    name = Path(path).name.lower()
+    return name.endswith(".seg") or name.endswith(".seg.gz")
+
+
+class ColumnarHistory:
+    """A history as flat typed columns (one appendable in-memory segment).
+
+    Rows are transactions in arrival order; when the history has an initial
+    transaction ``⊥T`` it occupies row 0 (``txn_id == -1``).  Per-session
+    order is whatever order rows were appended in, which every producer
+    (stream order, the collector's finish-order hook) preserves.
+
+    Example:
+        >>> from repro.core.model import Transaction, read, write
+        >>> cols = ColumnarHistory()
+        >>> cols.append(Transaction(1, [read("x", 0), write("x", 1)]))
+        >>> cols.num_transactions, cols.num_operations, cols.key_names
+        (1, 2, ['x'])
+        >>> str(cols.transaction_at(0))
+        'T1[R(x,0), W(x,1)]'
+    """
+
+    __slots__ = (
+        "key_names",
+        "key_ids",
+        "txn_ids",
+        "session_ids",
+        "statuses",
+        "start_ts",
+        "finish_ts",
+        "op_offsets",
+        "op_kinds",
+        "op_keys",
+        "op_values",
+        "op_has_value",
+    )
+
+    def __init__(self) -> None:
+        self.key_names: List[str] = []
+        self.key_ids: Dict[str, int] = {}
+        self.txn_ids = array("q")
+        self.session_ids = array("q")
+        self.statuses = array("b")
+        self.start_ts = array("d")
+        self.finish_ts = array("d")
+        self.op_offsets = array("q", [0])
+        self.op_kinds = array("b")
+        self.op_keys = array("i")
+        self.op_values = array("q")
+        self.op_has_value = array("b")
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_transactions(self) -> int:
+        return len(self.txn_ids)
+
+    @property
+    def num_operations(self) -> int:
+        return len(self.op_kinds)
+
+    @property
+    def has_initial(self) -> bool:
+        """Whether row 0 is the initial transaction ``⊥T``."""
+        return len(self.txn_ids) > 0 and self.txn_ids[0] == INITIAL_TXN_ID
+
+    @property
+    def nbytes(self) -> int:
+        """Retained bytes of the flat column store (key names excluded)."""
+        return sum(
+            column.itemsize * len(column)
+            for column in (
+                self.txn_ids,
+                self.session_ids,
+                self.statuses,
+                self.start_ts,
+                self.finish_ts,
+                self.op_offsets,
+                self.op_kinds,
+                self.op_keys,
+                self.op_values,
+                self.op_has_value,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.txn_ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarHistory(transactions={self.num_transactions}, "
+            f"operations={self.num_operations}, keys={len(self.key_names)}, "
+            f"nbytes={self.nbytes})"
+        )
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def key_id(self, key: str) -> int:
+        """Intern ``key`` and return its dense id."""
+        kid = self.key_ids.get(key)
+        if kid is None:
+            kid = len(self.key_names)
+            self.key_ids[key] = kid
+            self.key_names.append(key)
+        return kid
+
+    def append(self, txn: Transaction) -> None:
+        """Append one transaction as a new row.
+
+        Raises ``ValueError`` when an id or value falls outside the segment
+        format's integer range (signed 64-bit for transaction/session ids
+        and values, signed 32-bit for distinct keys); the instance must be
+        considered corrupt afterwards.
+        """
+        try:
+            self.txn_ids.append(txn.txn_id)
+            self.session_ids.append(txn.session_id)
+            self.statuses.append(STATUS_CODES[txn.status])
+            self.start_ts.append(_NAN if txn.start_ts is None else float(txn.start_ts))
+            self.finish_ts.append(_NAN if txn.finish_ts is None else float(txn.finish_ts))
+            key_ids = self.key_ids
+            key_names = self.key_names
+            kinds_append = self.op_kinds.append
+            keys_append = self.op_keys.append
+            values_append = self.op_values.append
+            has_append = self.op_has_value.append
+            for op in txn.operations:
+                kid = key_ids.get(op.key)
+                if kid is None:
+                    kid = len(key_names)
+                    key_ids[op.key] = kid
+                    key_names.append(op.key)
+                kinds_append(_WRITE if op.is_write else _READ)
+                keys_append(kid)
+                if op.value is None:
+                    values_append(0)
+                    has_append(0)
+                else:
+                    values_append(op.value)
+                    has_append(1)
+            self.op_offsets.append(len(self.op_kinds))
+        except OverflowError as exc:
+            raise ValueError(
+                f"transaction T{txn.txn_id} does not fit the columnar segment "
+                f"format (ids and values are signed 64-bit, distinct keys "
+                f"signed 32-bit): {exc}"
+            ) from None
+
+    __call__ = append
+
+    # ------------------------------------------------------------------
+    # Row materialisation (debug / legacy interop; not the hot path)
+    # ------------------------------------------------------------------
+    def transaction_at(self, row: int) -> Transaction:
+        """Materialise one row as a :class:`Transaction`."""
+        lo, hi = self.op_offsets[row], self.op_offsets[row + 1]
+        key_names = self.key_names
+        operations = [
+            Operation(
+                OpType.WRITE if kind else OpType.READ,
+                key_names[kid],
+                value if has else None,
+            )
+            for kind, kid, value, has in zip(
+                self.op_kinds[lo:hi],
+                self.op_keys[lo:hi],
+                self.op_values[lo:hi],
+                self.op_has_value[lo:hi],
+            )
+        ]
+        start = self.start_ts[row]
+        finish = self.finish_ts[row]
+        return Transaction(
+            txn_id=self.txn_ids[row],
+            operations=operations,
+            session_id=self.session_ids[row],
+            status=STATUS_FROM_CODE[self.statuses[row]],
+            start_ts=None if math.isnan(start) else start,
+            finish_ts=None if math.isnan(finish) else finish,
+        )
+
+    def iter_transactions(self) -> Iterator[Transaction]:
+        """Yield every row as a :class:`Transaction` (``⊥T`` first if present)."""
+        for row in range(len(self.txn_ids)):
+            yield self.transaction_at(row)
+
+    def row_ops(self, row: int) -> Iterator[Tuple[int, int, Optional[int]]]:
+        """Yield ``(kind, key_id, value)`` for one row (``None``-aware values)."""
+        lo, hi = self.op_offsets[row], self.op_offsets[row + 1]
+        for kind, kid, value, has in zip(
+            self.op_kinds[lo:hi],
+            self.op_keys[lo:hi],
+            self.op_values[lo:hi],
+            self.op_has_value[lo:hi],
+        ):
+            yield kind, kid, (value if has else None)
+
+    def timestamps_at(self, row: int) -> Tuple[Optional[float], Optional[float]]:
+        """``(start_ts, finish_ts)`` of one row, NaN decoded back to ``None``."""
+        start = self.start_ts[row]
+        finish = self.finish_ts[row]
+        return (
+            None if math.isnan(start) else start,
+            None if math.isnan(finish) else finish,
+        )
+
+    # ------------------------------------------------------------------
+    # History conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_history(cls, history: History) -> "ColumnarHistory":
+        """Column-encode a history in canonical streaming arrival order."""
+        from ..core.incremental import stream_order  # deferred: avoid cycle
+
+        return cls.from_transactions(stream_order(history))
+
+    @classmethod
+    def from_transactions(cls, transactions: Iterable[Transaction]) -> "ColumnarHistory":
+        """Column-encode transactions in the given (session-preserving) order."""
+        cols = cls()
+        for txn in transactions:
+            cols.append(txn)
+        return cols
+
+    def to_history(self) -> History:
+        """Materialise a :class:`History` (sessions ordered by session id).
+
+        The inverse of :meth:`from_history` up to session-list ordering —
+        exactly the convention of
+        :func:`repro.history.serialization.load_history_jsonl`, so JSONL and
+        segment loads of the same history are indistinguishable (both
+        delegate to :func:`repro.core.model.history_from_stream`).
+        """
+        return history_from_stream(self.iter_transactions())
+
+    # ------------------------------------------------------------------
+    # Row slicing (shard construction)
+    # ------------------------------------------------------------------
+    def slice_rows(
+        self,
+        rows: Sequence[int],
+        *,
+        restrict_initial_keys: Optional[Iterable[str]] = None,
+    ) -> "ColumnarHistory":
+        """A new segment containing ``rows`` (in the given order).
+
+        When ``restrict_initial_keys`` is set, the initial transaction's
+        operations are filtered to those keys — the same restriction the
+        object partitioner applies to each shard's ``⊥T``.
+        """
+        restrict = (
+            None if restrict_initial_keys is None else set(restrict_initial_keys)
+        )
+        out = ColumnarHistory()
+        key_names = self.key_names
+        offsets = self.op_offsets
+        for row in rows:
+            out.txn_ids.append(self.txn_ids[row])
+            out.session_ids.append(self.session_ids[row])
+            out.statuses.append(self.statuses[row])
+            out.start_ts.append(self.start_ts[row])
+            out.finish_ts.append(self.finish_ts[row])
+            initial_row = self.txn_ids[row] == INITIAL_TXN_ID
+            for op in range(offsets[row], offsets[row + 1]):
+                name = key_names[self.op_keys[op]]
+                if initial_row and restrict is not None and name not in restrict:
+                    continue
+                out.op_kinds.append(self.op_kinds[op])
+                out.op_keys.append(out.key_id(name))
+                out.op_values.append(self.op_values[op])
+                out.op_has_value.append(self.op_has_value[op])
+            out.op_offsets.append(len(out.op_kinds))
+        return out
+
+    # ------------------------------------------------------------------
+    # Wire format (process boundary)
+    # ------------------------------------------------------------------
+    def to_wire(self) -> WireColumns:
+        """Flatten into compact picklable buffers (same-machine transfer)."""
+        return (
+            self.key_names,
+            self.txn_ids.tobytes(),
+            self.session_ids.tobytes(),
+            self.statuses.tobytes(),
+            self.start_ts.tobytes(),
+            self.finish_ts.tobytes(),
+            self.op_offsets.tobytes(),
+            self.op_kinds.tobytes(),
+            self.op_keys.tobytes(),
+            self.op_values.tobytes(),
+            self.op_has_value.tobytes(),
+        )
+
+    @classmethod
+    def from_wire(cls, wire: WireColumns) -> "ColumnarHistory":
+        cols = cls.__new__(cls)
+        cols.key_names = list(wire[0])
+        cols.key_ids = {name: kid for kid, name in enumerate(cols.key_names)}
+        for slot, typecode, buf in zip(_COLUMN_SLOTS, _COLUMN_TYPECODES, wire[1:]):
+            column = array(typecode)
+            column.frombytes(buf)
+            setattr(cols, slot, column)
+        return cols
+
+    # ------------------------------------------------------------------
+    # Binary segment files
+    # ------------------------------------------------------------------
+    def save(
+        self, path: Union[str, Path], *, compress: Optional[bool] = None
+    ) -> None:
+        """Write a binary segment file (gzip when ``compress`` or ``*.gz``).
+
+        Layout: :data:`SEGMENT_MAGIC`, one JSON header line (format name,
+        byte order, counts, key names, column manifest), then each column's
+        raw bytes in manifest order.
+        """
+        if compress is None:
+            compress = str(path).lower().endswith(".gz")
+        columns = [getattr(self, slot) for slot in _COLUMN_SLOTS]
+        header = {
+            "format": SEGMENT_FORMAT,
+            "byteorder": sys.byteorder,
+            "transactions": self.num_transactions,
+            "operations": self.num_operations,
+            "key_names": self.key_names,
+            "columns": [
+                [slot, column.typecode, column.itemsize * len(column)]
+                for slot, column in zip(_COLUMN_SLOTS, columns)
+            ],
+        }
+        opener = gzip.open if compress else open
+        with opener(path, "wb") as fh:
+            fh.write(SEGMENT_MAGIC)
+            fh.write(json.dumps(header, separators=(",", ":")).encode("utf-8"))
+            fh.write(b"\n")
+            for column in columns:
+                fh.write(column.tobytes())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ColumnarHistory":
+        """Read a segment written by :meth:`save` (gzip auto-detected)."""
+        with open(path, "rb") as raw:
+            if raw.read(2) == b"\x1f\x8b":  # gzip magic
+                raw.seek(0)
+                with gzip.open(raw, "rb") as fh:
+                    return cls._read(fh, path)
+            raw.seek(0)
+            return cls._read(raw, path)
+
+    @classmethod
+    def _read(cls, fh: IO[bytes], path: Union[str, Path]) -> "ColumnarHistory":
+        if fh.read(len(SEGMENT_MAGIC)) != SEGMENT_MAGIC:
+            raise ValueError(f"{path}: not a {SEGMENT_FORMAT} segment file")
+        header_line = fh.readline()
+        try:
+            header: Dict[str, Any] = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: corrupt segment header: {exc}") from None
+        if header.get("format") != SEGMENT_FORMAT:
+            raise ValueError(f"{path}: not a {SEGMENT_FORMAT} segment file")
+        swap = header.get("byteorder", sys.byteorder) != sys.byteorder
+        cols = cls.__new__(cls)
+        cols.key_names = list(header.get("key_names", []))
+        cols.key_ids = {name: kid for kid, name in enumerate(cols.key_names)}
+        manifest = header.get("columns", [])
+        by_name = {entry[0]: entry for entry in manifest}
+        for slot, typecode in zip(_COLUMN_SLOTS, _COLUMN_TYPECODES):
+            entry = by_name.get(slot)
+            if entry is None:
+                raise ValueError(f"{path}: segment missing column {slot!r}")
+            _, stored_typecode, nbytes = entry
+            column = array(stored_typecode)
+            data = fh.read(nbytes)
+            if len(data) != nbytes:
+                raise ValueError(f"{path}: truncated segment column {slot!r}")
+            column.frombytes(data)
+            if swap:
+                column.byteswap()
+            if stored_typecode != typecode:
+                column = array(typecode, column)
+            setattr(cols, slot, column)
+        if len(cols.op_offsets) != len(cols.txn_ids) + 1:
+            raise ValueError(f"{path}: inconsistent segment offsets")
+        return cols
+
+
+#: Column slots in (wire and file) manifest order, with their typecodes.
+_COLUMN_SLOTS: Tuple[str, ...] = (
+    "txn_ids",
+    "session_ids",
+    "statuses",
+    "start_ts",
+    "finish_ts",
+    "op_offsets",
+    "op_kinds",
+    "op_keys",
+    "op_values",
+    "op_has_value",
+)
+_COLUMN_TYPECODES: Tuple[str, ...] = ("q", "q", "b", "d", "d", "q", "b", "i", "q", "b")
+
+
+# ----------------------------------------------------------------------
+# Module-level conveniences
+# ----------------------------------------------------------------------
+def write_history_segment(
+    history: History, path: Union[str, Path], *, compress: Optional[bool] = None
+) -> None:
+    """Write a complete history as a binary segment (canonical order)."""
+    ColumnarHistory.from_history(history).save(path, compress=compress)
+
+
+def load_history_segment(path: Union[str, Path]) -> ColumnarHistory:
+    """Load a segment file into a :class:`ColumnarHistory`."""
+    return ColumnarHistory.load(path)
+
+
+class SegmentWriter:
+    """Collect transactions live and persist them as one segment on close.
+
+    The columnar counterpart of
+    :class:`~repro.history.serialization.HistoryStreamWriter`: usable as a
+    context manager and directly as an ``on_transaction`` hook for the
+    workload runner or the concurrent
+    :class:`~repro.adapters.collector.Collector`.  Unlike the JSONL writer
+    the segment is written atomically at close (columns are not a tailable
+    format — pair with a JSONL stream when live followers are needed).
+
+    Example:
+        >>> import tempfile, os
+        >>> from repro import Transaction, read, write
+        >>> path = os.path.join(tempfile.mkdtemp(), "history.seg")
+        >>> with SegmentWriter(path, initial_keys=["x"]) as writer:
+        ...     writer.write(Transaction(1, [read("x", 0), write("x", 1)]))
+        >>> ColumnarHistory.load(path).num_transactions
+        2
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        initial_transaction: Optional[Transaction] = None,
+        initial_keys: Optional[Iterable[str]] = None,
+        compress: Optional[bool] = None,
+    ) -> None:
+        if initial_transaction is None and initial_keys is not None:
+            initial_transaction = make_initial_transaction(initial_keys)
+        self.path = Path(path)
+        self.columns = ColumnarHistory()
+        self._compress = compress
+        self._closed = False
+        if initial_transaction is not None:
+            self.columns.append(initial_transaction)
+
+    def write(self, txn: Transaction) -> None:
+        """Append one transaction to the in-memory segment."""
+        self.columns.append(txn)
+
+    __call__ = write
+
+    def close(self) -> None:
+        """Persist the segment (idempotent)."""
+        if not self._closed:
+            self.columns.save(self.path, compress=self._compress)
+            self._closed = True
+
+    def __enter__(self) -> "SegmentWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -20,7 +20,9 @@ line (the same shape as in the document format, including ``session_id``).
 
 from __future__ import annotations
 
+import gzip
 import json
+import warnings
 from pathlib import Path
 from typing import IO, Any, Dict, Iterable, Iterator, List, Optional, Union
 
@@ -32,6 +34,7 @@ from ..core.model import (
     Session,
     Transaction,
     TransactionStatus,
+    history_from_stream,
     make_initial_transaction,
 )
 
@@ -47,6 +50,7 @@ __all__ = [
     "iter_history_jsonl",
     "load_history_jsonl",
     "is_stream_path",
+    "open_history_stream",
     "lwt_history_to_dict",
     "lwt_history_from_dict",
     "save_lwt_history",
@@ -141,18 +145,50 @@ _txn_from_dict = transaction_from_dict
 # Streaming JSONL histories
 # ----------------------------------------------------------------------
 def is_stream_path(path: Union[str, Path]) -> bool:
-    """Whether ``path`` looks like a JSONL history stream (by suffix)."""
-    return Path(path).suffix.lower() in (".jsonl", ".ndjson")
+    """Whether ``path`` looks like a JSONL history stream (by suffix).
+
+    Gzip-compressed streams (``*.jsonl.gz`` / ``*.ndjson.gz``) count: every
+    stream consumer opens files through :func:`open_history_stream`, which
+    decompresses transparently.
+    """
+    name = Path(path).name.lower()
+    if name.endswith(".gz"):
+        name = name[: -len(".gz")]
+    return name.endswith((".jsonl", ".ndjson"))
+
+
+def open_history_stream(path: Union[str, Path]) -> IO[str]:
+    """Open a JSONL stream for text reading, gunzipping ``*.gz`` files.
+
+    Compression is detected by content (the two gzip magic bytes), not by
+    suffix, so renamed files still open correctly.
+    """
+    with open(path, "rb") as probe:
+        is_gzip = probe.read(2) == b"\x1f\x8b"
+    if is_gzip:
+        return gzip.open(path, "rt", encoding="utf-8")  # type: ignore[return-value]
+    return open(path, "r", encoding="utf-8")
 
 
 class HistoryStreamWriter:
     """Append-only writer for the JSONL history stream format.
 
     Emits the header on construction and one line per transaction after
-    that, flushing each line so a concurrent ``repro watch`` (or any
+    that, flushing so a concurrent ``repro watch`` (or any
     :func:`iter_history_jsonl` consumer in follow mode) sees transactions
     as soon as they commit.  Usable as a context manager and directly as a
     :class:`~repro.workloads.runner.WorkloadRunner` ``on_transaction`` hook.
+
+    ``flush_every=N`` batches flushes (every ``N`` transactions instead of
+    every one) for high-throughput producers; the header is always flushed
+    immediately so a follower can validate the stream at any time, and
+    buffered lines are flushed on :meth:`close`.  With ``N > 1`` the OS may
+    observe a *torn* final line mid-run — all stream readers tolerate that
+    (the watcher buffers until the newline arrives; one-shot readers skip a
+    torn tail).
+
+    A ``*.gz`` path (or ``compress=True``) writes the stream
+    gzip-compressed; every reader in this module decompresses transparently.
 
     Example:
         >>> import tempfile, os
@@ -170,17 +206,28 @@ class HistoryStreamWriter:
         *,
         initial_transaction: Optional[Transaction] = None,
         initial_keys: Optional[Iterable[str]] = None,
+        flush_every: int = 1,
+        compress: Optional[bool] = None,
     ) -> None:
         """``initial_keys`` synthesises the header's ``⊥T`` from a key list —
         the convenient form when tailing a live run (serial or concurrent)
         whose workload keys are known before any transaction commits."""
+        if flush_every < 1:
+            raise ValueError("flush_every must be a positive transaction count")
         if initial_transaction is None and initial_keys is not None:
             initial_transaction = make_initial_transaction(initial_keys)
-        self._fh: IO[str] = open(path, "w", encoding="utf-8")
+        if compress is None:
+            compress = str(path).lower().endswith(".gz")
+        if compress:
+            self._fh: IO[str] = gzip.open(path, "wt", encoding="utf-8")  # type: ignore[assignment]
+        else:
+            self._fh = open(path, "w", encoding="utf-8")
+        self._flush_every = flush_every
+        self._pending = 0
         header: Dict[str, Any] = {"format": STREAM_FORMAT}
         if initial_transaction is not None:
             header["initial_transaction"] = transaction_to_dict(initial_transaction)
-        self._emit(header)
+        self._emit(header, force_flush=True)
 
     def write(self, txn: Transaction) -> None:
         """Append one transaction to the stream."""
@@ -188,9 +235,17 @@ class HistoryStreamWriter:
 
     __call__ = write
 
-    def _emit(self, payload: Dict[str, Any]) -> None:
+    def _emit(self, payload: Dict[str, Any], *, force_flush: bool = False) -> None:
         self._fh.write(json.dumps(payload, separators=(",", ":")) + "\n")
+        self._pending += 1
+        if force_flush or self._pending >= self._flush_every:
+            self._fh.flush()
+            self._pending = 0
+
+    def flush(self) -> None:
+        """Flush buffered lines to the OS immediately."""
         self._fh.flush()
+        self._pending = 0
 
     def close(self) -> None:
         if not self._fh.closed:
@@ -251,35 +306,67 @@ def iter_history_jsonl(path: Union[str, Path]) -> Iterator[Transaction]:
 
     The file is read line by line, so arbitrarily long streams can be
     verified in bounded memory when combined with the streaming checker's
-    window mode.
+    window mode.  Gzip-compressed streams are decompressed transparently,
+    and a *torn* final line — a live producer (or a ``flush_every`` batch)
+    caught mid-append, recognisable by the missing terminating newline — is
+    skipped with a ``UserWarning`` instead of raising
+    ``json.JSONDecodeError``, so the complete prefix stays checkable while
+    the truncation remains visible (a truncated copy of a *finished*
+    history would otherwise be silently shortened); use ``repro watch`` to
+    keep following until the line completes.
     """
-    with open(path, "r", encoding="utf-8") as fh:
+    with open_history_stream(path) as fh:
         try:
-            header = parse_stream_header(fh.readline())
+            header_line = fh.readline()
+        except EOFError:
+            # A gzip member cut off before its end-of-stream marker — the
+            # producer is still writing (or the copy was truncated).
+            raise ValueError(f"{path}: truncated compressed stream (no header)") from None
+        try:
+            header = parse_stream_header(header_line)
         except ValueError as exc:
             raise ValueError(f"{path}: {exc}") from None
         initial = header.get("initial_transaction")
         if initial is not None:
             yield transaction_from_dict(initial)
-        for line in fh:
-            if line.strip():
-                yield transaction_from_dict(json.loads(line))
+        while True:
+            try:
+                line = fh.readline()
+            except EOFError:
+                # Torn compressed tail (live gzip writer): the complete
+                # prefix has been yielded; the stream ends here.
+                warnings.warn(
+                    f"{path}: compressed stream truncated mid-member "
+                    f"(producer still writing?); stopping at the last "
+                    f"complete transaction",
+                    stacklevel=2,
+                )
+                return
+            if not line:
+                return
+            if not line.strip():
+                continue
+            if not line.endswith("\n"):
+                # Unterminated final line: the producer is mid-append.  If it
+                # parses it is a complete record that merely lacks a trailing
+                # newline; otherwise it is torn and the stream ends here.
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    warnings.warn(
+                        f"{path}: skipping torn final line "
+                        f"({len(line)} bytes without a newline)",
+                        stacklevel=2,
+                    )
+                    return
+                yield transaction_from_dict(payload)
+                return
+            yield transaction_from_dict(json.loads(line))
 
 
 def load_history_jsonl(path: Union[str, Path]) -> History:
     """Materialise a JSONL stream into a :class:`History` (for batch use)."""
-    sessions: Dict[int, Session] = {}
-    initial: Optional[Transaction] = None
-    for txn in iter_history_jsonl(path):
-        if txn.is_initial:
-            initial = txn
-            continue
-        session = sessions.setdefault(txn.session_id, Session(txn.session_id))
-        session.transactions.append(txn)
-    return History(
-        sessions=[sessions[sid] for sid in sorted(sessions)],
-        initial_transaction=initial,
-    )
+    return history_from_stream(iter_history_jsonl(path))
 
 
 # ----------------------------------------------------------------------

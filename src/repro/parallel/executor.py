@@ -12,9 +12,19 @@
    additionally reassembles the shard graphs under the global real-time
    order, which is the one relation that crosses shard boundaries.
 
+Shards cross the process boundary as **columnar wire buffers**
+(:meth:`~repro.history.columnar.ColumnarHistory.to_wire`): a handful of raw
+``array`` byte strings per shard instead of a pickled object graph of
+``Transaction``/``Operation`` instances.  Workers rebuild their index with
+:meth:`~repro.core.index.HistoryIndex.from_columns`, so a shard check never
+materialises per-transaction Python objects on the accept path — the
+instrumentation test in ``tests/test_columnar.py`` asserts no ``Transaction``
+is ever pickled.
+
 Invariant: **sharded verdicts equal serial verdicts on every history** —
-the randomized equivalence suite (``tests/test_parallel.py``) enforces it
-across SER/SI/SSER, every simulated engine, and injected faults.
+the randomized equivalence suites (``tests/test_parallel.py``,
+``tests/test_columnar.py``) enforce it across SER/SI/SSER, every simulated
+engine, and injected faults.
 
 The pool is a best-effort optimisation: environments where processes
 cannot be spawned (sandboxes, restricted containers) transparently fall
@@ -39,6 +49,7 @@ from ..core.graph import build_dependency
 from ..core.index import HistoryIndex
 from ..core.model import History
 from ..core.result import CheckResult, IsolationLevel
+from ..history.columnar import ColumnarHistory, WireColumns
 from .merge import (
     ShardOutcome,
     merge_shard_results,
@@ -46,16 +57,17 @@ from .merge import (
     merge_sser_graphs,
     serialize_edges,
 )
-from .partition import DEFAULT_MAX_SHARDS, Shard, partition_history
+from .partition import DEFAULT_MAX_SHARDS, Shard, partition_columns, partition_history
 
-__all__ = ["check_parallel"]
+__all__ = ["check_parallel", "make_payload"]
 
-#: One shard task shipped to a worker process.
-_Payload = Tuple[int, History, IsolationLevel, bool, bool]
+#: One shard task shipped to a worker process: the shard's columnar wire
+#: buffers plus the check configuration.  Contains no ``Transaction``s.
+_Payload = Tuple[int, WireColumns, IsolationLevel, bool, bool]
 
 
 def check_parallel(
-    history: History,
+    history: Optional[History],
     level: IsolationLevel,
     *,
     workers: int = 1,
@@ -64,11 +76,13 @@ def check_parallel(
     index: Optional[HistoryIndex] = None,
     max_shards: Optional[int] = DEFAULT_MAX_SHARDS,
     dense: bool = True,
+    columns: Optional[ColumnarHistory] = None,
 ) -> CheckResult:
-    """Verify ``history`` against ``level`` via the sharded pipeline.
+    """Verify a history against ``level`` via the sharded pipeline.
 
     Args:
-        history: the MT history to verify.
+        history: the MT history to verify — or ``None`` when ``columns``
+            carries the history in columnar form.
         level: SER, SI, SSER, or LIN (checked as SSER on plain histories).
         workers: number of OS processes to fan shard checks out over;
             ``1`` runs the same shard checks inline (identical result).
@@ -80,26 +94,40 @@ def check_parallel(
             here when absent); also drives the partitioner.
         max_shards: cap on the shard fan-out (fixed, never worker-derived).
         dense: run shard checks on the array-native CSR kernel (default);
-            SSER shard graphs then cross the process boundary as compact
-            ``array('i')`` buffers instead of pickled edge-tuple lists.
-            ``dense=False`` keeps the legacy multigraph path; verdicts are
-            identical either way.
+            SSER shard graphs then cross the process boundary back as
+            compact ``array('i')`` buffers instead of pickled edge-tuple
+            lists.  ``dense=False`` keeps the legacy multigraph path;
+            verdicts are identical either way.
+        columns: the history as a
+            :class:`~repro.history.columnar.ColumnarHistory` — shards are
+            then sliced straight from the columns and the object history is
+            never materialised.
     """
     if level not in GRAPH_CHECKED_LEVELS:
         raise ValueError(f"unsupported isolation level for sharded checking: {level}")
     if workers < 1:
         raise ValueError("workers must be >= 1")
+    if history is None and columns is None:
+        raise ValueError("either a history or its columns must be provided")
     if level is IsolationLevel.LINEARIZABILITY:
         level = IsolationLevel.STRICT_SERIALIZABILITY
 
     started = time.perf_counter()
     if index is None:
-        index = HistoryIndex.build(history)
+        if history is not None:
+            index = HistoryIndex.build(history)
+        else:
+            assert columns is not None
+            index = HistoryIndex.from_columns(columns)
 
     if strict_mt:
         raise_if_not_mt(index)
 
-    shards = partition_history(history, index=index, max_shards=max_shards)
+    if history is not None:
+        shards = partition_history(history, index=index, max_shards=max_shards)
+    else:
+        assert columns is not None
+        shards = partition_columns(columns, index=index, max_shards=max_shards)
     if len(shards) == 1:
         # Fully connected history: the serial pipeline on the shared index
         # is already optimal (and strict validation has been done above).
@@ -110,7 +138,7 @@ def check_parallel(
         return check_sser(history, transitive_ww=transitive_ww, index=index, dense=dense)
 
     payloads: List[_Payload] = [
-        (shard.index, shard.history, level, transitive_ww, dense) for shard in shards
+        make_payload(shard, level, transitive_ww, dense) for shard in shards
     ]
     outcomes = _execute(payloads, workers)
     outcomes.sort(key=lambda o: o.shard_index)
@@ -134,13 +162,33 @@ def check_parallel(
     return result
 
 
+def make_payload(
+    shard: Shard,
+    level: IsolationLevel,
+    transitive_ww: bool,
+    dense: bool,
+) -> _Payload:
+    """The process-boundary task for one shard: columnar buffers only.
+
+    Shards from the columnar partitioner already carry their column slice;
+    shards from the object partitioner are column-encoded here — either
+    way the payload pickles as raw bytes, never as ``Transaction`` objects.
+    """
+    columns = shard.columns
+    if columns is None:
+        assert shard.history is not None
+        columns = ColumnarHistory.from_history(shard.history)
+    return (shard.index, columns.to_wire(), level, transitive_ww, dense)
+
+
 # ----------------------------------------------------------------------
 # Worker-side machinery
 # ----------------------------------------------------------------------
 def _run_shard(payload: _Payload) -> ShardOutcome:
     """Check one shard; module-level so process pools can import it."""
-    shard_index, shard_history, level, transitive_ww, dense = payload
-    shard_idx_obj = HistoryIndex.build(shard_history)
+    shard_index, wire, level, transitive_ww, dense = payload
+    shard_columns = ColumnarHistory.from_wire(wire)
+    shard_idx_obj = HistoryIndex.from_columns(shard_columns)
 
     if level is IsolationLevel.STRICT_SERIALIZABILITY:
         int_violations = shard_idx_obj.int_violations()
@@ -154,7 +202,7 @@ def _run_shard(payload: _Payload) -> ShardOutcome:
             # Build array-native and ship the raw buffers: four bytes per
             # edge column instead of a pickled list of labeled tuples.
             csr = build_dependency(
-                shard_history,
+                None,
                 with_rt=False,
                 transitive_ww=transitive_ww,
                 index=shard_idx_obj,
@@ -166,7 +214,7 @@ def _run_shard(payload: _Payload) -> ShardOutcome:
                 csr=csr.to_wire(),
             )
         graph = build_dependency(
-            shard_history,
+            None,
             with_rt=False,
             transitive_ww=transitive_ww,
             index=shard_idx_obj,
@@ -180,11 +228,11 @@ def _run_shard(payload: _Payload) -> ShardOutcome:
 
     if level is IsolationLevel.SNAPSHOT_ISOLATION:
         result = check_si(
-            shard_history, transitive_ww=transitive_ww, index=shard_idx_obj, dense=dense
+            None, transitive_ww=transitive_ww, index=shard_idx_obj, dense=dense
         )
     else:
         result = check_ser(
-            shard_history, transitive_ww=transitive_ww, index=shard_idx_obj, dense=dense
+            None, transitive_ww=transitive_ww, index=shard_idx_obj, dense=dense
         )
     return ShardOutcome(
         shard_index=shard_index,

@@ -129,7 +129,9 @@ def merge_sser_csr(
     would report.
     """
     num_transactions = sum(o.num_transactions for o in outcomes)
-    node_ids = [t.txn_id for t in index.committed]
+    # Only the index's dense accessors are consumed, so a columnar-built
+    # index merges without materialising a single Transaction.
+    node_ids = list(index.committed_txn_ids)
     global_dense = {txn_id: i for i, txn_id in enumerate(node_ids)}
     key_dense = index.key_dense
 
@@ -154,9 +156,9 @@ def merge_sser_csr(
             kid_append(key_map[k] if k >= 0 else -1)
 
     rt_code = EDGE_TYPE_CODES[EdgeType.RT]
-    for source, target in index.real_time_pairs(reduced=reduced_rt):
-        s = global_dense.get(source.txn_id)
-        t = global_dense.get(target.txn_id)
+    for source_id, target_id in index.real_time_id_pairs(reduced=reduced_rt):
+        s = global_dense.get(source_id)
+        t = global_dense.get(target_id)
         if s is not None and t is not None:
             src_append(s)
             dst_append(t)

@@ -182,6 +182,119 @@ class TestStreamingCommands:
         assert check_tags and check_tags == watch_tags
 
 
+class TestSegmentAndConvertCommands:
+    def _generate(self, path, *extra):
+        return main(
+            ["generate", "--isolation", "si", "--sessions", "4", "--txns", "20",
+             "--objects", "8", "--output", str(path), *extra]
+        )
+
+    def test_generate_segment_then_check_batch_and_stream(self, tmp_path, capsys):
+        path = tmp_path / "history.seg"
+        assert self._generate(path) == 0
+        assert path.read_bytes().startswith(b"REPROSEG1")
+        assert main(["check", "--level", "si", str(path)]) == 0
+        assert "SATISFIED" in capsys.readouterr().out
+        assert main(["check", "--level", "si", "--stream", str(path)]) == 0
+        assert "SATISFIED" in capsys.readouterr().out
+
+    def test_check_segment_with_workers(self, tmp_path, capsys):
+        path = tmp_path / "history.seg.gz"
+        assert self._generate(path) == 0
+        assert main(["check", "--level", "ser", "--workers", "2", str(path)]) == 0
+        assert "SATISFIED" in capsys.readouterr().out
+
+    def test_faulty_segment_is_detected(self, tmp_path, capsys):
+        path = tmp_path / "buggy.seg"
+        assert self._generate(path, "--fault", "lostupdate", "--fault-rate", "0.6") == 0
+        assert main(["check", "--level", "si", str(path)]) == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_segment_stream_tags_match_jsonl_stream_tags(self, tmp_path, capsys):
+        jsonl = tmp_path / "buggy.jsonl"
+        assert self._generate(jsonl, "--fault", "lostupdate", "--fault-rate", "0.6") == 0
+        capsys.readouterr()
+        assert main(["convert", str(jsonl), str(tmp_path / "buggy.seg")]) == 0
+        capsys.readouterr()
+        main(["check", "--stream", "--level", "si", str(jsonl)])
+        jsonl_tags = [
+            l.split("]")[0] for l in capsys.readouterr().out.splitlines()
+            if l.startswith("[txn #")
+        ]
+        main(["check", "--stream", "--level", "si", str(tmp_path / "buggy.seg")])
+        seg_tags = [
+            l.split("]")[0] for l in capsys.readouterr().out.splitlines()
+            if l.startswith("[txn #")
+        ]
+        assert jsonl_tags and jsonl_tags == seg_tags
+
+    def test_segment_stream_rejects_workers_before_loading(self, tmp_path, capsys):
+        missing = tmp_path / "never-created.seg"
+        missing.write_bytes(b"REPROSEG1\n{}")  # never parsed: flags fail first
+        assert main(["check", "--stream", "--workers", "2", str(missing)]) == 2
+        assert "--workers applies to batch" in capsys.readouterr().out
+
+    def test_convert_round_trip_preserves_stream(self, tmp_path, capsys):
+        jsonl = tmp_path / "h.jsonl"
+        assert self._generate(jsonl) == 0
+        assert main(["convert", str(jsonl), str(tmp_path / "h.seg")]) == 0
+        assert main(["convert", str(tmp_path / "h.seg"), str(tmp_path / "back.jsonl.gz")]) == 0
+        assert "converted" in capsys.readouterr().out
+
+        from repro.history import iter_history_jsonl
+
+        original = [(t.txn_id, t.status, str(t)) for t in iter_history_jsonl(jsonl)]
+        restored = [
+            (t.txn_id, t.status, str(t))
+            for t in iter_history_jsonl(tmp_path / "back.jsonl.gz")
+        ]
+        assert original == restored
+
+    def test_convert_to_json_document(self, tmp_path, capsys):
+        seg = tmp_path / "h.seg"
+        assert self._generate(seg) == 0
+        doc = tmp_path / "h.json"
+        assert main(["convert", str(seg), str(doc)]) == 0
+        assert json.loads(doc.read_text())["format"] == "repro-history-v1"
+        assert main(["check", "--level", "si", str(doc)]) == 0
+        capsys.readouterr()
+
+    def test_gzip_jsonl_checks_and_watches(self, tmp_path, capsys):
+        path = tmp_path / "history.jsonl.gz"
+        assert self._generate(path) == 0
+        assert main(["check", "--level", "si", str(path)]) == 0
+        assert main(["watch", "--level", "si", "--once", str(path)]) == 0
+        assert "SATISFIED" in capsys.readouterr().out
+
+    def test_watch_rejects_segments(self, tmp_path, capsys):
+        path = tmp_path / "history.seg"
+        assert self._generate(path) == 0
+        assert main(["watch", "--once", str(path)]) == 2
+        assert "cannot be followed" in capsys.readouterr().out
+
+    def test_collect_writes_segment(self, tmp_path, capsys):
+        path = tmp_path / "collected.seg"
+        code = main(
+            ["collect", "--adapter", "simulated", "--isolation", "si", "--sessions", "2",
+             "--txns", "10", "--objects", "6", "--output", str(path)]
+        )
+        assert code == 0
+        assert main(["check", "--level", "ser", str(path)]) == 0
+        capsys.readouterr()
+
+
+class TestBenchIO:
+    def test_bench_io_smoke_writes_json(self, tmp_path, capsys):
+        code = main(["bench", "--suite", "io", "--smoke", "--output-dir", str(tmp_path)])
+        assert code == 0
+        payload = json.loads((tmp_path / "BENCH_io.json").read_text())
+        assert payload["suite"] == "io"
+        for row in payload["rows"]:
+            assert row["verdicts_equal"] is True
+            assert row["columnar_payload_bytes"] < row["legacy_payload_bytes"]
+        capsys.readouterr()
+
+
 class TestVersionFlag:
     def test_version_prints_package_version(self, capsys):
         import repro

@@ -1,0 +1,443 @@
+"""Tests for the columnar history substrate (``repro.history.columnar``).
+
+The central invariants of the columnar data plane:
+
+* **Lossless interchange** — JSONL ↔ columnar conversion preserves every
+  transaction field exactly, in order, including aborted/unknown statuses,
+  ``None`` values, and timestamps.
+* **One verdict** — for any history, checking through the columnar path
+  (``HistoryIndex.from_columns`` / ``MTChecker.verify(segment)`` /
+  ``IncrementalChecker.ingest_segment`` / ``workers=N`` columnar dispatch)
+  produces the *same* verdict, anomaly kinds, and labeled cycles as the
+  object pipeline — across SER/SI/SSER, healthy and fault-injected
+  histories.
+* **No object pickling** — parallel dispatch ships raw column buffers;
+  no ``Transaction``/``Operation`` ever crosses the process boundary.
+"""
+
+import gzip
+import math
+import pickle
+import random
+
+import pytest
+
+from repro.core.checker import MTChecker
+from repro.core.checkers import check_ser, check_si, check_sser
+from repro.core.incremental import IncrementalChecker
+from repro.core.index import HistoryIndex
+from repro.core.model import (
+    History,
+    Transaction,
+    TransactionStatus,
+    read,
+    write,
+)
+from repro.core.result import IsolationLevel
+from repro.db import Database, FaultPlan
+from repro.history import (
+    ColumnarHistory,
+    SegmentWriter,
+    is_segment_path,
+    iter_history_jsonl,
+    load_history_segment,
+    write_history_jsonl,
+    write_history_segment,
+)
+from repro.parallel import check_parallel
+from repro.parallel.executor import make_payload
+from repro.parallel.partition import partition_columns, partition_history
+from repro.workloads.mt_generator import MTWorkloadGenerator
+from repro.workloads.runner import run_workload
+
+LEVELS = [
+    IsolationLevel.SERIALIZABILITY,
+    IsolationLevel.SNAPSHOT_ISOLATION,
+    IsolationLevel.STRICT_SERIALIZABILITY,
+]
+
+FAULTS = [None, "lostupdate", "writeskew", "staleread", "abortedread"]
+
+
+def generated_history(seed, fault=None, sessions=4, txns=25, objects=10):
+    workload = MTWorkloadGenerator(
+        num_sessions=sessions,
+        txns_per_session=txns,
+        num_objects=objects,
+        distribution="zipf",
+        seed=seed,
+    ).generate()
+    faults = (
+        FaultPlan.for_anomaly(fault, rate=0.4, seed=seed) if fault else None
+    )
+    database = Database("si", keys=workload.keys, faults=faults)
+    return run_workload(database, workload, seed=seed + 1).history
+
+
+def txn_fingerprint(txn):
+    """Every serialised field of one transaction, for exact comparisons."""
+    return (
+        txn.txn_id,
+        txn.session_id,
+        txn.status,
+        txn.start_ts,
+        txn.finish_ts,
+        tuple((op.op_type, op.key, op.value) for op in txn.operations),
+    )
+
+
+def result_fingerprint(result):
+    """Verdict + anomaly kinds + labeled cycles, for exact comparisons."""
+    return (
+        result.satisfied,
+        result.num_transactions,
+        [
+            (v.kind, tuple(v.txn_ids), v.key, v.cycle, v.description)
+            for v in result.violations
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Columnar container basics
+# ----------------------------------------------------------------------
+class TestColumnarContainer:
+    def test_round_trip_through_columns_is_exact(self):
+        history = generated_history(1, "abortedread")
+        cols = ColumnarHistory.from_history(history)
+        assert cols.num_transactions == history.num_transactions(include_initial=True)
+        back = cols.to_history()
+        original = {t.txn_id: txn_fingerprint(t) for t in history.transactions()}
+        restored = {t.txn_id: txn_fingerprint(t) for t in back.transactions()}
+        assert original == restored
+
+    def test_none_values_and_missing_timestamps_survive(self):
+        txn = Transaction(
+            7,
+            [read("x", None), write("x", 1), read("y", 3)],
+            session_id=2,
+            status=TransactionStatus.UNKNOWN,
+        )
+        cols = ColumnarHistory.from_transactions([txn])
+        restored = cols.transaction_at(0)
+        assert txn_fingerprint(restored) == txn_fingerprint(txn)
+        assert restored.operations[0].value is None
+        assert restored.start_ts is None and restored.finish_ts is None
+
+    def test_wire_round_trip(self):
+        cols = ColumnarHistory.from_history(generated_history(2))
+        back = ColumnarHistory.from_wire(cols.to_wire())
+        assert [txn_fingerprint(t) for t in back.iter_transactions()] == [
+            txn_fingerprint(t) for t in cols.iter_transactions()
+        ]
+
+    def test_slice_rows_restricts_initial_keys(self):
+        history = generated_history(3)
+        cols = ColumnarHistory.from_history(history)
+        keys = cols.key_names[:2]
+        sliced = cols.slice_rows([0], restrict_initial_keys=keys)
+        initial = sliced.transaction_at(0)
+        assert initial.is_initial
+        assert set(initial.keys()) <= set(keys)
+
+    def test_nbytes_is_a_flat_columns_footprint(self):
+        cols = ColumnarHistory.from_history(generated_history(4))
+        assert 0 < cols.nbytes < 10 * cols.num_operations * 8 + 50 * cols.num_transactions
+
+
+# ----------------------------------------------------------------------
+# Segment files
+# ----------------------------------------------------------------------
+class TestSegmentFiles:
+    def test_save_load_round_trip(self, tmp_path):
+        history = generated_history(5, "lostupdate")
+        path = tmp_path / "history.seg"
+        write_history_segment(history, path)
+        cols = load_history_segment(path)
+        assert [txn_fingerprint(t) for t in cols.iter_transactions()] == [
+            txn_fingerprint(t)
+            for t in ColumnarHistory.from_history(history).iter_transactions()
+        ]
+
+    def test_gzip_segments_are_detected_by_content(self, tmp_path):
+        history = generated_history(6)
+        plain = tmp_path / "a.seg"
+        packed = tmp_path / "b.seg.gz"
+        write_history_segment(history, plain)
+        write_history_segment(history, packed)
+        assert packed.read_bytes()[:2] == b"\x1f\x8b"
+        assert packed.stat().st_size < plain.stat().st_size
+        a = load_history_segment(plain)
+        b = load_history_segment(packed)
+        assert [txn_fingerprint(t) for t in a.iter_transactions()] == [
+            txn_fingerprint(t) for t in b.iter_transactions()
+        ]
+
+    def test_corrupt_files_are_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.seg"
+        bogus.write_bytes(b"not a segment at all")
+        with pytest.raises(ValueError):
+            load_history_segment(bogus)
+        truncated = tmp_path / "trunc.seg"
+        write_history_segment(generated_history(7), tmp_path / "ok.seg")
+        truncated.write_bytes((tmp_path / "ok.seg").read_bytes()[:-64])
+        with pytest.raises(ValueError):
+            load_history_segment(truncated)
+
+    def test_is_segment_path(self):
+        assert is_segment_path("history.seg")
+        assert is_segment_path("history.SEG")
+        assert is_segment_path("history.seg.gz")
+        assert not is_segment_path("history.jsonl")
+        assert not is_segment_path("history.json")
+
+    def test_segment_writer_is_a_live_hook(self, tmp_path):
+        workload = MTWorkloadGenerator(
+            num_sessions=3, txns_per_session=10, num_objects=6, seed=8
+        ).generate()
+        path = tmp_path / "live.seg"
+        with SegmentWriter(path, initial_keys=workload.keys) as writer:
+            run = run_workload(
+                Database("si", keys=workload.keys), workload, seed=9,
+                on_transaction=writer,
+            )
+        cols = load_history_segment(path)
+        assert cols.has_initial
+        assert cols.num_transactions == run.stats.committed + run.stats.aborted + 1
+        verdict = MTChecker().verify(cols, IsolationLevel.SNAPSHOT_ISOLATION)
+        assert verdict.satisfied
+
+
+# ----------------------------------------------------------------------
+# JSONL <-> columnar interchange
+# ----------------------------------------------------------------------
+class TestJsonlInterchange:
+    @pytest.mark.parametrize("fault", FAULTS)
+    def test_jsonl_and_columnar_record_identical_streams(self, tmp_path, fault):
+        history = generated_history(11, fault)
+        jsonl = tmp_path / "h.jsonl"
+        seg = tmp_path / "h.seg"
+        write_history_jsonl(history, jsonl)
+        write_history_segment(history, seg)
+        via_jsonl = [txn_fingerprint(t) for t in iter_history_jsonl(jsonl)]
+        via_seg = [
+            txn_fingerprint(t)
+            for t in load_history_segment(seg).iter_transactions()
+        ]
+        assert via_jsonl == via_seg
+
+    def test_columnar_from_jsonl_stream_is_lossless(self, tmp_path):
+        history = generated_history(12, "staleread")
+        jsonl = tmp_path / "h.jsonl.gz"
+        write_history_jsonl(history, jsonl)
+        cols = ColumnarHistory.from_transactions(iter_history_jsonl(jsonl))
+        assert [txn_fingerprint(t) for t in cols.iter_transactions()] == [
+            txn_fingerprint(t) for t in iter_history_jsonl(jsonl)
+        ]
+
+
+# ----------------------------------------------------------------------
+# Randomized equivalence: one verdict through every path
+# ----------------------------------------------------------------------
+class TestVerdictEquivalence:
+    @pytest.mark.parametrize("fault", FAULTS)
+    @pytest.mark.parametrize("level", LEVELS, ids=lambda l: l.short_name)
+    def test_batch_incremental_and_parallel_agree(self, level, fault):
+        rng = random.Random(hash((str(level), fault)) & 0xFFFF)
+        for _ in range(3):
+            seed = rng.randrange(10_000)
+            history = generated_history(seed, fault)
+            cols = ColumnarHistory.from_history(history)
+            canonical = cols.to_history()
+
+            reference = MTChecker().verify(canonical, level)
+
+            # Batch through the columnar index: exact equality, labeled
+            # cycles included.
+            columnar = MTChecker().verify(cols, level)
+            assert result_fingerprint(columnar) == result_fingerprint(reference)
+
+            # Parallel columnar dispatch, inline and with 4 workers.
+            for workers in (1, 4):
+                sharded = MTChecker(workers=workers).verify(cols, level)
+                assert sharded.satisfied == reference.satisfied
+                assert sharded.num_transactions == reference.num_transactions
+
+            # Incremental bulk segment ingestion: verdict and anomaly
+            # existence match the batch checker (counterexample shape may
+            # differ, never existence).
+            incremental = IncrementalChecker(level)
+            incremental.ingest_segment(cols)
+            assert incremental.result().satisfied == reference.satisfied
+
+    def test_segment_split_points_do_not_change_the_verdict(self):
+        rng = random.Random(13)
+        for fault in (None, "lostupdate"):
+            history = generated_history(14, fault)
+            cols = ColumnarHistory.from_history(history)
+            reference = MTChecker().verify(cols, IsolationLevel.SNAPSHOT_ISOLATION)
+            n = cols.num_transactions
+            cut_a = rng.randrange(1, n)
+            cut_b = rng.randrange(cut_a, n)
+            checker = IncrementalChecker(IsolationLevel.SNAPSHOT_ISOLATION)
+            checker.ingest_segment(cols.slice_rows(range(0, cut_a)))
+            checker.ingest_segment(cols.slice_rows(range(cut_a, cut_b)))
+            checker.ingest_segment(cols.slice_rows(range(cut_b, n)))
+            assert checker.result().satisfied == reference.satisfied
+
+    def test_segment_ingestion_equals_per_transaction_ingestion(self):
+        for fault in (None, "writeskew"):
+            cols = ColumnarHistory.from_history(generated_history(15, fault))
+            bulk = IncrementalChecker(IsolationLevel.SERIALIZABILITY)
+            bulk.ingest_segment(cols)
+            one_by_one = IncrementalChecker(IsolationLevel.SERIALIZABILITY)
+            for txn in cols.iter_transactions():
+                one_by_one.ingest(txn)
+            assert [v.kind for v in bulk.result().violations] == [
+                v.kind for v in one_by_one.result().violations
+            ]
+            assert bulk.num_ingested == one_by_one.num_ingested
+
+    def test_windowed_segment_ingestion_matches_windowed_object_ingestion(self):
+        cols = ColumnarHistory.from_history(generated_history(16, sessions=6, txns=40))
+        bulk = IncrementalChecker(IsolationLevel.SERIALIZABILITY, window=50)
+        bulk.ingest_segment(cols)
+        one_by_one = IncrementalChecker(IsolationLevel.SERIALIZABILITY, window=50)
+        for txn in cols.iter_transactions():
+            one_by_one.ingest(txn)
+        assert bulk.result().satisfied == one_by_one.result().satisfied
+        assert bulk.evicted_count == one_by_one.evicted_count
+        assert bulk.stale_reads == one_by_one.stale_reads
+
+
+# ----------------------------------------------------------------------
+# The columnar index
+# ----------------------------------------------------------------------
+class TestColumnarIndex:
+    def test_from_columns_matches_object_index_structurally(self):
+        history = generated_history(21, "abortedread")
+        cols = ColumnarHistory.from_history(history)
+        canonical = cols.to_history()
+        via_objects = HistoryIndex.build(canonical)
+        via_columns = HistoryIndex.from_columns(cols)
+        assert via_columns.txn_ids == via_objects.txn_ids
+        assert via_columns.key_names == via_objects.key_names
+        assert via_columns.txn_keys == via_objects.txn_keys
+        assert via_columns.committed_txn_ids == via_objects.committed_txn_ids
+        assert via_columns.session_order_id_pairs() == via_objects.session_order_id_pairs()
+        assert via_columns.real_time_id_pairs() == via_objects.real_time_id_pairs()
+        assert list(via_columns.iter_read_edges()) == list(via_objects.iter_read_edges())
+        assert list(via_columns.iter_read_tuples()) == list(via_objects.iter_read_tuples())
+        assert [
+            (v.kind, tuple(v.txn_ids)) for v in via_columns.int_violations()
+        ] == [(v.kind, tuple(v.txn_ids)) for v in via_objects.int_violations()]
+
+    def test_from_columns_materialises_no_transactions_on_accept_path(self):
+        history = generated_history(22)  # healthy SI history
+        cols = ColumnarHistory.from_history(history)
+        index = HistoryIndex.from_columns(cols)
+        for level, check in (
+            (IsolationLevel.SERIALIZABILITY, check_ser),
+            (IsolationLevel.SNAPSHOT_ISOLATION, check_si),
+        ):
+            result = check(None, index=index)
+            assert result.satisfied, level
+        # The object layer was never touched: no Transaction exists.
+        assert index._transactions is None
+        assert index._txn_cache == {}
+        assert index._history is None
+
+    def test_lazy_object_layer_round_trips(self):
+        history = generated_history(23, "lostupdate")
+        cols = ColumnarHistory.from_history(history)
+        index = HistoryIndex.from_columns(cols)
+        # Object accessors materialise on demand and agree with the columns.
+        assert {t.txn_id for t in index.committed_non_initial} == {
+            t.txn_id
+            for t in cols.to_history().committed_transactions(include_initial=False)
+        }
+        writer = index.final_writer(
+            index.key_names[0],
+            index.final_writes(index.committed_txn_ids[-1]).get(index.key_names[0]),
+        )
+        assert writer is None or isinstance(writer, Transaction)
+        assert index.history.num_transactions() == len(cols.to_history())
+
+    def test_version_chains_match_object_index(self):
+        history = generated_history(24)
+        cols = ColumnarHistory.from_history(history)
+        assert (
+            HistoryIndex.from_columns(cols).version_chains()
+            == HistoryIndex.build(cols.to_history()).version_chains()
+        )
+
+
+# ----------------------------------------------------------------------
+# Parallel dispatch: columns on the wire, never Transactions
+# ----------------------------------------------------------------------
+class TestColumnarDispatch:
+    def _disjoint_history(self):
+        from repro.bench import make_disjoint_history
+
+        return make_disjoint_history(
+            num_groups=5,
+            sessions_per_group=2,
+            txns_per_session=15,
+            keys_per_group=4,
+            timestamps=True,
+        )
+
+    def test_payloads_contain_no_pickled_transactions(self):
+        history = self._disjoint_history()
+        for shards in (
+            partition_history(history),
+            partition_columns(ColumnarHistory.from_history(history)),
+        ):
+            assert len(shards) == 5
+            for shard in shards:
+                blob = pickle.dumps(
+                    make_payload(
+                        shard, IsolationLevel.STRICT_SERIALIZABILITY, False, True
+                    )
+                )
+                # A pickled Transaction/Operation would name its module.
+                assert b"repro.core.model" not in blob
+                assert b"Transaction" not in blob
+                assert b"Operation" not in blob
+
+    def test_partition_columns_matches_partition_history(self):
+        history = self._disjoint_history()
+        cols = ColumnarHistory.from_history(history)
+        object_shards = partition_history(history)
+        column_shards = partition_columns(cols)
+        assert [s.keys for s in object_shards] == [s.keys for s in column_shards]
+        assert [s.session_ids for s in object_shards] == [
+            s.session_ids for s in column_shards
+        ]
+        assert [s.num_transactions for s in object_shards] == [
+            s.num_transactions for s in column_shards
+        ]
+        # Each columnar shard holds exactly its sub-history's transactions.
+        for obj, col in zip(object_shards, column_shards):
+            assert col.columns is not None
+            ids = sorted(
+                t.txn_id for t in col.columns.iter_transactions() if not t.is_initial
+            )
+            expected = sorted(
+                t.txn_id
+                for t in obj.history.transactions(include_initial=False)
+            )
+            assert ids == expected
+
+    @pytest.mark.parametrize("level", LEVELS, ids=lambda l: l.short_name)
+    def test_check_parallel_columns_only(self, level):
+        history = self._disjoint_history()
+        cols = ColumnarHistory.from_history(history)
+        serial = MTChecker().verify(history, level)
+        sharded = check_parallel(None, level, workers=2, columns=cols)
+        assert sharded.satisfied == serial.satisfied
+        assert sharded.num_transactions == serial.num_transactions
+
+    def test_check_parallel_requires_some_input(self):
+        with pytest.raises(ValueError):
+            check_parallel(None, IsolationLevel.SERIALIZABILITY)

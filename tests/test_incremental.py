@@ -368,6 +368,56 @@ class TestWindowGC:
         with pytest.raises(ValueError):
             IncrementalChecker(SER, window=0)
 
+    def test_sealed_marker_fifo_cap_value(self):
+        # The documented cap is max(4 * window, 1024) markers; no window
+        # means no cap bookkeeping at all.
+        assert IncrementalChecker(SER, window=2)._sealed_cap == 1024
+        assert IncrementalChecker(SER, window=300)._sealed_cap == 1200
+        assert IncrementalChecker(SER)._sealed_cap == 0
+
+    def test_sealed_marker_fifo_caps_at_documented_bound(self):
+        # Overwrite one key far more times than the marker cap: the FIFO
+        # must top out at exactly the cap while the stream stays healthy.
+        checker = IncrementalChecker(SER, initial_keys=["x"], window=2)
+        cap = checker._sealed_cap
+        last = 0
+        for i in range(1, cap + 201):
+            checker.ingest(Transaction(i, [read("x", last), write("x", i)]))
+            last = i
+        assert len(checker._sealed_fifo) == cap
+        assert checker.result().satisfied
+        assert checker.stale_reads == 0
+
+    def test_read_of_expired_marker_reports_thin_air_not_stale(self):
+        # A read of a version whose sealed marker already left the FIFO can
+        # no longer be recognised as "stale": it must surface as the louder
+        # ThinAirRead verdict, with the stale-read counter untouched.
+        checker = IncrementalChecker(SER, initial_keys=["x"], window=2)
+        cap = checker._sealed_cap
+        last = 0
+        for i in range(1, cap + 201):
+            checker.ingest(Transaction(i, [read("x", last), write("x", i)]))
+            last = i
+        assert ("x", 5) not in checker._slots  # marker expired, not sealed
+        checker.ingest(Transaction(9000, [read("x", 5)], session_id=1))
+        assert checker.stale_reads == 0
+        result = checker.result()
+        assert not result.satisfied
+        assert {v.kind for v in result.violations} == {AnomalyKind.THIN_AIR_READ}
+
+    def test_read_of_sealed_marker_counts_stale_not_thin_air(self):
+        # While the marker is still in the FIFO the same read is classified
+        # as a window violation (stale read), not as an anomaly.
+        checker = IncrementalChecker(SER, initial_keys=["x"], window=2)
+        last = 0
+        for i in range(1, 50):
+            checker.ingest(Transaction(i, [read("x", last), write("x", i)]))
+            last = i
+        assert checker._slots[("x", 5)] is not None  # sealed marker present
+        checker.ingest(Transaction(9000, [read("x", 5)], session_id=1))
+        assert checker.stale_reads == 1
+        assert checker.result().satisfied
+
     def test_window_mode_is_bounded_memory(self):
         # A single hot key overwritten thousands of times: slots, graph, and
         # topology must all stay bounded by the window/marker cap, not the

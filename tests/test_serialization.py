@@ -169,3 +169,88 @@ class TestStreamingJsonl:
         assert is_stream_path("history.jsonl")
         assert is_stream_path("history.NDJSON")
         assert not is_stream_path("history.json")
+        assert is_stream_path("history.jsonl.gz")
+        assert is_stream_path("history.ndjson.GZ")
+        assert not is_stream_path("history.json.gz")
+        assert not is_stream_path("history.seg.gz")
+
+
+class TestGzipStreams:
+    def test_gzip_round_trip_by_suffix(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "history.jsonl.gz"
+        write_history_jsonl(sample_history(), path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        header = json.loads(gzip.open(path, "rt").readline())
+        assert header["format"] == "repro-history-stream-v1"
+        restored = load_history_jsonl(path)
+        assert len(restored) == 2
+        assert restored.transaction_by_id(1).start_ts == 0.0
+
+    def test_gzip_detected_by_content_not_suffix(self, tmp_path):
+        import shutil
+
+        source = tmp_path / "history.jsonl.gz"
+        write_history_jsonl(sample_history(), source)
+        renamed = tmp_path / "renamed.jsonl"  # lies about its compression
+        shutil.copy(source, renamed)
+        assert len(list(iter_history_jsonl(renamed))) == 3  # ⊥T + 2
+
+
+class TestFlushEveryAndTornLines:
+    def test_flush_every_batches_flushes(self, tmp_path):
+        path = tmp_path / "batched.jsonl"
+        writer = HistoryStreamWriter(path, flush_every=100)
+        writer.write(Transaction(1, [read("x", 0), write("x", 1)]))
+        # Header flushed eagerly; the buffered transaction is not yet visible.
+        assert len(list(iter_history_jsonl(path))) == 0
+        writer.flush()
+        assert len(list(iter_history_jsonl(path))) == 1
+        writer.write(Transaction(2, [read("x", 1)], session_id=1))
+        writer.close()  # close flushes the tail
+        assert len(list(iter_history_jsonl(path))) == 2
+
+    def test_flush_every_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            HistoryStreamWriter(tmp_path / "x.jsonl", flush_every=0)
+
+    def test_torn_final_line_is_skipped_with_a_warning(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        write_history_jsonl(sample_history(), path)
+        torn = tmp_path / "cut.jsonl"
+        torn.write_bytes(path.read_bytes()[:-15])  # cut inside the last line
+        with pytest.warns(UserWarning, match="torn final line"):
+            txns = list(iter_history_jsonl(torn))  # must not raise
+        assert [t.txn_id for t in txns] == [-1, 1]
+
+    def test_live_gzip_stream_reads_cleanly_to_the_flushed_prefix(self, tmp_path):
+        # A gzip writer that has flushed but not closed leaves a compressed
+        # member without its end-of-stream trailer; readers must surface the
+        # complete prefix instead of dying with EOFError.
+        path = tmp_path / "live.jsonl.gz"
+        writer = HistoryStreamWriter(path, initial_keys=["x"])
+        writer.write(Transaction(1, [read("x", 0), write("x", 1)]))
+        writer.flush()
+        try:
+            with pytest.warns(UserWarning, match="truncated mid-member"):
+                txns = list(iter_history_jsonl(path))  # must not raise
+            assert [t.txn_id for t in txns] == [-1, 1]
+        finally:
+            writer.close()
+        assert [t.txn_id for t in iter_history_jsonl(path)] == [-1, 1]
+
+    def test_truncated_gzip_header_raises_value_error(self, tmp_path):
+        path = tmp_path / "h.jsonl.gz"
+        write_history_jsonl(sample_history(), path)
+        cut = tmp_path / "cut.jsonl.gz"
+        cut.write_bytes(path.read_bytes()[:12])  # gzip magic, no usable data
+        with pytest.raises(ValueError):
+            list(iter_history_jsonl(cut))
+
+    def test_complete_final_line_without_newline_still_parses(self, tmp_path):
+        path = tmp_path / "no-newline.jsonl"
+        write_history_jsonl(sample_history(), path)
+        trimmed = tmp_path / "trimmed.jsonl"
+        trimmed.write_bytes(path.read_bytes().rstrip(b"\n"))
+        assert [t.txn_id for t in iter_history_jsonl(trimmed)] == [-1, 1, 2]
