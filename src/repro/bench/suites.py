@@ -45,6 +45,7 @@ __all__ = [
     "incremental_benchmark",
     "e2e_benchmark",
     "io_benchmark",
+    "service_benchmark",
     "write_benchmark_json",
 ]
 
@@ -553,6 +554,117 @@ def io_benchmark(
             )
     return {
         "suite": "io",
+        "smoke": smoke,
+        "cpu_count": os.cpu_count(),
+        "sizes": list(sizes),
+        "rows": rows,
+    }
+
+
+def service_benchmark(
+    *,
+    smoke: bool = False,
+    sizes: Optional[Sequence[int]] = None,
+) -> Dict[str, object]:
+    """Resumable verification service: checkpoint resume vs full replay.
+
+    For each history size, a timestamped disjoint-key history is written as
+    a durable epoch log (~25 epochs), then verified twice through the same
+    windowed streaming checker:
+
+    * **full replay** — a fresh session ingests every epoch from 0, the
+      cost a restarted service pays without checkpoints;
+    * **resume** — the session restarts from the checkpoint a live service
+      would have written at the last epoch boundary before the crash
+      (decode + :meth:`CheckerSession.restore` + the tail epoch), the cost
+      the epoch log's checkpoint machinery reduces it to.
+
+    Both verdicts are asserted byte-identical (``CheckResult.format``)
+    before timings are trusted, so the speedup column never trades
+    correctness for latency.  The window bounds the checkpoint to O(window)
+    state, which is what makes resume O(tail) instead of O(history).
+    """
+    import tempfile
+    from pathlib import Path
+
+    from ..history.epochlog import EpochLog, EpochLogWriter
+
+    if sizes is None:
+        sizes = [2_000] if smoke else [100_000]
+    level = IsolationLevel.SERIALIZABILITY
+    window = 512 if smoke else 2048
+
+    rows: List[Dict[str, object]] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as tmp:
+        for total_txns in sizes:
+            history = make_disjoint_history(
+                num_groups=8,
+                sessions_per_group=4,
+                txns_per_session=max(1, total_txns // 32),
+                keys_per_group=16,
+                timestamps=True,
+            )
+            num_txns = history.num_transactions()
+            epoch_txns = max(1, num_txns // 25)
+            log_dir = Path(tmp) / f"history-{total_txns}.epochs"
+            with EpochLogWriter(log_dir, epoch_transactions=epoch_txns) as writer:
+                for txn in stream_order(history):
+                    writer.append(txn)
+            log = EpochLog.open(log_dir)
+            num_epochs = len(log)
+            assert num_epochs >= 2, "service benchmark needs a resumable tail"
+
+            # Untimed: the checkpoint a live service running with
+            # --checkpoint-every 1 would have on disk when killed right
+            # after sealing the last epoch boundary.
+            session = CheckerSession(level, window=window)
+            ingested = 0
+            for entry, segment in log.iter_segments():
+                if entry.epoch == num_epochs - 1:
+                    break
+                session.ingest_segment(segment)
+                ingested += segment.num_transactions - (1 if segment.has_initial else 0)
+            ckpt_path = log.save_checkpoint(
+                session.checkpoint(), epochs=num_epochs - 1, transactions=ingested
+            )
+            del session
+
+            gc.collect()
+            started = time.perf_counter()
+            full = CheckerSession(level, window=window)
+            for _entry, segment in log.iter_segments():
+                full.ingest_segment(segment)
+            full_result = full.result()
+            full_seconds = time.perf_counter() - started
+
+            gc.collect()
+            started = time.perf_counter()
+            ckpt = log.latest_checkpoint()
+            assert ckpt is not None and ckpt.epochs == num_epochs - 1
+            resumed = CheckerSession.restore(ckpt.state)
+            for _entry, segment in log.iter_segments(ckpt.epochs):
+                resumed.ingest_segment(segment)
+            resume_result = resumed.result()
+            resume_seconds = time.perf_counter() - started
+
+            assert full_result.format() == resume_result.format(), total_txns
+            rows.append(
+                {
+                    "txns": num_txns,
+                    "epochs": num_epochs,
+                    "epoch_txns": epoch_txns,
+                    "window": window,
+                    "level": "SER",
+                    "full_replay_s": round(full_seconds, 4),
+                    "resume_s": round(resume_seconds, 4),
+                    "speedup": round(full_seconds / max(resume_seconds, 1e-9), 2),
+                    "checkpoint_bytes": ckpt_path.stat().st_size,
+                    "verdict": full_result.satisfied,
+                    "verdicts_equal": full_result.format() == resume_result.format(),
+                }
+            )
+    return {
+        "suite": "service",
         "smoke": smoke,
         "cpu_count": os.cpu_count(),
         "sizes": list(sizes),

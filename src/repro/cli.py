@@ -47,13 +47,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import List, Optional, Sequence
 
 from .core.anomalies import ANOMALY_NAMES, anomaly_catalog
 from .core.checker import MTChecker
-from .core.incremental import stream_order
+from .core.incremental import CheckerSession, stream_order
 from .core.model import INITIAL_TXN_ID
 from .core.result import IsolationLevel
 from .db.database import Database
@@ -63,6 +64,12 @@ from .history.columnar import (
     is_segment_path,
     load_history_segment,
     write_history_segment,
+)
+from .history.epochlog import (
+    EpochLog,
+    EpochLogError,
+    EpochLogWriter,
+    is_epochlog_path,
 )
 from .history.serialization import (
     HistoryStreamWriter,
@@ -103,8 +110,8 @@ def build_parser() -> argparse.ArgumentParser:
     check = subparsers.add_parser("check", help="verify a saved history against an isolation level")
     check.add_argument(
         "history",
-        help="path to a history file: .json document, .jsonl[.gz] stream, "
-        "or .seg[.gz] columnar segment",
+        help="path to a history: .json document, .jsonl[.gz] stream, "
+        ".seg[.gz] columnar segment, or .epochs/ epoch-log directory",
     )
     check.add_argument("--level", choices=sorted(_LEVELS), default="ser", help="isolation level to check")
     check.add_argument("--strict-mt", action="store_true", help="reject non-MT histories")
@@ -131,15 +138,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     watch = subparsers.add_parser(
-        "watch", help="follow a JSONL history stream and verify it incrementally"
+        "watch",
+        help="follow a growing JSONL stream or epoch-log directory and "
+        "verify it incrementally (epoch logs resume from checkpoints)",
     )
-    watch.add_argument("history", help="path to a JSONL history stream (may still be growing)")
+    watch.add_argument(
+        "history",
+        help="path to a JSONL history stream or an .epochs/ epoch-log "
+        "directory (either may still be growing)",
+    )
     watch.add_argument("--level", choices=sorted(_LEVELS), default="ser", help="isolation level to check")
     watch.add_argument("--window", type=int, default=None, help="bound the graph to the last N transactions")
     watch.add_argument("--once", action="store_true", help="stop at end of file instead of following")
     watch.add_argument("--interval", type=float, default=0.5, help="poll interval in seconds while following")
     watch.add_argument(
         "--max-seconds", type=float, default=None, help="stop following after this many seconds"
+    )
+    watch.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="epoch logs only: snapshot the verifier into the log every N "
+        "epochs (and once at exit), enabling crash-safe resume",
+    )
+    watch.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="epoch logs only: ignore existing checkpoints and replay from epoch 0",
+    )
+    watch.add_argument(
+        "--retire",
+        action="store_true",
+        help="epoch logs only: delete epoch files once they age out of "
+        "--window (requires --window and --checkpoint-every)",
     )
 
     generate = subparsers.add_parser(
@@ -153,7 +185,18 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
     generate.add_argument("--fault", default=None, help="inject a defect (lostupdate, writeskew, staleread, abortedread)")
     generate.add_argument("--fault-rate", type=float, default=0.3)
-    generate.add_argument("--output", required=True, help="where to write the history JSON")
+    generate.add_argument(
+        "--output",
+        required=True,
+        help="where to write the history (.json, .jsonl[.gz], .seg[.gz], "
+        "or an .epochs/ epoch-log directory)",
+    )
+    generate.add_argument(
+        "--epoch-txns",
+        type=int,
+        default=1024,
+        help="epoch-log outputs only: transactions per sealed epoch segment",
+    )
 
     collect = subparsers.add_parser(
         "collect",
@@ -209,10 +252,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     convert = subparsers.add_parser(
         "convert",
-        help="convert a history between formats (.json / .jsonl[.gz] / .seg[.gz]), losslessly",
+        help="convert a history between formats "
+        "(.json / .jsonl[.gz] / .seg[.gz] / .epochs), losslessly",
     )
     convert.add_argument("input", help="source history file (format inferred from suffix)")
     convert.add_argument("output", help="destination history file (format inferred from suffix)")
+    convert.add_argument(
+        "--epoch-txns",
+        type=int,
+        default=1024,
+        help="epoch-log outputs only: transactions per sealed epoch segment",
+    )
 
     anomaly = subparsers.add_parser("anomaly", help="print a canonical anomaly history from the catalog")
     anomaly.add_argument("name", nargs="?", default=None, help="anomaly name (omit to list all)")
@@ -222,7 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=["core", "parallel", "incremental", "e2e", "io", "all"],
+        choices=["core", "parallel", "incremental", "e2e", "io", "service", "all"],
         default="all",
         help="which suite to run",
     )
@@ -240,6 +290,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    if is_epochlog_path(args.history):
+        return _check_epochlog(args)
     if is_segment_path(args.history):
         return _check_segment(args)
     streaming = args.stream or is_stream_path(args.history)
@@ -277,10 +329,26 @@ def _check_segment(args: argparse.Namespace) -> int:
     if args.stream and args.workers is not None:
         print("error: --workers applies to batch checking; drop --stream to use it")
         return 2
-    columns = load_history_segment(args.history)
+    # Memory-map uncompressed segments: O(1) load, and with --workers the
+    # shard payloads degenerate to (path, rows) references the workers
+    # re-map themselves — one physical copy of the history, fleet-wide.
+    mappable = not str(args.history).lower().endswith(".gz")
+    columns = ColumnarHistory.load(args.history, mmap=mappable)
     checker = MTChecker(strict_mt=args.strict_mt, workers=args.workers)
     if not args.stream:
-        result = checker.verify(columns, _LEVELS[args.level])
+        if args.workers is not None and mappable:
+            from .parallel import check_parallel
+
+            result = check_parallel(
+                None,
+                _LEVELS[args.level],
+                workers=args.workers,
+                strict_mt=args.strict_mt,
+                columns=columns,
+                source_path=args.history,
+            )
+        else:
+            result = checker.verify(columns, _LEVELS[args.level])
         print(result.format())
         return 0 if result.satisfied else 1
     session = checker.session(_LEVELS[args.level], window=args.window)
@@ -300,10 +368,60 @@ def _check_segment(args: argparse.Namespace) -> int:
     return _finish_stream(session)
 
 
-def _save_history_output(history, path: str) -> None:
-    """Write a history as a segment, JSONL stream, or JSON document by suffix."""
+def _check_epochlog(args: argparse.Namespace) -> int:
+    """Verify an epoch-log directory: batch over all epochs, or streamed."""
+    if args.stream and args.workers is not None:
+        print("error: --workers applies to batch checking; drop --stream to use it")
+        return 2
+    log = EpochLog.open(args.history)
+    if log.retired_through >= 0:
+        print(
+            f"error: {args.history}: epochs 0..{log.retired_through} were "
+            "retired by window GC, so the full history is no longer on "
+            "disk; use `repro watch` to resume from a checkpoint"
+        )
+        return 2
+    checker = MTChecker(strict_mt=args.strict_mt, workers=args.workers)
+    if not args.stream:
+        columns = log.to_columns()
+        result = checker.verify(columns, _LEVELS[args.level])
+        print(result.format())
+        return 0 if result.satisfied else 1
+    session = checker.session(_LEVELS[args.level], window=args.window)
+    base = 0
+    for _entry, segment in log.iter_segments():
+        _ingest_epoch(session, segment, base)
+        base += segment.num_transactions - (1 if segment.has_initial else 0)
+    return _finish_stream(session)
+
+
+def _ingest_epoch(session, segment, base: int) -> None:
+    """Feed one epoch segment into a checker session with stream labels.
+
+    ``base`` is the number of non-initial transactions already ingested, so
+    labels continue the global ``txn #N`` numbering across epochs.
+    """
+    offset = 1 if segment.has_initial else 0
+
+    def report(row: int, violations) -> None:
+        if segment.txn_ids[row] == INITIAL_TXN_ID:
+            label = "initial"
+        else:
+            label = f"txn #{base + row - offset}"
+        for violation in violations:
+            print(f"[{label}] {violation.format()}", flush=True)
+
+    session.ingest_segment(segment, on_row_violations=report)
+
+
+def _save_history_output(history, path: str, epoch_transactions: int = 1024) -> None:
+    """Write a history as an epoch log, segment, JSONL stream, or JSON document."""
     if is_segment_path(path):
         write_history_segment(history, path)
+    elif is_epochlog_path(path):
+        with EpochLogWriter(path, epoch_transactions=epoch_transactions) as writer:
+            for txn in stream_order(history):
+                writer.append(txn)
     elif is_stream_path(path):
         write_history_jsonl(history, path)
     else:
@@ -330,11 +448,19 @@ def _finish_stream(session) -> int:
 
 
 def _cmd_watch(args: argparse.Namespace) -> int:
+    if is_epochlog_path(args.history):
+        return _watch_epochlog(args)
     if is_segment_path(args.history):
         print(
             "error: columnar segments are written atomically and cannot be "
-            "followed; use `repro check` (or convert to .jsonl to tail a "
-            "live stream)"
+            "followed; use `repro check` (or write the history as an "
+            ".epochs/ epoch log to follow it durably)"
+        )
+        return 2
+    if args.checkpoint_every is not None or args.no_resume or args.retire:
+        print(
+            "error: --checkpoint-every/--no-resume/--retire apply to epoch "
+            "log directories; JSONL streams are followed without checkpoints"
         )
         return 2
     session = MTChecker().session(_LEVELS[args.level], window=args.window)
@@ -380,10 +506,126 @@ def _cmd_watch(args: argparse.Namespace) -> int:
                 break
             if args.max_seconds is not None and time.monotonic() - started >= args.max_seconds:
                 break
+            if not os.path.exists(args.history):
+                # The fd keeps the deleted file readable on POSIX, but no
+                # producer can ever append to it again: stop cleanly at the
+                # verified prefix instead of polling a ghost forever.
+                print(
+                    f"error: {args.history}: stream deleted while being "
+                    "followed; stopping at the last complete transaction"
+                )
+                return 2
             time.sleep(args.interval)
         if pending_line.strip():
             print(f"warning: ignoring incomplete trailing line ({len(pending_line)} bytes)")
     return _finish_stream(session)
+
+
+def _watch_epochlog(args: argparse.Namespace) -> int:
+    """Follow a growing epoch log; resume from its newest valid checkpoint.
+
+    The durable-service loop: ingest every sealed epoch, snapshot the
+    verifier back into the log every ``--checkpoint-every`` epochs (and
+    once at exit), and — with ``--retire`` — delete epoch files once every
+    row in them has aged out of the ``--window`` bound.  A verifier killed
+    at any point restarts from the newest checkpoint and reaches the same
+    verdict as an uninterrupted run.
+    """
+    if args.retire and (args.window is None or not args.checkpoint_every):
+        print(
+            "error: --retire deletes replay state, so it requires both "
+            "--window (bounded verifier) and --checkpoint-every (resume point)"
+        )
+        return 2
+    log = EpochLog.open(args.history)
+    level = _LEVELS[args.level]
+
+    session = None
+    next_epoch = 0  # epochs fully ingested so far
+    ingested = 0  # non-initial transactions ingested so far (labeling)
+    if not args.no_resume:
+        resume = log.latest_checkpoint()
+        if resume is not None:
+            state = resume.state
+            if state.get("level") != level.value or state.get("window") != args.window:
+                print(
+                    f"note: checkpoint at epoch {resume.epochs} was taken "
+                    "with different --level/--window settings; replaying "
+                    "from epoch 0"
+                )
+            else:
+                session = CheckerSession.restore(state)
+                next_epoch = resume.epochs
+                ingested = resume.transactions
+                print(
+                    f"resumed from checkpoint: {resume.epochs} epochs "
+                    f"({resume.transactions} transactions) already verified"
+                )
+    if session is None:
+        session = MTChecker().session(level, window=args.window)
+    if log.retired_through >= next_epoch:
+        print(
+            f"error: {args.history}: epochs 0..{log.retired_through} were "
+            "retired by window GC and no usable checkpoint covers them; "
+            "the verdict cannot be recovered from this log"
+        )
+        return 2
+
+    started = time.monotonic()
+    while True:
+        while next_epoch < len(log.epochs):
+            segment = log.load_epoch(next_epoch)
+            _ingest_epoch(session, segment, ingested)
+            ingested += segment.num_transactions - (1 if segment.has_initial else 0)
+            next_epoch += 1
+            if args.checkpoint_every and next_epoch % args.checkpoint_every == 0:
+                log.save_checkpoint(
+                    session.checkpoint(), epochs=next_epoch, transactions=ingested
+                )
+                if args.retire:
+                    _retire_behind_window(log, args.window, next_epoch)
+        if args.once:
+            break
+        if args.max_seconds is not None and time.monotonic() - started >= args.max_seconds:
+            break
+        time.sleep(args.interval)
+        try:
+            log.refresh()
+        except EpochLogError as exc:
+            print(f"error: {exc}")
+            return 2
+    if args.checkpoint_every and next_epoch > 0 and next_epoch % args.checkpoint_every != 0:
+        # Final snapshot so the next invocation resumes at the tail even
+        # when the epoch count is not a multiple of the cadence.
+        log.save_checkpoint(
+            session.checkpoint(), epochs=next_epoch, transactions=ingested
+        )
+    return _finish_stream(session)
+
+
+def _retire_behind_window(log: EpochLog, window: int, ingested_epochs: int) -> None:
+    """Drop epoch files whose every row has aged out of the GC window.
+
+    Walks back from the newest ingested epoch accumulating row counts; the
+    first epoch with at least ``window`` rows *after* it (and everything
+    older) can never be consulted again by a windowed verifier resuming
+    from the checkpoint just written, so its file is safe to delete.
+    """
+    rows_after = 0
+    retire_to = -1
+    for position in range(ingested_epochs - 1, -1, -1):
+        if rows_after >= window:
+            retire_to = position
+            break
+        rows_after += log.epochs[position].transactions
+    if retire_to > log.retired_through:
+        removed = log.retire_through(retire_to)
+        if removed:
+            print(
+                f"retired {removed} epoch file(s) through epoch "
+                f"{retire_to} (aged out of --window {window})",
+                flush=True,
+            )
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -402,7 +644,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     )
     database = Database(args.isolation, keys=workload.keys, faults=faults)
     run = run_workload(database, workload, seed=args.seed + 1)
-    _save_history_output(run.history, args.output)
+    _save_history_output(run.history, args.output, epoch_transactions=args.epoch_txns)
     print(
         f"generated {run.stats.committed} committed / {run.stats.aborted} aborted "
         f"transactions (abort rate {run.stats.abort_rate:.1%}) -> {args.output}"
@@ -483,24 +725,34 @@ def _cmd_collect(args: argparse.Namespace) -> int:
 
 
 def _cmd_convert(args: argparse.Namespace) -> int:
-    """Lossless conversion between the three history formats.
+    """Lossless conversion between the four history formats.
 
-    JSONL and segments both record the exact arrival order, per-transaction
-    status, and timestamps, so ``jsonl <-> seg`` round-trips byte-identically
-    at the transaction level; the ``.json`` document format groups by
-    session (order is recovered canonically on the way back out).
+    JSONL, segments, and epoch logs all record the exact arrival order,
+    per-transaction status, and timestamps, so conversions among them
+    round-trip byte-identically at the transaction level; the ``.json``
+    document format groups by session (order is recovered canonically on
+    the way back out).
     """
     source, destination = args.input, args.output
 
     if is_segment_path(source):
         transactions = load_history_segment(source).iter_transactions()
+    elif is_epochlog_path(source):
+        transactions = EpochLog.open(source).to_columns().iter_transactions()
     elif is_stream_path(source):
         transactions = iter_history_jsonl(source)
     else:
         transactions = iter(stream_order(load_history(source)))
 
     count = 0
-    if is_segment_path(destination):
+    if is_epochlog_path(destination) and not is_segment_path(destination):
+        with EpochLogWriter(
+            destination, epoch_transactions=args.epoch_txns
+        ) as writer:
+            for txn in transactions:
+                writer.append(txn)
+                count += 1
+    elif is_segment_path(destination):
         segment = ColumnarHistory.from_transactions(transactions)
         segment.save(destination)
         count = segment.num_transactions
@@ -557,6 +809,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         incremental_benchmark,
         io_benchmark,
         parallel_benchmark,
+        service_benchmark,
         write_benchmark_json,
     )
 
@@ -566,6 +819,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "incremental": incremental_benchmark,
         "e2e": e2e_benchmark,
         "io": io_benchmark,
+        "service": service_benchmark,
     }
     selected = list(suites) if args.suite == "all" else [args.suite]
     # Fail on an unwritable destination before minutes of benchmarking, not after.

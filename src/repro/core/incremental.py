@@ -59,6 +59,7 @@ from bisect import bisect_left, bisect_right
 from collections import defaultdict, deque
 from typing import (
     TYPE_CHECKING,
+    Any,
     Callable,
     Deque,
     Dict,
@@ -76,6 +77,7 @@ from .intcheck import ops_int_candidate, transaction_int_violations
 from .mini import mt_violations
 from .model import (
     INITIAL_TXN_ID,
+    STATUS_CODES,
     STATUS_FROM_CODE,
     History,
     Transaction,
@@ -92,7 +94,11 @@ __all__ = [
     "IncrementalChecker",
     "CheckerSession",
     "stream_order",
+    "CHECKPOINT_STATE_FORMAT",
 ]
+
+#: Format tag of :meth:`IncrementalChecker.checkpoint` state dictionaries.
+CHECKPOINT_STATE_FORMAT = "repro-checker-state-v1"
 
 #: Isolation levels the incremental checker supports.
 GRAPH_LEVELS = (
@@ -117,6 +123,12 @@ class PearceKellyOrder:
     ``u -> v``) and the edge is *not* inserted, so the structure stays
     acyclic and checking can continue past the violation.
 
+    Adjacency is kept in insertion-ordered dicts (values unused) rather than
+    sets: traversal order is then a pure function of the edge-insertion
+    sequence, which makes the structure — and the exact counterexample paths
+    it reports — reproducible across :meth:`IncrementalChecker.checkpoint` /
+    :meth:`IncrementalChecker.restore` round-trips.
+
     Example:
         >>> topo = PearceKellyOrder()
         >>> topo.add_edge(1, 2) is None and topo.add_edge(2, 3) is None
@@ -127,8 +139,8 @@ class PearceKellyOrder:
 
     def __init__(self) -> None:
         self._ord: Dict[int, int] = {}
-        self._succ: Dict[int, Set[int]] = {}
-        self._pred: Dict[int, Set[int]] = {}
+        self._succ: Dict[int, Dict[int, None]] = {}
+        self._pred: Dict[int, Dict[int, None]] = {}
         self._counter = 0
 
     def __contains__(self, node: int) -> bool:
@@ -141,8 +153,8 @@ class PearceKellyOrder:
         if node not in self._ord:
             self._ord[node] = self._counter
             self._counter += 1
-            self._succ[node] = set()
-            self._pred[node] = set()
+            self._succ[node] = {}
+            self._pred[node] = {}
 
     def order_of(self, node: int) -> int:
         """The node's current topological index (smaller sorts earlier)."""
@@ -167,8 +179,8 @@ class PearceKellyOrder:
             return None
         lower, upper = self._ord[target], self._ord[source]
         if upper < lower:
-            self._succ[source].add(target)
-            self._pred[target].add(source)
+            self._succ[source][target] = None
+            self._pred[target][source] = None
             return None
 
         # Forward pass: nodes reachable from ``target`` within the affected
@@ -193,7 +205,7 @@ class PearceKellyOrder:
                     stack.append(nxt)
 
         # Backward pass: nodes that reach ``source`` within the range.
-        backward_seen = {source}
+        backward_seen: Set[int] = {source}
         backward: List[int] = []
         stack = [source]
         while stack:
@@ -212,8 +224,8 @@ class PearceKellyOrder:
         for node, index in zip(backward + forward, pool):
             self._ord[node] = index
 
-        self._succ[source].add(target)
-        self._pred[target].add(source)
+        self._succ[source][target] = None
+        self._pred[target][source] = None
         return None
 
     def remove_node(self, node: int) -> None:
@@ -221,9 +233,9 @@ class PearceKellyOrder:
         if node not in self._ord:
             return
         for nxt in self._succ.pop(node):
-            self._pred[nxt].discard(node)
+            self._pred[nxt].pop(node, None)
         for prv in self._pred.pop(node):
-            self._succ[prv].discard(node)
+            self._succ[prv].pop(node, None)
         del self._ord[node]
 
 
@@ -263,6 +275,59 @@ class _Slot:
 
 #: Marker replacing a slot whose version aged out of the streaming window.
 _SEALED = object()
+
+
+def _encode_graph(graph: DependencyGraph) -> Dict[str, Any]:
+    """JSON-encode a labeled graph (edges kept in insertion order)."""
+    return {
+        "nodes": sorted(graph.nodes),
+        "edges": [
+            [edge.source, edge.target, edge.edge_type.value, edge.key]
+            for edge in graph.edges()
+        ],
+    }
+
+
+def _decode_graph(state: Dict[str, Any]) -> DependencyGraph:
+    graph = DependencyGraph(state["nodes"])
+    # O(window) edges per restore: resolve enum members once, not per edge.
+    edge_types = {member.value: member for member in EdgeType}
+    for source, target, type_value, key in state["edges"]:
+        graph.add_edge(source, target, edge_types[type_value], key)
+    return graph
+
+
+def _encode_slot(slot: object) -> Optional[Dict[str, Any]]:
+    """JSON-encode one version slot; sealed markers become ``None``."""
+    if slot is _SEALED:
+        return None
+    assert isinstance(slot, _Slot)
+    return {
+        "writer_id": slot.writer_id,
+        "writer_status": (
+            None
+            if slot.writer_status is None
+            else STATUS_CODES[slot.writer_status]
+        ),
+        "intermediate_id": slot.intermediate_id,
+        "readers": list(slot.readers),
+        "overwriters": list(slot.overwriters),
+        "rmw_seen": [[tid, value] for tid, value in slot.rmw_seen],
+        "pending": [[tid, bool(writes)] for tid, writes in slot.pending],
+    }
+
+
+def _decode_slot(state: Dict[str, Any]) -> _Slot:
+    slot = _Slot()
+    slot.writer_id = state["writer_id"]
+    status = state["writer_status"]
+    slot.writer_status = None if status is None else STATUS_FROM_CODE[status]
+    slot.intermediate_id = state["intermediate_id"]
+    slot.readers = list(state["readers"])
+    slot.overwriters = list(state["overwriters"])
+    slot.rmw_seen = [(tid, value) for tid, value in state["rmw_seen"]]
+    slot.pending = [(tid, writes) for tid, writes in state["pending"]]
+    return slot
 
 
 class IncrementalChecker:
@@ -340,8 +405,10 @@ class IncrementalChecker:
         self._num_committed = 0
         self._elapsed = 0.0
 
-        # SI induced-graph composition state.
-        self._base_preds: Dict[int, Set[int]] = defaultdict(set)
+        # SI induced-graph composition state.  ``_base_preds`` values are
+        # insertion-ordered dicts (values unused) for the same
+        # checkpoint-reproducibility reason as :class:`PearceKellyOrder`.
+        self._base_preds: Dict[int, Dict[int, None]] = defaultdict(dict)
         self._rw_succ: Dict[int, List[Tuple[int, Optional[str]]]] = defaultdict(list)
 
         # SSER online interval-order reduction state.
@@ -612,6 +679,139 @@ class IncrementalChecker:
                         )
                     )
         return out
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> Dict[str, Any]:
+        """Serialise the complete checker state as a JSON-safe dictionary.
+
+        The snapshot captures everything the online algorithms carry: the
+        labeled dependency graph (and, for SI, the induced graph), the
+        Pearce–Kelly order with its exact node indices and adjacency
+        insertion order, the per-version slot table (pending reads, RMW
+        tracking, sealed markers), session tails, the SI composition state,
+        the SSER interval-reduction lists, the bounded-window arrival queue
+        and seal FIFO, and every violation found so far.
+
+        :meth:`restore` rebuilds a checker that is *behaviourally
+        indistinguishable* from this one: ingesting any suffix of
+        transactions into the restored checker yields byte-identical
+        verdicts — same anomaly kinds, same labeled counterexample cycles —
+        as ingesting it into the original (enforced by
+        ``tests/test_incremental.py`` at every boundary of randomized
+        streams).  The dictionary round-trips through ``json`` verbatim.
+        """
+        topo = self._topo
+        return {
+            "format": CHECKPOINT_STATE_FORMAT,
+            "level": self.level.value,
+            "window": self.window,
+            "strict_mt": self.strict_mt,
+            "has_initial": self._has_initial,
+            "num_committed": self._num_committed,
+            "elapsed": self._elapsed,
+            "stale_reads": self.stale_reads,
+            "evicted_count": self.evicted_count,
+            "violations": [v.to_dict() for v in self._violations],
+            "graph": _encode_graph(self.graph),
+            "induced": (
+                _encode_graph(self._induced) if self._induced is not None else None
+            ),
+            "topo": {
+                "counter": topo._counter,
+                "ord": [[node, index] for node, index in topo._ord.items()],
+                "succ": [
+                    [node, list(targets)]
+                    for node, targets in topo._succ.items()
+                    if targets
+                ],
+            },
+            "slots": [
+                [key, value, _encode_slot(slot)]
+                for (key, value), slot in self._slots.items()
+            ],
+            "last_in_session": [
+                [sid, tid] for sid, tid in self._last_in_session.items()
+            ],
+            "base_preds": [
+                [target, list(preds)]
+                for target, preds in self._base_preds.items()
+                if preds
+            ],
+            "rw_succ": [
+                [source, [[t, k] for t, k in pairs]]
+                for source, pairs in self._rw_succ.items()
+                if pairs
+            ],
+            "rt_by_finish": [list(entry) for entry in self._by_finish],
+            "rt_by_start": [list(entry) for entry in self._by_start],
+            "arrivals": list(self._arrivals),
+            "overwrote": [
+                [tid, [[k, v] for k, v in pairs]]
+                for tid, pairs in self._overwrote.items()
+            ],
+            "sealed_fifo": [[k, v] for k, v in self._sealed_fifo],
+        }
+
+    @classmethod
+    def restore(cls, state: Dict[str, Any]) -> "IncrementalChecker":
+        """Rebuild a checker from a :meth:`checkpoint` snapshot.
+
+        The restored checker continues the stream exactly where the
+        snapshot left off; see :meth:`checkpoint` for the equivalence
+        guarantee.  Raises ``ValueError`` on a snapshot whose format tag is
+        missing or unknown.
+        """
+        if not isinstance(state, dict) or state.get("format") != CHECKPOINT_STATE_FORMAT:
+            raise ValueError(
+                f"not a {CHECKPOINT_STATE_FORMAT} checkpoint snapshot"
+            )
+        checker = cls(
+            IsolationLevel(state["level"]),
+            window=state["window"],
+            strict_mt=bool(state["strict_mt"]),
+        )
+        checker._has_initial = bool(state["has_initial"])
+        checker._num_committed = int(state["num_committed"])
+        checker._elapsed = float(state["elapsed"])
+        checker.stale_reads = int(state["stale_reads"])
+        checker.evicted_count = int(state["evicted_count"])
+        checker._violations = [Violation.from_dict(v) for v in state["violations"]]
+        checker.graph = _decode_graph(state["graph"])
+        if state["induced"] is not None:
+            checker._induced = _decode_graph(state["induced"])
+        topo = PearceKellyOrder()
+        topo._counter = int(state["topo"]["counter"])
+        for node, index in state["topo"]["ord"]:
+            topo._ord[node] = index
+            topo._succ[node] = {}
+            topo._pred[node] = {}
+        for node, targets in state["topo"]["succ"]:
+            for target in targets:
+                topo._succ[node][target] = None
+                topo._pred[target][node] = None
+        checker._topo = topo
+        checker._slots = {
+            (key, value): (_SEALED if encoded is None else _decode_slot(encoded))
+            for key, value, encoded in state["slots"]
+        }
+        checker._last_in_session = {
+            sid: tid for sid, tid in state["last_in_session"]
+        }
+        for target, preds in state["base_preds"]:
+            checker._base_preds[target] = {source: None for source in preds}
+        for source, pairs in state["rw_succ"]:
+            checker._rw_succ[source] = [(t, k) for t, k in pairs]
+        checker._by_finish = [tuple(entry) for entry in state["rt_by_finish"]]
+        checker._by_start = [tuple(entry) for entry in state["rt_by_start"]]
+        checker._rebuild_rt_aggregates()
+        checker._arrivals = deque(state["arrivals"])
+        checker._overwrote = {
+            tid: [(k, v) for k, v in pairs] for tid, pairs in state["overwrote"]
+        }
+        checker._sealed_fifo = deque((k, v) for k, v in state["sealed_fifo"])
+        return checker
 
     # ------------------------------------------------------------------
     # Per-transaction machinery
@@ -945,7 +1145,7 @@ class IncrementalChecker:
         if edge_type in _BASE_TYPES:
             self._induced.add_edge(source, target, edge_type, key)
             if source not in self._base_preds[target]:
-                self._base_preds[target].add(source)
+                self._base_preds[target][source] = None
                 self._check_edge(source, target, self._induced)
                 for rw_target, rw_key in self._rw_succ.get(target, ()):
                     self._composed_edge(source, rw_target, rw_key)
@@ -1112,6 +1312,17 @@ class CheckerSession:
     def result(self) -> CheckResult:
         """Current verdict; the stream may continue afterwards."""
         return self._checker.result()
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Serialise the session state (see :meth:`IncrementalChecker.checkpoint`)."""
+        return self._checker.checkpoint()
+
+    @classmethod
+    def restore(cls, state: Dict[str, Any]) -> "CheckerSession":
+        """Resume a session from a :meth:`checkpoint` snapshot."""
+        session = cls.__new__(cls)
+        session._checker = IncrementalChecker.restore(state)
+        return session
 
     # Hook / context-manager sugar ------------------------------------
     def __call__(self, txn: Transaction) -> List[Violation]:

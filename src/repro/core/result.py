@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["IsolationLevel", "AnomalyKind", "Violation", "CheckResult"]
 
@@ -83,6 +83,27 @@ class Violation:
     txn_ids: List[int] = field(default_factory=list)
     cycle: List[Tuple[int, int, str]] = field(default_factory=list)
     key: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable encoding (checkpoint files, tooling)."""
+        return {
+            "kind": self.kind.value,
+            "description": self.description,
+            "txn_ids": list(self.txn_ids),
+            "cycle": [[src, dst, label] for src, dst, label in self.cycle],
+            "key": self.key,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Violation":
+        """Rebuild a violation encoded by :meth:`to_dict` (exact inverse)."""
+        return cls(
+            kind=AnomalyKind(data["kind"]),
+            description=data.get("description", ""),
+            txn_ids=list(data.get("txn_ids", [])),
+            cycle=[(src, dst, label) for src, dst, label in data.get("cycle", [])],
+            key=data.get("key"),
+        )
 
     def format(self) -> str:
         """Render a compact, human-readable counterexample."""

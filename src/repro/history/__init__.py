@@ -1,15 +1,19 @@
 """History persistence: JSON documents, streaming JSONL, columnar segments.
 
-Three formats, one data model:
+Four formats, one data model:
 
 * ``*.json`` — a single JSON document (archival);
 * ``*.jsonl`` / ``*.ndjson`` (optionally ``.gz``) — a line-oriented stream
   (live tailing, interchange, debugging);
 * ``*.seg`` (optionally ``.gz``) — a binary columnar segment
   (:mod:`repro.history.columnar`), the zero-copy fast path into the
-  checker.
+  checker;
+* ``*.epochs/`` — a durable epoch-log directory
+  (:mod:`repro.history.epochlog`): crash-safe multi-segment storage with
+  a manifest, verifier checkpoints, and window-GC retirement — the
+  substrate of the resumable verification service.
 
-``repro convert`` moves histories losslessly between all three.
+``repro convert`` moves histories losslessly between all of them.
 """
 
 from .columnar import (
@@ -18,6 +22,14 @@ from .columnar import (
     is_segment_path,
     load_history_segment,
     write_history_segment,
+)
+from .epochlog import (
+    CheckpointInfo,
+    EpochInfo,
+    EpochLog,
+    EpochLogError,
+    EpochLogWriter,
+    is_epochlog_path,
 )
 from .serialization import (
     HistoryStreamWriter,
@@ -40,9 +52,15 @@ from .serialization import (
 )
 
 __all__ = [
+    "CheckpointInfo",
     "ColumnarHistory",
+    "EpochInfo",
+    "EpochLog",
+    "EpochLogError",
+    "EpochLogWriter",
     "SegmentWriter",
     "HistoryStreamWriter",
+    "is_epochlog_path",
     "history_from_dict",
     "history_to_dict",
     "is_segment_path",

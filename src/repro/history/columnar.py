@@ -36,6 +36,8 @@ from __future__ import annotations
 import gzip
 import json
 import math
+import mmap as _mmap_module
+import os
 import sys
 from array import array
 from pathlib import Path
@@ -251,6 +253,13 @@ class ColumnarHistory:
                 f"format (ids and values are signed 64-bit, distinct keys "
                 f"signed 32-bit): {exc}"
             ) from None
+        except AttributeError:
+            if isinstance(self.txn_ids, array):
+                raise
+            raise ValueError(
+                "cannot append to a memory-mapped segment (loaded with "
+                "mmap=True); use slice_rows() to derive a mutable copy"
+            ) from None
 
     __call__ = append
 
@@ -443,14 +452,32 @@ class ColumnarHistory:
                 fh.write(column.tobytes())
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "ColumnarHistory":
-        """Read a segment written by :meth:`save` (gzip auto-detected)."""
+    def load(
+        cls, path: Union[str, Path], *, mmap: bool = False
+    ) -> "ColumnarHistory":
+        """Read a segment written by :meth:`save` (gzip auto-detected).
+
+        With ``mmap=True`` an uncompressed native-byteorder segment is
+        memory-mapped instead of copied: every column becomes a typed
+        ``memoryview`` over one shared read-only mapping, so the load is
+        O(header) regardless of segment size and concurrent readers of the
+        same file share a single physical copy of the pages.  Mapped
+        segments are read-only (``append`` raises ``ValueError``);
+        ``slice_rows`` / ``to_wire`` / index construction all work
+        unchanged.  Gzip segments and foreign-byteorder files silently fall
+        back to the copying loader.
+        """
         with open(path, "rb") as raw:
             if raw.read(2) == b"\x1f\x8b":  # gzip magic
                 raw.seek(0)
                 with gzip.open(raw, "rb") as fh:
                     return cls._read(fh, path)
             raw.seek(0)
+            if mmap:
+                mapped = cls._read_mapped(raw, path)
+                if mapped is not None:
+                    return mapped
+                raw.seek(0)
             return cls._read(raw, path)
 
     @classmethod
@@ -487,6 +514,57 @@ class ColumnarHistory:
             setattr(cols, slot, column)
         if len(cols.op_offsets) != len(cols.txn_ids) + 1:
             raise ValueError(f"{path}: inconsistent segment offsets")
+        return cols
+
+    @classmethod
+    def _read_mapped(
+        cls, fh: IO[bytes], path: Union[str, Path]
+    ) -> Optional["ColumnarHistory"]:
+        """Zero-copy loader: typed memoryviews over one shared mapping.
+
+        Returns ``None`` when the file cannot be mapped verbatim (foreign
+        byte order or stored typecodes differing from the native layout) —
+        the caller then falls back to :meth:`_read`.  Structural corruption
+        (bad magic/header, truncated columns) raises ``ValueError`` exactly
+        like the copying loader.
+        """
+        if fh.read(len(SEGMENT_MAGIC)) != SEGMENT_MAGIC:
+            raise ValueError(f"{path}: not a {SEGMENT_FORMAT} segment file")
+        header_line = fh.readline()
+        try:
+            header: Dict[str, Any] = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: corrupt segment header: {exc}") from None
+        if header.get("format") != SEGMENT_FORMAT:
+            raise ValueError(f"{path}: not a {SEGMENT_FORMAT} segment file")
+        if header.get("byteorder", sys.byteorder) != sys.byteorder:
+            return None
+        data_start = fh.tell()
+        by_name = {entry[0]: entry for entry in header.get("columns", [])}
+        file_size = os.fstat(fh.fileno()).st_size
+        mapping = _mmap_module.mmap(
+            fh.fileno(), 0, access=_mmap_module.ACCESS_READ
+        )
+        view = memoryview(mapping)
+        cols = cls.__new__(cls)
+        cols.key_names = list(header.get("key_names", []))
+        cols.key_ids = {name: kid for kid, name in enumerate(cols.key_names)}
+        offset = data_start
+        for slot, typecode in zip(_COLUMN_SLOTS, _COLUMN_TYPECODES):
+            entry = by_name.get(slot)
+            if entry is None:
+                raise ValueError(f"{path}: segment missing column {slot!r}")
+            _, stored_typecode, nbytes = entry
+            if stored_typecode != typecode:
+                return None
+            if offset + nbytes > file_size:
+                raise ValueError(f"{path}: truncated segment column {slot!r}")
+            setattr(cols, slot, view[offset : offset + nbytes].cast(typecode))
+            offset += nbytes
+        if len(cols.op_offsets) != len(cols.txn_ids) + 1:
+            raise ValueError(f"{path}: inconsistent segment offsets")
+        # The column memoryviews keep ``mapping`` (and its kernel-side file
+        # reference) alive; the fd opened by the caller may close freely.
         return cols
 
 

@@ -1,0 +1,640 @@
+"""Durable epoch log: a crash-safe, resumable multi-segment history store.
+
+A single ``.seg`` segment (:mod:`repro.history.columnar`) is written
+atomically at close — perfect for archived histories, useless for an
+always-on verification service that must survive restarts.  The epoch log
+promotes the segment to a *directory*:
+
+* ``epoch-NNNNN.seg`` (optionally ``.seg.gz``) — immutable columnar
+  segments of ``epoch_transactions`` rows each, sealed atomically
+  (written to a temp file, fsynced, renamed into place);
+* ``MANIFEST.json`` — the commit record: one entry per sealed epoch with
+  its row/operation counts, transaction-id range, CRC-32, and byte size.
+  The manifest is replaced atomically after each seal, so a reader never
+  observes a half-written log: an epoch is *sealed* exactly when its
+  manifest entry lands;
+* ``checkpoint-NNNNN.ckpt`` — verifier-side snapshots of
+  :meth:`repro.core.incremental.IncrementalChecker.checkpoint`, CRC-framed
+  and gzip-compressed, so a restarted verifier resumes mid-log instead of
+  replaying from epoch 0;
+* ``RETIRED`` — the window-GC watermark: epochs up to this number have
+  been ingested, checkpointed, and aged out of the verifier's bounded
+  window, and their files may be deleted.
+
+Recovery is *prefix-based*: :meth:`EpochLog.open` accepts the longest
+prefix of epochs that exists, has the recorded size, and (on load) matches
+its CRC.  A writer killed at any byte offset therefore loses at most the
+epoch it was buffering — never a sealed one.  An epoch file sealed on disk
+whose manifest update did not land (the one-crash window between the two
+renames) is adopted back by reading the file itself; a torn or missing
+manifest is rebuilt the same way.  Checkpoints are independent of this:
+a half-written checkpoint simply fails its CRC and the previous one is
+used (the newest two are kept).
+
+The reader memory-maps epoch files by default
+(:meth:`~repro.history.columnar.ColumnarHistory.load` with ``mmap=True``),
+so following a 100k-transaction log costs O(epochs) header parses, not
+O(bytes) copies, and concurrent verifier processes share one physical copy
+of every epoch.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import zlib
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..core.model import INITIAL_TXN_ID, Transaction, make_initial_transaction
+from .columnar import ColumnarHistory
+
+__all__ = [
+    "EpochInfo",
+    "EpochLog",
+    "EpochLogError",
+    "EpochLogWriter",
+    "CheckpointInfo",
+    "is_epochlog_path",
+    "MANIFEST_NAME",
+    "RETIRED_NAME",
+    "EPOCHLOG_FORMAT",
+]
+
+EPOCHLOG_FORMAT = "repro-epoch-log-v1"
+CHECKPOINT_FILE_FORMAT = "repro-epoch-checkpoint-v1"
+MANIFEST_NAME = "MANIFEST.json"
+RETIRED_NAME = "RETIRED"
+CHECKPOINT_MAGIC = b"REPROCKPT1\n"
+_EPOCH_PREFIX = "epoch-"
+_EPOCH_DIGITS = 5
+#: Checkpoints retained per log: the newest plus one fallback, so a crash
+#: mid-checkpoint-write never strands the verifier without a valid one.
+_CHECKPOINTS_KEPT = 2
+
+
+class EpochLogError(ValueError):
+    """An epoch log directory is unusable for the requested operation."""
+
+
+def is_epochlog_path(path: Union[str, Path]) -> bool:
+    """Whether ``path`` denotes an epoch-log directory.
+
+    True for the conventional ``*.epochs`` suffix (even before the
+    directory exists — output paths) and for any existing directory.
+    """
+    p = Path(path)
+    return p.name.lower().endswith(".epochs") or p.is_dir()
+
+
+@dataclass(frozen=True)
+class EpochInfo:
+    """Manifest record of one sealed epoch segment."""
+
+    epoch: int
+    name: str
+    transactions: int
+    operations: int
+    min_txn_id: int
+    max_txn_id: int
+    crc32: int
+    size_bytes: int
+    #: Dropped by window GC: the file may no longer exist on disk.
+    retired: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "name": self.name,
+            "transactions": self.transactions,
+            "operations": self.operations,
+            "min_txn_id": self.min_txn_id,
+            "max_txn_id": self.max_txn_id,
+            "crc32": self.crc32,
+            "size_bytes": self.size_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "EpochInfo":
+        return cls(
+            epoch=int(data["epoch"]),
+            name=str(data["name"]),
+            transactions=int(data["transactions"]),
+            operations=int(data["operations"]),
+            min_txn_id=int(data["min_txn_id"]),
+            max_txn_id=int(data["max_txn_id"]),
+            crc32=int(data["crc32"]),
+            size_bytes=int(data["size_bytes"]),
+        )
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """A decoded verifier checkpoint: stream position plus checker state."""
+
+    #: Epochs fully ingested when the snapshot was taken (resume point).
+    epochs: int
+    #: Committed transactions ingested at snapshot time (reporting only).
+    transactions: int
+    path: Path
+    #: The :meth:`IncrementalChecker.checkpoint` state dictionary.
+    state: Dict[str, Any]
+
+
+# ----------------------------------------------------------------------
+# Shared low-level helpers
+# ----------------------------------------------------------------------
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via temp file + fsync + rename."""
+    tmp = path.with_name(f".{path.name}.tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def _file_crc_and_size(path: Path) -> Tuple[int, int]:
+    crc = 0
+    size = 0
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(1 << 20)
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc)
+            size += len(chunk)
+    return crc, size
+
+
+def _epoch_file_names(epoch: int) -> Tuple[str, str]:
+    base = f"{_EPOCH_PREFIX}{epoch:0{_EPOCH_DIGITS}d}.seg"
+    return base, base + ".gz"
+
+
+def _entry_from_file(directory: Path, epoch: int, name: str) -> EpochInfo:
+    """Rebuild a manifest entry by reading the epoch file itself.
+
+    Raises ``ValueError`` when the file is torn/corrupt — the caller treats
+    that as the end of the recoverable prefix.
+    """
+    path = directory / name
+    segment = ColumnarHistory.load(path)  # validates structure
+    crc, size = _file_crc_and_size(path)
+    txn_ids = segment.txn_ids
+    return EpochInfo(
+        epoch=epoch,
+        name=name,
+        transactions=segment.num_transactions,
+        operations=segment.num_operations,
+        min_txn_id=min(txn_ids),
+        max_txn_id=max(txn_ids),
+        crc32=crc,
+        size_bytes=size,
+    )
+
+
+def _read_retired(directory: Path) -> int:
+    """The retirement watermark (epoch number), or ``-1`` when absent/torn."""
+    try:
+        return int((directory / RETIRED_NAME).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return -1
+
+
+def _read_manifest_entries(directory: Path) -> Optional[List[EpochInfo]]:
+    """Manifest entries as recorded, or ``None`` when missing/torn."""
+    try:
+        raw = (directory / MANIFEST_NAME).read_text(encoding="utf-8")
+        data = json.loads(raw)
+        if not isinstance(data, dict) or data.get("format") != EPOCHLOG_FORMAT:
+            return None
+        return [EpochInfo.from_dict(entry) for entry in data.get("epochs", [])]
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+def _write_manifest(directory: Path, entries: Iterable[EpochInfo]) -> None:
+    payload = {
+        "format": EPOCHLOG_FORMAT,
+        "epochs": [entry.to_dict() for entry in entries],
+    }
+    _atomic_write(
+        directory / MANIFEST_NAME,
+        json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n",
+    )
+
+
+def _recover_entries(directory: Path, retired_through: int) -> List[EpochInfo]:
+    """The longest valid epoch prefix of ``directory``.
+
+    Starts from the manifest (rebuilding it from the files on disk when
+    missing or torn), drops any suffix whose files are missing or
+    truncated, and adopts contiguous sealed-but-unrecorded epoch files
+    beyond the manifest.  Epochs at or below ``retired_through`` are
+    accepted without their files (window GC deleted them).
+    """
+    recorded = _read_manifest_entries(directory)
+    accepted: List[EpochInfo] = []
+
+    if recorded is not None:
+        for position, entry in enumerate(recorded):
+            if entry.epoch != position:
+                break  # malformed manifest: non-contiguous numbering
+            if entry.epoch <= retired_through:
+                accepted.append(replace(entry, retired=True))
+                continue
+            path = directory / entry.name
+            try:
+                if os.stat(path).st_size != entry.size_bytes:
+                    break  # torn epoch file (partial write surfaced)
+            except OSError:
+                break  # sealed epoch file missing without retirement
+            accepted.append(entry)
+
+    # Adopt epoch files sealed on disk whose manifest entry never landed
+    # (writer killed between the segment rename and the manifest rename),
+    # or rebuild the whole list when the manifest itself was lost.
+    while True:
+        nxt = len(accepted)
+        raw_name, gz_name = _epoch_file_names(nxt)
+        name = None
+        if (directory / raw_name).exists():
+            name = raw_name
+        elif (directory / gz_name).exists():
+            name = gz_name
+        if name is None:
+            break
+        try:
+            accepted.append(_entry_from_file(directory, nxt, name))
+        except (OSError, ValueError, EOFError, zlib.error):
+            # Torn orphan (gzip truncation surfaces as EOFError/zlib.error):
+            # not sealed, the buffered epoch died with the writer.
+            break
+    return accepted
+
+
+# ----------------------------------------------------------------------
+# Writer
+# ----------------------------------------------------------------------
+class EpochLogWriter:
+    """Append transactions; seal immutable epoch segments as they fill.
+
+    The durable counterpart of
+    :class:`~repro.history.columnar.SegmentWriter`: instead of one segment
+    written at close, transactions are buffered in memory and flushed as an
+    ``epoch-NNNNN.seg`` file every ``epoch_transactions`` rows (plus a
+    final partial epoch at :meth:`close`).  Each seal is atomic — segment
+    temp-file rename, then manifest rename — so a crash at any byte offset
+    loses only the unsealed buffer.
+
+    Opening an existing log directory *appends* to it: recovery first
+    accepts the longest valid epoch prefix (adopting sealed files whose
+    manifest entry was lost) and rewrites the manifest to match.
+
+    Usable directly as an ``on_transaction`` hook (it is callable), like
+    every other history sink in the package.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        epoch_transactions: int = 1024,
+        compress: bool = False,
+        initial_transaction: Optional[Transaction] = None,
+        initial_keys: Optional[Iterable[str]] = None,
+    ) -> None:
+        if epoch_transactions < 1:
+            raise ValueError("epoch_transactions must be a positive row count")
+        self.directory = Path(directory)
+        self.epoch_transactions = epoch_transactions
+        self.compress = compress
+        self._closed = False
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+        self._entries = _recover_entries(
+            self.directory, _read_retired(self.directory)
+        )
+        _write_manifest(self.directory, self._entries)
+
+        self._buffer = ColumnarHistory()
+        if initial_transaction is None and initial_keys is not None:
+            initial_transaction = make_initial_transaction(initial_keys)
+        if initial_transaction is not None and not self._entries:
+            self._buffer.append(initial_transaction)
+
+    @property
+    def epochs_sealed(self) -> int:
+        return len(self._entries)
+
+    def append(self, txn: Transaction) -> None:
+        """Buffer one transaction; seal an epoch when the buffer fills."""
+        if self._closed:
+            raise ValueError("epoch log writer is closed")
+        self._buffer.append(txn)
+        if self._buffer.num_transactions >= self.epoch_transactions:
+            self.seal()
+
+    __call__ = append
+
+    def seal(self) -> Optional[EpochInfo]:
+        """Flush the buffered rows as one epoch (no-op on an empty buffer).
+
+        The epoch becomes durable in two ordered renames: segment file
+        first, manifest second.  Readers treat the manifest as the commit
+        record and adopt the file-without-entry state on recovery, so a
+        crash between the renames is indistinguishable from one after.
+        """
+        if self._buffer.num_transactions == 0:
+            return None
+        epoch = len(self._entries)
+        raw_name, gz_name = _epoch_file_names(epoch)
+        name = gz_name if self.compress else raw_name
+        path = self.directory / name
+        tmp = self.directory / f".{name}.tmp"
+        self._buffer.save(tmp, compress=self.compress)
+        with open(tmp, "rb") as fh:
+            os.fsync(fh.fileno())
+        crc, size = _file_crc_and_size(tmp)
+        os.replace(tmp, path)
+        txn_ids = self._buffer.txn_ids
+        entry = EpochInfo(
+            epoch=epoch,
+            name=name,
+            transactions=self._buffer.num_transactions,
+            operations=self._buffer.num_operations,
+            min_txn_id=min(txn_ids),
+            max_txn_id=max(txn_ids),
+            crc32=crc,
+            size_bytes=size,
+        )
+        self._entries.append(entry)
+        _write_manifest(self.directory, self._entries)
+        self._buffer = ColumnarHistory()
+        return entry
+
+    def close(self) -> None:
+        """Seal any buffered rows and mark the writer closed (idempotent)."""
+        if not self._closed:
+            self.seal()
+            self._closed = True
+
+    def __enter__(self) -> "EpochLogWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Reader
+# ----------------------------------------------------------------------
+class EpochLog:
+    """Read-side view of an epoch log directory: epochs + checkpoints.
+
+    :meth:`open` performs crash recovery (longest-valid-prefix, see the
+    module docstring); :meth:`refresh` re-reads the manifest so a live
+    follower picks up epochs a concurrent writer seals.  Epoch segments
+    load memory-mapped by default.  The checkpoint methods store and
+    recover verifier snapshots inside the same directory — the epoch log
+    is the one durable artefact a verification service needs.
+    """
+
+    def __init__(self, directory: Path, entries: List[EpochInfo], retired: int):
+        self.directory = directory
+        self.epochs = entries
+        self.retired_through = retired
+
+    @classmethod
+    def open(cls, directory: Union[str, Path]) -> "EpochLog":
+        """Open ``directory``, recovering the longest valid epoch prefix.
+
+        Raises :class:`EpochLogError` when the directory does not exist
+        (or is a file); an empty or not-yet-populated directory opens as a
+        zero-epoch log that :meth:`refresh` can follow.
+        """
+        path = Path(directory)
+        if not path.is_dir():
+            raise EpochLogError(f"{path}: not an epoch log directory")
+        retired = _read_retired(path)
+        return cls(path, _recover_entries(path, retired), retired)
+
+    def __len__(self) -> int:
+        return len(self.epochs)
+
+    @property
+    def num_transactions(self) -> int:
+        """Total rows across sealed epochs (``⊥T`` included when present)."""
+        return sum(entry.transactions for entry in self.epochs)
+
+    def refresh(self) -> List[EpochInfo]:
+        """Pick up newly sealed epochs; return the new entries.
+
+        Raises :class:`EpochLogError` when the directory disappeared or
+        the log regressed (fewer or different epochs than already seen) —
+        both mean the follower's position is no longer meaningful.
+        """
+        if not self.directory.is_dir():
+            raise EpochLogError(
+                f"{self.directory}: epoch log disappeared while following"
+            )
+        retired = _read_retired(self.directory)
+        entries = _recover_entries(self.directory, retired)
+        if len(entries) < len(self.epochs):
+            raise EpochLogError(
+                f"{self.directory}: epoch log regressed from "
+                f"{len(self.epochs)} to {len(entries)} epochs"
+            )
+        for old, new in zip(self.epochs, entries):
+            if (old.name, old.crc32) != (new.name, new.crc32) and not new.retired:
+                raise EpochLogError(
+                    f"{self.directory}: sealed epoch {old.epoch} changed on disk"
+                )
+        fresh = entries[len(self.epochs):]
+        self.epochs = entries
+        self.retired_through = retired
+        return fresh
+
+    def load_epoch(
+        self,
+        info: Union[int, EpochInfo],
+        *,
+        mmap: bool = True,
+        verify: bool = True,
+    ) -> ColumnarHistory:
+        """Load one epoch segment (memory-mapped unless ``mmap=False``).
+
+        ``verify=True`` checks size and CRC-32 against the manifest entry
+        first, so silent on-disk corruption surfaces as
+        :class:`EpochLogError` instead of a wrong verdict.
+        """
+        entry = self.epochs[info] if isinstance(info, int) else info
+        if entry.retired:
+            raise EpochLogError(
+                f"{self.directory}: epoch {entry.epoch} was retired by window "
+                f"GC; resume from a checkpoint past it"
+            )
+        path = self.directory / entry.name
+        if verify:
+            try:
+                crc, size = _file_crc_and_size(path)
+            except OSError as exc:
+                raise EpochLogError(
+                    f"{self.directory}: epoch {entry.epoch} unreadable: {exc}"
+                ) from None
+            if (crc, size) != (entry.crc32, entry.size_bytes):
+                raise EpochLogError(
+                    f"{self.directory}: epoch {entry.epoch} fails its checksum "
+                    f"(file {entry.name} corrupted on disk)"
+                )
+        return ColumnarHistory.load(path, mmap=mmap)
+
+    def iter_segments(
+        self, start_epoch: int = 0, *, mmap: bool = True, verify: bool = True
+    ) -> Iterator[Tuple[EpochInfo, ColumnarHistory]]:
+        """Yield ``(entry, segment)`` for every epoch from ``start_epoch``."""
+        for entry in self.epochs[start_epoch:]:
+            yield entry, self.load_epoch(entry, mmap=mmap, verify=verify)
+
+    def to_columns(
+        self, *, mmap: bool = True, verify: bool = True
+    ) -> ColumnarHistory:
+        """Concatenate every live epoch into one in-memory segment.
+
+        The batch-check entry point: key ids are re-interned across
+        epochs, so the result is indistinguishable from a single segment
+        written over the whole history.  Raises :class:`EpochLogError`
+        when retired epochs make the full history unrecoverable.
+        """
+        out = ColumnarHistory()
+        for entry in self.epochs:
+            segment = self.load_epoch(entry, mmap=mmap, verify=verify)
+            base = len(out.op_kinds)
+            remap = [out.key_id(name) for name in segment.key_names]
+            out.txn_ids.extend(segment.txn_ids)
+            out.session_ids.extend(segment.session_ids)
+            out.statuses.extend(segment.statuses)
+            out.start_ts.extend(segment.start_ts)
+            out.finish_ts.extend(segment.finish_ts)
+            for offset in segment.op_offsets[1:]:
+                out.op_offsets.append(base + offset)
+            for kid in segment.op_keys:
+                out.op_keys.append(remap[kid])
+            out.op_kinds.extend(segment.op_kinds)
+            out.op_values.extend(segment.op_values)
+            out.op_has_value.extend(segment.op_has_value)
+        return out
+
+    # ------------------------------------------------------------------
+    # Verifier checkpoints
+    # ------------------------------------------------------------------
+    def save_checkpoint(
+        self, state: Dict[str, Any], *, epochs: int, transactions: int
+    ) -> Path:
+        """Persist a verifier snapshot taken after ``epochs`` whole epochs.
+
+        The file is CRC-framed (a half-written checkpoint fails
+        validation and is skipped by :meth:`latest_checkpoint`), written
+        atomically, and the newest two checkpoints are kept.
+        """
+        payload = gzip.compress(
+            json.dumps(
+                {"epochs": epochs, "transactions": transactions, "state": state},
+                separators=(",", ":"),
+            ).encode("utf-8"),
+            mtime=0,
+        )
+        header = json.dumps(
+            {
+                "format": CHECKPOINT_FILE_FORMAT,
+                "epochs": epochs,
+                "transactions": transactions,
+                "crc32": zlib.crc32(payload),
+                "payload_bytes": len(payload),
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        path = self.directory / f"checkpoint-{epochs:0{_EPOCH_DIGITS}d}.ckpt"
+        _atomic_write(path, CHECKPOINT_MAGIC + header + b"\n" + payload)
+        for stale in self._checkpoint_paths()[:-_CHECKPOINTS_KEPT]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+        return path
+
+    def _checkpoint_paths(self) -> List[Path]:
+        return sorted(self.directory.glob("checkpoint-*.ckpt"))
+
+    def latest_checkpoint(self) -> Optional[CheckpointInfo]:
+        """The newest checkpoint that validates, or ``None``.
+
+        Torn or corrupt checkpoint files are skipped (never fatal): the
+        fallback copy kept by :meth:`save_checkpoint` takes over, and with
+        no valid checkpoint at all the verifier replays from epoch 0.
+        """
+        for path in reversed(self._checkpoint_paths()):
+            decoded = self._decode_checkpoint(path)
+            if decoded is not None:
+                return decoded
+        return None
+
+    @staticmethod
+    def _decode_checkpoint(path: Path) -> Optional[CheckpointInfo]:
+        try:
+            blob = path.read_bytes()
+            if not blob.startswith(CHECKPOINT_MAGIC):
+                return None
+            rest = blob[len(CHECKPOINT_MAGIC):]
+            header_line, _, payload = rest.partition(b"\n")
+            header = json.loads(header_line)
+            if header.get("format") != CHECKPOINT_FILE_FORMAT:
+                return None
+            if len(payload) != header["payload_bytes"]:
+                return None
+            if zlib.crc32(payload) != header["crc32"]:
+                return None
+            body = json.loads(gzip.decompress(payload))
+            return CheckpointInfo(
+                epochs=int(body["epochs"]),
+                transactions=int(body["transactions"]),
+                path=path,
+                state=body["state"],
+            )
+        except (OSError, ValueError, KeyError, TypeError, EOFError):
+            return None
+
+    # ------------------------------------------------------------------
+    # Window-GC retirement
+    # ------------------------------------------------------------------
+    def retire_through(self, epoch: int) -> int:
+        """Drop epoch files up to ``epoch`` (inclusive); return count removed.
+
+        Writes the ``RETIRED`` watermark first (atomically), then unlinks
+        the files — so a crash between the two leaves files that are
+        simply re-deleted on the next retirement pass, never a watermark
+        claiming files that are still needed.  Only meaningful for a
+        verifier running with a bounded window **and** checkpoints: a
+        restart without a checkpoint past the watermark cannot replay.
+        """
+        if epoch < 0 or epoch >= len(self.epochs):
+            raise ValueError(f"epoch {epoch} not sealed (have {len(self.epochs)})")
+        if epoch <= self.retired_through:
+            return 0
+        _atomic_write(
+            self.directory / RETIRED_NAME, f"{epoch}\n".encode("utf-8")
+        )
+        removed = 0
+        for position in range(self.retired_through + 1, epoch + 1):
+            entry = self.epochs[position]
+            try:
+                (self.directory / entry.name).unlink()
+                removed += 1
+            except OSError:
+                pass
+            self.epochs[position] = replace(entry, retired=True)
+        self.retired_through = epoch
+        return removed

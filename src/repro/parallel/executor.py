@@ -36,7 +36,8 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import List, Optional, Tuple
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
 
 from ..core.checkers import (
     GRAPH_CHECKED_LEVELS,
@@ -61,9 +62,15 @@ from .partition import DEFAULT_MAX_SHARDS, Shard, partition_columns, partition_h
 
 __all__ = ["check_parallel", "make_payload"]
 
+#: Segment-reference payload body: workers memory-map ``path`` themselves
+#: and slice their rows locally, so N workers share one physical copy of
+#: the segment (OS page cache) and the parent pickles only row numbers.
+_SegRef = Tuple[str, str, List[int], List[str]]
+
 #: One shard task shipped to a worker process: the shard's columnar wire
-#: buffers plus the check configuration.  Contains no ``Transaction``s.
-_Payload = Tuple[int, WireColumns, IsolationLevel, bool, bool]
+#: buffers — or a :data:`_SegRef` into an mmap-able segment file — plus the
+#: check configuration.  Contains no ``Transaction``s either way.
+_Payload = Tuple[int, Union[WireColumns, _SegRef], IsolationLevel, bool, bool]
 
 
 def check_parallel(
@@ -77,6 +84,7 @@ def check_parallel(
     max_shards: Optional[int] = DEFAULT_MAX_SHARDS,
     dense: bool = True,
     columns: Optional[ColumnarHistory] = None,
+    source_path: Optional[Union[str, Path]] = None,
 ) -> CheckResult:
     """Verify a history against ``level`` via the sharded pipeline.
 
@@ -102,6 +110,13 @@ def check_parallel(
             :class:`~repro.history.columnar.ColumnarHistory` — shards are
             then sliced straight from the columns and the object history is
             never materialised.
+        source_path: the uncompressed segment file ``columns`` was loaded
+            from, when there is one.  Shard payloads then carry
+            ``(path, rows)`` references instead of sliced column bytes:
+            each worker memory-maps the file (one shared physical copy)
+            and slices its own rows, so the parent neither materialises
+            nor pickles per-shard columns.  Verdicts are identical with
+            and without it.
     """
     if level not in GRAPH_CHECKED_LEVELS:
         raise ValueError(f"unsupported isolation level for sharded checking: {level}")
@@ -127,7 +142,12 @@ def check_parallel(
         shards = partition_history(history, index=index, max_shards=max_shards)
     else:
         assert columns is not None
-        shards = partition_columns(columns, index=index, max_shards=max_shards)
+        shards = partition_columns(
+            columns,
+            index=index,
+            max_shards=max_shards,
+            materialize=source_path is None,
+        )
     if len(shards) == 1:
         # Fully connected history: the serial pipeline on the shared index
         # is already optimal (and strict validation has been done above).
@@ -138,7 +158,8 @@ def check_parallel(
         return check_sser(history, transitive_ww=transitive_ww, index=index, dense=dense)
 
     payloads: List[_Payload] = [
-        make_payload(shard, level, transitive_ww, dense) for shard in shards
+        make_payload(shard, level, transitive_ww, dense, source_path=source_path)
+        for shard in shards
     ]
     outcomes = _execute(payloads, workers)
     outcomes.sort(key=lambda o: o.shard_index)
@@ -167,13 +188,21 @@ def make_payload(
     level: IsolationLevel,
     transitive_ww: bool,
     dense: bool,
+    *,
+    source_path: Optional[Union[str, Path]] = None,
 ) -> _Payload:
     """The process-boundary task for one shard: columnar buffers only.
 
     Shards from the columnar partitioner already carry their column slice;
     shards from the object partitioner are column-encoded here — either
     way the payload pickles as raw bytes, never as ``Transaction`` objects.
+    With ``source_path`` set (and the shard carrying its source rows), the
+    payload degenerates to a ``("segref", path, rows, keys)`` reference:
+    the worker memory-maps the segment and slices the rows itself.
     """
+    if source_path is not None and shard.rows is not None:
+        ref: _SegRef = ("segref", str(source_path), list(shard.rows), list(shard.keys))
+        return (shard.index, ref, level, transitive_ww, dense)
     columns = shard.columns
     if columns is None:
         assert shard.history is not None
@@ -187,7 +216,14 @@ def make_payload(
 def _run_shard(payload: _Payload) -> ShardOutcome:
     """Check one shard; module-level so process pools can import it."""
     shard_index, wire, level, transitive_ww, dense = payload
-    shard_columns = ColumnarHistory.from_wire(wire)
+    if wire and wire[0] == "segref":
+        _, path, shard_rows, shard_keys = wire
+        segment = ColumnarHistory.load(path, mmap=True)
+        shard_columns = segment.slice_rows(
+            shard_rows, restrict_initial_keys=shard_keys
+        )
+    else:
+        shard_columns = ColumnarHistory.from_wire(wire)
     shard_idx_obj = HistoryIndex.from_columns(shard_columns)
 
     if level is IsolationLevel.STRICT_SERIALIZABILITY:

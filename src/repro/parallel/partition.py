@@ -65,6 +65,10 @@ class Shard:
     num_transactions: int
     #: Columnar slice of the shard (columnar front end).
     columns: Optional["ColumnarHistory"] = None
+    #: Source rows of the slice within the parent segment (columnar front
+    #: end) — lets the executor ship a (path, rows) reference instead of
+    #: the sliced bytes when the segment lives in an mmap-able file.
+    rows: Optional[List[int]] = None
 
 
 def partition_history(
@@ -112,6 +116,7 @@ def partition_columns(
     *,
     index: Optional[HistoryIndex] = None,
     max_shards: Optional[int] = DEFAULT_MAX_SHARDS,
+    materialize: bool = True,
 ) -> List[Shard]:
     """Split a columnar segment into key-connected, session-closed shards.
 
@@ -121,6 +126,11 @@ def partition_columns(
     restricted to the shard's keys) — ready to ship over
     :meth:`~repro.history.columnar.ColumnarHistory.to_wire` without any
     ``Transaction`` materialisation.
+
+    With ``materialize=False`` the per-shard column slices are *not* built:
+    each shard carries only its source ``rows`` (and keys), which is all
+    the executor needs when workers re-slice from a memory-mapped segment
+    file themselves.
     """
     if index is None:
         index = HistoryIndex.from_columns(columns)
@@ -182,7 +192,12 @@ def partition_columns(
                 keys=keys,
                 session_ids=[session_ids[i] for i in slots],
                 num_transactions=committed,
-                columns=columns.slice_rows(rows, restrict_initial_keys=keys),
+                columns=(
+                    columns.slice_rows(rows, restrict_initial_keys=keys)
+                    if materialize
+                    else None
+                ),
+                rows=rows,
             )
         )
     return shards

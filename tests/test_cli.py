@@ -403,3 +403,176 @@ class TestAnomalyCommand:
     def test_unknown_anomaly(self, capsys):
         assert main(["anomaly", "Bogus"]) == 2
         assert "unknown anomaly" in capsys.readouterr().out
+
+
+class TestWatchDisappearingStream:
+    def _generate(self, path, *extra):
+        return main(
+            ["generate", "--isolation", "si", "--sessions", "4", "--txns", "20",
+             "--objects", "8", "--output", str(path), *extra]
+        )
+
+    def test_watch_exits_cleanly_when_stream_is_deleted(self, tmp_path, capsys):
+        # The open fd keeps a deleted file readable on POSIX, so a follower
+        # would otherwise poll a ghost forever; it must notice the deletion
+        # and stop with a diagnostic instead of hanging or crashing.
+        import threading
+
+        path = tmp_path / "vanishing.jsonl"
+        assert self._generate(path) == 0
+        capsys.readouterr()
+        killer = threading.Timer(0.3, path.unlink)
+        killer.start()
+        try:
+            code = main(
+                ["watch", "--level", "si", "--interval", "0.05",
+                 "--max-seconds", "30", str(path)]
+            )
+        finally:
+            killer.cancel()
+        output = capsys.readouterr().out
+        assert code == 2
+        assert "deleted while being followed" in output
+
+    def test_watch_exits_cleanly_when_epoch_log_is_deleted(self, tmp_path, capsys):
+        import shutil
+        import threading
+
+        path = tmp_path / "vanishing.epochs"
+        assert self._generate(path) == 0
+        capsys.readouterr()
+        killer = threading.Timer(0.3, lambda: shutil.rmtree(path))
+        killer.start()
+        try:
+            code = main(
+                ["watch", "--level", "si", "--interval", "0.05",
+                 "--max-seconds", "30", str(path)]
+            )
+        finally:
+            killer.cancel()
+        output = capsys.readouterr().out
+        assert code == 2
+        assert "disappeared while following" in output
+
+
+class TestEpochLogCommands:
+    def _generate(self, path, *extra):
+        return main(
+            ["generate", "--isolation", "si", "--sessions", "4", "--txns", "20",
+             "--objects", "8", "--epoch-txns", "16", "--output", str(path), *extra]
+        )
+
+    def test_generate_then_check_batch_stream_and_workers(self, tmp_path, capsys):
+        path = tmp_path / "history.epochs"
+        assert self._generate(path) == 0
+        assert (path / "MANIFEST.json").exists()
+        assert sorted(path.glob("epoch-*.seg"))
+        for extra in ([], ["--stream"], ["--workers", "2"]):
+            assert main(["check", "--level", "si", *extra, str(path)]) == 0
+            assert "SATISFIED" in capsys.readouterr().out
+
+    def test_faulty_epoch_log_is_detected(self, tmp_path, capsys):
+        path = tmp_path / "buggy.epochs"
+        assert self._generate(path, "--fault", "lostupdate", "--fault-rate", "0.6") == 0
+        assert main(["check", "--level", "si", str(path)]) == 1
+        assert "VIOLATED" in capsys.readouterr().out
+        assert main(["watch", "--once", "--level", "si", str(path)]) == 1
+        assert "[txn #" in capsys.readouterr().out
+
+    def test_watch_checkpoints_then_resumes(self, tmp_path, capsys):
+        path = tmp_path / "history.epochs"
+        assert self._generate(path) == 0
+        assert main(
+            ["watch", "--once", "--level", "si", "--checkpoint-every", "2", str(path)]
+        ) == 0
+        first = capsys.readouterr().out
+        assert "resumed" not in first and "SATISFIED" in first
+        assert sorted(path.glob("checkpoint-*.ckpt"))
+
+        code = main(
+            ["watch", "--once", "--level", "si", "--checkpoint-every", "2", str(path)]
+        )
+        second = capsys.readouterr().out
+        assert code == 0
+        assert "resumed from checkpoint" in second and "SATISFIED" in second
+
+        # Different settings invalidate the snapshot: full replay, same verdict.
+        code = main(["watch", "--once", "--level", "ser", str(path)])
+        third = capsys.readouterr().out
+        assert code == 0 and "resumed" not in third
+
+    def test_watch_retires_epochs_behind_window(self, tmp_path, capsys):
+        path = tmp_path / "history.epochs"
+        assert self._generate(path) == 0
+        before = len(list(path.glob("epoch-*.seg")))
+        code = main(
+            ["watch", "--once", "--level", "si", "--window", "24",
+             "--checkpoint-every", "1", "--retire", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "retired" in out and (path / "RETIRED").exists()
+        assert len(list(path.glob("epoch-*.seg"))) < before
+
+        # Batch check can no longer see the whole history: clean refusal...
+        assert main(["check", "--level", "si", str(path)]) == 2
+        assert "retired by window GC" in capsys.readouterr().out
+        # ...but the service resumes from its checkpoint past the watermark.
+        code = main(
+            ["watch", "--once", "--level", "si", "--window", "24",
+             "--checkpoint-every", "1", str(path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "resumed from checkpoint" in out and "SATISFIED" in out
+
+    def test_retire_requires_window_and_checkpoints(self, tmp_path, capsys):
+        path = tmp_path / "history.epochs"
+        assert self._generate(path) == 0
+        assert main(["watch", "--once", "--retire", str(path)]) == 2
+        assert "--retire" in capsys.readouterr().out
+
+    def test_checkpoint_flags_rejected_on_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "stream.jsonl"
+        assert main(
+            ["generate", "--isolation", "si", "--sessions", "2", "--txns", "10",
+             "--objects", "6", "--output", str(path)]
+        ) == 0
+        assert main(["watch", "--once", "--checkpoint-every", "2", str(path)]) == 2
+        assert "epoch log directories" in capsys.readouterr().out
+
+    def test_convert_round_trips_through_epoch_log(self, tmp_path, capsys):
+        jsonl = tmp_path / "h.jsonl"
+        assert main(
+            ["generate", "--isolation", "si", "--sessions", "4", "--txns", "20",
+             "--objects", "8", "--output", str(jsonl)]
+        ) == 0
+        epochs = tmp_path / "h.epochs"
+        assert main(["convert", str(jsonl), str(epochs), "--epoch-txns", "16"]) == 0
+        back = tmp_path / "back.jsonl"
+        assert main(["convert", str(epochs), str(back)]) == 0
+        capsys.readouterr()
+
+        from repro.history import iter_history_jsonl
+
+        original = [(t.txn_id, t.status, str(t)) for t in iter_history_jsonl(jsonl)]
+        restored = [(t.txn_id, t.status, str(t)) for t in iter_history_jsonl(back)]
+        assert original == restored
+
+    def test_check_missing_epoch_log_fails_cleanly(self, tmp_path, capsys):
+        assert main(["check", str(tmp_path / "absent.epochs")]) == 2
+        assert "not an epoch log directory" in capsys.readouterr().out
+
+
+class TestBenchService:
+    def test_bench_service_smoke_writes_json(self, tmp_path, capsys):
+        code = main(
+            ["bench", "--suite", "service", "--smoke", "--output-dir", str(tmp_path)]
+        )
+        assert code == 0
+        payload = json.loads((tmp_path / "BENCH_service.json").read_text())
+        assert payload["suite"] == "service"
+        for row in payload["rows"]:
+            assert row["verdicts_equal"] is True
+            assert row["resume_s"] < row["full_replay_s"]
+        capsys.readouterr()

@@ -441,3 +441,113 @@ class TestColumnarDispatch:
     def test_check_parallel_requires_some_input(self):
         with pytest.raises(ValueError):
             check_parallel(None, IsolationLevel.SERIALIZABILITY)
+
+
+class TestMemoryMappedSegments:
+    """``ColumnarHistory.load(path, mmap=True)``: zero-copy column views."""
+
+    def test_mmap_load_equals_copying_load(self, tmp_path):
+        history = generated_history(31, "lostupdate")
+        path = tmp_path / "history.seg"
+        write_history_segment(history, path)
+        mapped = ColumnarHistory.load(path, mmap=True)
+        copied = ColumnarHistory.load(path)
+        assert mapped.to_wire() == copied.to_wire()
+        assert [txn_fingerprint(t) for t in mapped.iter_transactions()] == [
+            txn_fingerprint(t) for t in copied.iter_transactions()
+        ]
+        # The columns really are views into the mapping, not arrays.
+        assert isinstance(mapped.txn_ids, memoryview)
+
+    @pytest.mark.parametrize("level", LEVELS, ids=lambda l: l.short_name)
+    def test_mmap_verdicts_match_object_pipeline(self, tmp_path, level):
+        for fault in (None, "lostupdate"):
+            history = generated_history(32, fault)
+            path = tmp_path / f"{fault}.seg"
+            write_history_segment(history, path)
+            mapped = ColumnarHistory.load(path, mmap=True)
+            assert result_fingerprint(
+                MTChecker().verify(mapped, level)
+            ) == result_fingerprint(MTChecker().verify(history, level))
+
+    def test_gzip_falls_back_to_copying_loader(self, tmp_path):
+        history = generated_history(33)
+        path = tmp_path / "history.seg.gz"
+        write_history_segment(history, path)
+        loaded = ColumnarHistory.load(path, mmap=True)  # silently copies
+        assert not isinstance(loaded.txn_ids, memoryview)
+        assert loaded.num_transactions == history.num_transactions() + 1
+
+    def test_truncated_segment_is_rejected(self, tmp_path):
+        history = generated_history(34)
+        path = tmp_path / "history.seg"
+        write_history_segment(history, path)
+        path.write_bytes(path.read_bytes()[:-16])
+        with pytest.raises(ValueError):
+            ColumnarHistory.load(path, mmap=True)
+
+    def test_mapped_segments_are_immutable_but_sliceable(self, tmp_path):
+        history = generated_history(35)
+        path = tmp_path / "history.seg"
+        write_history_segment(history, path)
+        mapped = ColumnarHistory.load(path, mmap=True)
+        with pytest.raises(ValueError, match="memory-mapped"):
+            mapped.append(Transaction(99_999, [read("k0", None)]))
+        rows = list(range(min(5, mapped.num_transactions)))
+        sliced = mapped.slice_rows(rows, restrict_initial_keys=mapped.key_names)
+        sliced.append(Transaction(99_999, [read("k0", None)]))  # mutable copy
+        assert sliced.num_transactions == len(rows) + 1
+
+    @pytest.mark.parametrize("level", LEVELS, ids=lambda l: l.short_name)
+    def test_segref_payloads_match_wire_payloads(self, tmp_path, level):
+        from repro.bench import make_disjoint_history
+
+        history = make_disjoint_history(
+            num_groups=4,
+            sessions_per_group=2,
+            txns_per_session=12,
+            keys_per_group=4,
+            timestamps=True,
+        )
+        path = tmp_path / "history.seg"
+        write_history_segment(history, path)
+        columns = ColumnarHistory.load(path, mmap=True)
+        serial = MTChecker().verify(history, level)
+        via_wire = check_parallel(None, level, workers=2, columns=columns)
+        via_segref = check_parallel(
+            None, level, workers=2, columns=columns, source_path=path
+        )
+        assert result_fingerprint(via_segref) == result_fingerprint(via_wire)
+        assert via_segref.satisfied == serial.satisfied
+
+    def test_segref_payload_carries_rows_not_bytes(self, tmp_path):
+        from repro.bench import make_disjoint_history
+
+        history = make_disjoint_history(
+            num_groups=5,
+            sessions_per_group=2,
+            txns_per_session=15,
+            keys_per_group=4,
+            timestamps=True,
+        )
+        path = tmp_path / "history.seg"
+        write_history_segment(history, path)
+        columns = ColumnarHistory.load(path, mmap=True)
+        index = HistoryIndex.from_columns(columns)
+        shards = partition_columns(columns, index=index, materialize=False)
+        assert len(shards) > 1
+        level = IsolationLevel.SERIALIZABILITY
+        for shard in shards:
+            assert shard.columns is None and shard.rows
+            payload = make_payload(shard, level, False, True, source_path=path)
+            assert payload[1][0] == "segref"
+            blob = pickle.dumps(payload)
+            assert b"repro.core.model" not in blob
+            # The reference is tiny compared to the sliced column bytes.
+            wire = make_payload(
+                partition_columns(columns, index=index)[shard.index],
+                level,
+                False,
+                True,
+            )
+            assert len(blob) < len(pickle.dumps(wire))

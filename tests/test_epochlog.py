@@ -1,0 +1,457 @@
+"""Crash-recovery suite for the durable epoch log.
+
+The contract under test (see ``repro.history.epochlog``): a writer killed
+at ANY byte offset loses at most the epoch it was buffering — recovery
+never crashes and never loses a *sealed* epoch — and a verifier killed
+mid-stream resumes from its newest checkpoint to the exact verdict an
+uninterrupted run produces.  Faults are injected post-hoc by truncating or
+corrupting the on-disk files at randomized offsets, which covers every
+state an interrupted writer can leave behind (its writes are sequential:
+temp file, rename, manifest temp file, rename).
+"""
+
+import random
+
+import pytest
+
+from repro import Database, MTChecker, run_workload
+from repro.core.incremental import CheckerSession, stream_order
+from repro.core.result import IsolationLevel
+from repro.history.columnar import ColumnarHistory
+from repro.history.epochlog import (
+    MANIFEST_NAME,
+    RETIRED_NAME,
+    EpochLog,
+    EpochLogError,
+    EpochLogWriter,
+    is_epochlog_path,
+)
+from repro.workloads.mt_generator import MTWorkloadGenerator
+
+SER = IsolationLevel.SERIALIZABILITY
+SI = IsolationLevel.SNAPSHOT_ISOLATION
+SSER = IsolationLevel.STRICT_SERIALIZABILITY
+LEVELS = [SER, SI, SSER]
+
+
+def make_history(seed, *, engine="si", sessions=4, txns=12, objects=8):
+    """A recorded history; ``engine="rc"`` yields SER/SI anomalies."""
+    workload = MTWorkloadGenerator(
+        num_sessions=sessions, txns_per_session=txns, num_objects=objects, seed=seed
+    ).generate()
+    return run_workload(
+        Database(engine, keys=workload.keys), workload, seed=seed + 1
+    ).history
+
+
+def build_log(directory, history, *, epoch_transactions=10, compress=False):
+    with EpochLogWriter(
+        directory, epoch_transactions=epoch_transactions, compress=compress
+    ) as writer:
+        for txn in stream_order(history):
+            writer.append(txn)
+    return EpochLog.open(directory)
+
+
+def stream_format(log, level, *, window=None, start_epoch=0, session=None):
+    """Final verdict text of streaming every epoch from ``start_epoch``."""
+    if session is None:
+        session = CheckerSession(level, window=window)
+    for _entry, segment in log.iter_segments(start_epoch):
+        session.ingest_segment(segment)
+    return session.result().format()
+
+
+def direct_stream_format(transactions, level, *, window=None):
+    """Verdict text of streaming ``transactions`` as one single segment.
+
+    The never-crashed baseline: epoch-wise ingestion over the same arrival
+    order must match it byte for byte.
+    """
+    session = CheckerSession(level, window=window)
+    session.ingest_segment(ColumnarHistory.from_transactions(transactions))
+    return session.result().format()
+
+
+def truncate_at(path, rng):
+    """Cut ``path`` at a random byte offset strictly inside the file."""
+    data = path.read_bytes()
+    cut = rng.randrange(0, len(data))
+    path.write_bytes(data[:cut])
+    return cut
+
+
+# ----------------------------------------------------------------------
+# Basics: sealing, manifest, refresh, mmap
+# ----------------------------------------------------------------------
+class TestEpochLogBasics:
+    def test_path_predicate(self, tmp_path):
+        assert is_epochlog_path("history.epochs")
+        assert is_epochlog_path(tmp_path)  # existing directory
+        assert not is_epochlog_path(tmp_path / "history.seg")
+        assert not is_epochlog_path(tmp_path / "history.jsonl")
+
+    def test_open_requires_a_directory(self, tmp_path):
+        with pytest.raises(EpochLogError):
+            EpochLog.open(tmp_path / "missing.epochs")
+        target = tmp_path / "file.epochs"
+        target.write_text("not a directory")
+        with pytest.raises(EpochLogError):
+            EpochLog.open(target)
+
+    def test_empty_directory_opens_as_zero_epoch_log(self, tmp_path):
+        d = tmp_path / "log.epochs"
+        d.mkdir()
+        log = EpochLog.open(d)
+        assert len(log) == 0 and log.num_transactions == 0
+
+    @pytest.mark.parametrize("compress", [False, True])
+    def test_writer_seals_epochs_with_accurate_manifest(self, tmp_path, compress):
+        history = make_history(1)
+        log = build_log(
+            tmp_path / "log.epochs", history, epoch_transactions=10, compress=compress
+        )
+        total_rows = sum(1 for _ in stream_order(history))
+        assert log.num_transactions == total_rows
+        assert len(log) == (total_rows + 9) // 10
+        for entry in log.epochs:
+            segment = log.load_epoch(entry)  # verifies size + CRC
+            assert segment.num_transactions == entry.transactions
+            assert min(segment.txn_ids) == entry.min_txn_id
+            assert max(segment.txn_ids) == entry.max_txn_id
+            assert entry.name.endswith(".seg.gz" if compress else ".seg")
+
+    def test_epoch_stream_matches_whole_segment_verdicts(self, tmp_path):
+        for engine in ("si", "rc"):
+            history = make_history(2, engine=engine)
+            stream = list(stream_order(history))
+            log = build_log(tmp_path / f"{engine}.epochs", history)
+            columns = log.to_columns()
+            for level in LEVELS:
+                # Epoch-wise streaming is byte-identical to single-segment
+                # streaming, and agrees with the batch checker on the
+                # verdict and anomaly kinds.
+                assert stream_format(log, level) == direct_stream_format(stream, level)
+                batch = MTChecker().verify(columns, level)
+                session = CheckerSession(level)
+                stream_format(log, level, session=session)
+                result = session.result()
+                assert result.satisfied == batch.satisfied
+                # Streaming keeps checking past the first violation, so its
+                # anomaly kinds are a superset of the batch checker's.
+                assert {v.kind.value for v in batch.violations} <= {
+                    v.kind.value for v in result.violations
+                }
+
+    def test_refresh_follows_a_live_writer(self, tmp_path):
+        history = make_history(3)
+        stream = list(stream_order(history))
+        d = tmp_path / "live.epochs"
+        writer = EpochLogWriter(d, epoch_transactions=10)
+        for txn in stream[: len(stream) // 2]:
+            writer.append(txn)
+        log = EpochLog.open(d)
+        seen = len(log)
+        for txn in stream[len(stream) // 2 :]:
+            writer.append(txn)
+        writer.close()
+        fresh = log.refresh()
+        assert [e.epoch for e in fresh] == list(range(seen, len(log)))
+        assert log.num_transactions == len(stream)
+
+    def test_refresh_rejects_regression_and_disappearance(self, tmp_path):
+        d = tmp_path / "gone.epochs"
+        log = build_log(d, make_history(4))
+        (d / log.epochs[-1].name).unlink()
+        (d / MANIFEST_NAME).unlink()
+        with pytest.raises(EpochLogError, match="regressed"):
+            log.refresh()
+        import shutil
+
+        shutil.rmtree(d)
+        with pytest.raises(EpochLogError, match="disappeared"):
+            log.refresh()
+
+    def test_reopening_a_writer_appends(self, tmp_path):
+        history = make_history(5)
+        stream = list(stream_order(history))
+        d = tmp_path / "resume.epochs"
+        with EpochLogWriter(d, epoch_transactions=10) as writer:
+            for txn in stream[:25]:
+                writer.append(txn)
+        with EpochLogWriter(d, epoch_transactions=10) as writer:
+            assert writer.epochs_sealed == 3  # 25 rows / 10 per epoch
+            for txn in stream[25:]:
+                writer.append(txn)
+        log = EpochLog.open(d)
+        assert log.num_transactions == len(stream)
+        for level in LEVELS:
+            assert stream_format(log, level) == direct_stream_format(stream, level)
+
+    def test_mmap_and_copy_loads_agree(self, tmp_path):
+        log = build_log(tmp_path / "m.epochs", make_history(6, engine="rc"))
+        for entry in log.epochs:
+            mapped = log.load_epoch(entry, mmap=True)
+            copied = log.load_epoch(entry, mmap=False)
+            assert mapped.to_wire() == copied.to_wire()
+
+
+# ----------------------------------------------------------------------
+# Crash recovery: the writer dies at an arbitrary byte offset
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("compress", [False, True])
+class TestCrashRecovery:
+    def _log_dir(self, tmp_path, compress, seed=11):
+        d = tmp_path / "crash.epochs"
+        log = build_log(
+            d, make_history(seed), epoch_transactions=10, compress=compress
+        )
+        assert len(log) >= 3
+        return d, log
+
+    def test_torn_last_epoch_drops_exactly_that_epoch(self, tmp_path, compress):
+        rng = random.Random(0)
+        for trial in range(10):
+            d, log = self._log_dir(tmp_path / str(trial), compress)
+            victim = log.epochs[-1]
+            truncate_at(d / victim.name, rng)
+            recovered = EpochLog.open(d)
+            assert len(recovered) == len(log) - 1
+            assert [e.crc32 for e in recovered.epochs] == [
+                e.crc32 for e in log.epochs[:-1]
+            ]
+
+    def test_missing_manifest_is_rebuilt_from_epoch_files(self, tmp_path, compress):
+        d, log = self._log_dir(tmp_path, compress)
+        (d / MANIFEST_NAME).unlink()
+        recovered = EpochLog.open(d)
+        assert [e.to_dict() for e in recovered.epochs] == [
+            e.to_dict() for e in log.epochs
+        ]
+
+    def test_torn_manifest_is_rebuilt_from_epoch_files(self, tmp_path, compress):
+        rng = random.Random(1)
+        for trial in range(10):
+            d, log = self._log_dir(tmp_path / str(trial), compress)
+            truncate_at(d / MANIFEST_NAME, rng)
+            recovered = EpochLog.open(d)
+            assert [e.crc32 for e in recovered.epochs] == [
+                e.crc32 for e in log.epochs
+            ]
+
+    def test_sealed_file_without_manifest_entry_is_adopted(self, tmp_path, compress):
+        import json
+
+        d, log = self._log_dir(tmp_path, compress)
+        # Rewrite the manifest as if the writer died between the segment
+        # rename and the manifest rename: the last entry never landed.
+        manifest = json.loads((d / MANIFEST_NAME).read_text())
+        manifest["epochs"] = manifest["epochs"][:-1]
+        (d / MANIFEST_NAME).write_text(json.dumps(manifest))
+        recovered = EpochLog.open(d)
+        assert len(recovered) == len(log)
+        assert recovered.epochs[-1].crc32 == log.epochs[-1].crc32
+
+    def test_leftover_temp_file_is_ignored(self, tmp_path, compress):
+        d, log = self._log_dir(tmp_path, compress)
+        nxt = len(log)
+        (d / f".epoch-{nxt:05d}.seg.tmp").write_bytes(b"REPROSEG1\n{torn")
+        recovered = EpochLog.open(d)
+        assert len(recovered) == len(log)
+
+    def test_corrupt_epoch_fails_its_checksum_cleanly(self, tmp_path, compress):
+        d, log = self._log_dir(tmp_path, compress)
+        victim = log.epochs[1]
+        path = d / victim.name
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF  # same size, different bytes
+        path.write_bytes(bytes(blob))
+        recovered = EpochLog.open(d)  # size check passes; open succeeds
+        with pytest.raises(EpochLogError, match="checksum"):
+            recovered.load_epoch(1)
+
+    def test_randomized_kill_never_crashes_or_loses_sealed_epochs(
+        self, tmp_path, compress
+    ):
+        """The integrated trial: random fault, recover, append, verify.
+
+        Whatever single fault the kill left behind, recovery must (a) not
+        raise, (b) keep every sealed epoch that survived on disk intact,
+        and (c) let a reopened writer continue the stream to a verdict
+        identical to a never-crashed run over the same transactions.
+        """
+        import json
+
+        for seed in range(12):
+            rng = random.Random(seed)
+            history = make_history(20 + seed, engine=rng.choice(["si", "rc"]))
+            stream = list(stream_order(history))
+            cut = rng.randrange(15, len(stream))
+            d = tmp_path / f"trial-{seed}.epochs"
+            with EpochLogWriter(d, epoch_transactions=10, compress=compress) as w:
+                for txn in stream[:cut]:
+                    w.append(txn)
+            before = EpochLog.open(d)
+            scenario = rng.choice(
+                ["torn-epoch", "torn-manifest", "missing-manifest", "orphan", "none"]
+            )
+            lost = 0
+            if scenario == "torn-epoch" and len(before) > 0:
+                truncate_at(d / before.epochs[-1].name, rng)
+                lost = 1
+            elif scenario == "torn-manifest":
+                truncate_at(d / MANIFEST_NAME, rng)
+            elif scenario == "missing-manifest":
+                (d / MANIFEST_NAME).unlink()
+            elif scenario == "orphan" and len(before) > 0:
+                manifest = json.loads((d / MANIFEST_NAME).read_text())
+                manifest["epochs"] = manifest["epochs"][:-1]
+                (d / MANIFEST_NAME).write_text(json.dumps(manifest))
+
+            recovered = EpochLog.open(d)  # (a) never crashes
+            assert len(recovered) == len(before) - lost  # (b) sealed prefix
+            assert [e.crc32 for e in recovered.epochs] == [
+                e.crc32 for e in before.epochs[: len(before) - lost]
+            ]
+
+            # (c) resume the writer over the transactions that were not
+            # durably sealed, then compare against a never-crashed run.
+            survived = recovered.num_transactions
+            with EpochLogWriter(d, epoch_transactions=10, compress=compress) as w:
+                for txn in stream[survived:]:
+                    w.append(txn)
+            final = EpochLog.open(d)
+            assert final.num_transactions == len(stream)
+            level = rng.choice(LEVELS)
+            assert stream_format(final, level) == direct_stream_format(
+                stream, level
+            ), (seed, scenario)
+
+
+# ----------------------------------------------------------------------
+# Checkpoints: kill the verifier, resume, same verdict
+# ----------------------------------------------------------------------
+class TestCheckpointResume:
+    @pytest.mark.parametrize("engine", ["si", "rc"])
+    @pytest.mark.parametrize("level", LEVELS)
+    def test_restart_at_every_epoch_boundary_matches_uninterrupted(
+        self, tmp_path, engine, level
+    ):
+        d = tmp_path / "svc.epochs"
+        log = build_log(d, make_history(31, engine=engine), epoch_transactions=10)
+        uninterrupted = stream_format(log, level)
+        for boundary in range(len(log)):
+            session = CheckerSession(level)
+            ingested = 0
+            for _entry, segment in log.iter_segments(0):
+                if _entry.epoch == boundary:
+                    break
+                session.ingest_segment(segment)
+                ingested += segment.num_transactions
+            log.save_checkpoint(
+                session.checkpoint(), epochs=boundary, transactions=ingested
+            )
+            del session  # the verifier is killed here
+
+            ckpt = log.latest_checkpoint()
+            assert ckpt is not None and ckpt.epochs == boundary
+            resumed = CheckerSession.restore(ckpt.state)
+            assert (
+                stream_format(log, level, start_epoch=boundary, session=resumed)
+                == uninterrupted
+            )
+
+    def test_half_written_checkpoint_falls_back_to_previous(self, tmp_path):
+        rng = random.Random(7)
+        d = tmp_path / "ckpt.epochs"
+        log = build_log(d, make_history(32), epoch_transactions=10)
+        session = CheckerSession(SER)
+        session.ingest_segment(log.load_epoch(0))
+        good = log.save_checkpoint(session.checkpoint(), epochs=1, transactions=10)
+        session.ingest_segment(log.load_epoch(1))
+        torn = log.save_checkpoint(session.checkpoint(), epochs=2, transactions=20)
+        truncate_at(torn, rng)
+        ckpt = log.latest_checkpoint()
+        assert ckpt is not None
+        assert ckpt.path == good and ckpt.epochs == 1
+        # Resume from the fallback still reaches the uninterrupted verdict.
+        resumed = CheckerSession.restore(ckpt.state)
+        assert stream_format(log, SER, start_epoch=1, session=resumed) == stream_format(
+            log, SER
+        )
+
+    def test_no_valid_checkpoint_returns_none(self, tmp_path):
+        d = tmp_path / "none.epochs"
+        log = build_log(d, make_history(33))
+        assert log.latest_checkpoint() is None
+        (d / "checkpoint-00001.ckpt").write_bytes(b"garbage")
+        assert log.latest_checkpoint() is None
+
+    def test_only_newest_two_checkpoints_are_kept(self, tmp_path):
+        d = tmp_path / "prune.epochs"
+        log = build_log(d, make_history(34), epoch_transactions=10)
+        session = CheckerSession(SER)
+        for boundary in range(len(log)):
+            session.ingest_segment(log.load_epoch(boundary))
+            log.save_checkpoint(
+                session.checkpoint(),
+                epochs=boundary + 1,
+                transactions=(boundary + 1) * 10,
+            )
+        kept = sorted(p.name for p in d.glob("checkpoint-*.ckpt"))
+        assert len(kept) == 2
+        assert kept[-1] == f"checkpoint-{len(log):05d}.ckpt"
+
+
+# ----------------------------------------------------------------------
+# Window-GC retirement
+# ----------------------------------------------------------------------
+class TestRetirement:
+    def test_retire_unlinks_files_and_persists_watermark(self, tmp_path):
+        d = tmp_path / "gc.epochs"
+        log = build_log(d, make_history(41), epoch_transactions=10)
+        removed = log.retire_through(1)
+        assert removed == 2
+        assert log.retired_through == 1
+        assert (d / RETIRED_NAME).read_text().strip() == "1"
+        assert not (d / log.epochs[0].name).exists()
+        with pytest.raises(EpochLogError, match="retired"):
+            log.load_epoch(0)
+        # Reopen: the watermark survives and the prefix stays accepted.
+        reopened = EpochLog.open(d)
+        assert reopened.retired_through == 1
+        assert len(reopened) == len(log)
+        assert all(e.retired for e in reopened.epochs[:2])
+        assert log.retire_through(1) == 0  # idempotent
+        with pytest.raises(ValueError):
+            log.retire_through(len(log.epochs))
+
+    def test_windowed_resume_survives_retirement(self, tmp_path):
+        """The full service loop: window + checkpoint + GC + restart."""
+        d = tmp_path / "svc.epochs"
+        log = build_log(d, make_history(42, txns=20), epoch_transactions=10)
+        window = 25
+        uninterrupted = stream_format(log, SER, window=window)
+
+        session = CheckerSession(SER, window=window)
+        boundary = len(log) - 1
+        ingested = 0
+        for entry, segment in log.iter_segments():
+            if entry.epoch == boundary:
+                break
+            session.ingest_segment(segment)
+            ingested += segment.num_transactions
+        log.save_checkpoint(session.checkpoint(), epochs=boundary, transactions=ingested)
+        # Retire everything the windowed verifier can never revisit.
+        log.retire_through(boundary - (window // 10) - 1)
+        del session
+
+        restarted = EpochLog.open(d)
+        assert restarted.retired_through >= 0
+        ckpt = restarted.latest_checkpoint()
+        assert ckpt is not None and ckpt.epochs > restarted.retired_through
+        resumed = CheckerSession.restore(ckpt.state)
+        assert (
+            stream_format(restarted, SER, start_epoch=ckpt.epochs, session=resumed)
+            == uninterrupted
+        )

@@ -506,3 +506,74 @@ class TestStreamOrder:
         history = History.from_transactions([[t1, t3], [t2]], initial_keys=["x"])
         ids = [t.txn_id for t in stream_order(history) if not t.is_initial]
         assert ids == [1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / restore round trips
+# ----------------------------------------------------------------------
+class TestCheckpointRestore:
+    """checkpoint() -> restore() must be invisible to the stream.
+
+    At EVERY ingestion boundary of a randomized stream, snapshotting the
+    session (through a JSON round trip — the snapshot must be JSON-safe)
+    and resuming in a fresh process-equivalent object yields the same
+    per-transaction violation reports and a byte-identical final verdict,
+    across SER, SI, and SSER, with and without a bounded window.
+    """
+
+    @staticmethod
+    def _baseline(level, stream, window=None):
+        session = CheckerSession(level, window=window)
+        reports = [[v.format() for v in session.ingest(t)] for t in stream]
+        return reports, session.result().format()
+
+    @staticmethod
+    def _cut_and_resume(level, stream, cut, window=None):
+        import json
+
+        head = CheckerSession(level, window=window)
+        reports = [[v.format() for v in head.ingest(t)] for t in stream[:cut]]
+        state = json.loads(json.dumps(head.checkpoint()))
+        del head
+        resumed = CheckerSession.restore(state)
+        reports += [[v.format() for v in resumed.ingest(t)] for t in stream[cut:]]
+        return reports, resumed.result().format()
+
+    @SLOW
+    @given(history=mt_histories())
+    def test_round_trip_at_every_boundary_matches_uninterrupted(self, history):
+        stream = list(stream_order(history))
+        for level in (SER, SI, SSER):
+            base_reports, base_format = self._baseline(level, stream)
+            for cut in range(len(stream) + 1):
+                reports, fmt = self._cut_and_resume(level, stream, cut)
+                assert reports == base_reports, (level, cut)
+                assert fmt == base_format, (level, cut)
+
+    @pytest.mark.parametrize("window", [None, 8])
+    def test_faulty_generated_stream_round_trips_everywhere(self, window):
+        history = generated_history(23, engine="rc", txns=12)
+        stream = list(stream_order(history))
+        for level in (SER, SI, SSER):
+            base_reports, base_format = self._baseline(level, stream, window)
+            for cut in range(len(stream) + 1):
+                reports, fmt = self._cut_and_resume(level, stream, cut, window)
+                assert reports == base_reports, (level, cut, window)
+                assert fmt == base_format, (level, cut, window)
+
+    def test_restore_rejects_unknown_snapshot_format(self):
+        with pytest.raises(ValueError):
+            CheckerSession.restore({"format": "not-a-checker-state"})
+        with pytest.raises(ValueError):
+            IncrementalChecker.restore({})
+
+    def test_restored_session_keeps_streaming(self):
+        session = CheckerSession(SER, initial_keys=["x"])
+        session.ingest(Transaction(1, [read("x", 0), write("x", 1)]))
+        resumed = CheckerSession.restore(session.checkpoint())
+        assert resumed.ingest(Transaction(2, [read("x", 1), write("x", 2)])) == []
+        # A second-generation snapshot works too (checkpoint of a restore).
+        again = CheckerSession.restore(resumed.checkpoint())
+        assert again.ingest(Transaction(3, [read("x", 2), write("x", 3)])) == []
+        assert again.result().satisfied
+        assert again.result().num_transactions == 3
