@@ -1,0 +1,90 @@
+"""CI regression guard over ``BENCH_parallel.json``.
+
+Fails (exit 1) when:
+
+* any ``speedup`` row reports a sharded-vs-serial verdict mismatch
+  (``verdicts_equal`` must be ``true`` on every row — this is the
+  hardware-independent invariant and is enforced unconditionally);
+* any ``index-reuse`` row shows the cached-index reload falling back to a
+  rebuild (``skipped_build`` false);
+* the benchmark ran on a machine with >= 4 cores (per the recorded
+  ``cpu_count``) and the best non-advisory speedup at the largest tier
+  falls below the floor (1.5x by default).  Advisory rows — where the
+  requested worker count exceeded the recorded core count and the
+  executor clamped it — never gate, and neither do runs from small/CI
+  sandboxes, so the guard is meaningful exactly where the fan-out is.
+
+Usage::
+
+    python benchmarks/check_parallel_bench.py [BENCH_parallel.json] [--min-speedup 1.5]
+"""
+
+import argparse
+import json
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", nargs="?", default="BENCH_parallel.json")
+    parser.add_argument("--min-speedup", type=float, default=1.5)
+    args = parser.parse_args(argv)
+
+    with open(args.path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    rows = payload.get("rows", [])
+    if not rows:
+        print(f"error: {args.path} contains no benchmark rows")
+        return 1
+
+    speedup_rows = [r for r in rows if r.get("kind") == "speedup"]
+    reuse_rows = [r for r in rows if r.get("kind") == "index-reuse"]
+    if not speedup_rows:
+        print(f"error: {args.path} contains no speedup rows")
+        return 1
+
+    failures = []
+    for row in speedup_rows:
+        label = f"{row.get('level')} @ {row.get('txns')} txns, workers={row.get('workers')}"
+        if row.get("verdicts_equal") is not True:
+            failures.append(f"sharded vs serial verdict mismatch on {label}")
+    for row in reuse_rows:
+        if row.get("skipped_build") is not True:
+            failures.append(
+                f"index-reuse row @ {row.get('txns')} txns rebuilt the index "
+                "instead of loading the cache"
+            )
+
+    cpus = payload.get("cpu_count") or 0
+    if cpus >= 4 and not payload.get("smoke"):
+        largest = max(r["txns"] for r in speedup_rows)
+        candidates = [
+            r["speedup"]
+            for r in speedup_rows
+            if r["txns"] == largest and r["workers"] > 1 and not r.get("advisory")
+        ]
+        best = max(candidates, default=0.0)
+        if best < args.min_speedup:
+            failures.append(
+                f"best non-advisory speedup {best}x at the {largest}-txn tier "
+                f"is below the {args.min_speedup}x floor on {cpus} cores"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    gate = (
+        "speedup floor enforced"
+        if cpus >= 4 and not payload.get("smoke")
+        else f"speedup floor skipped (cpu_count={cpus}, smoke={payload.get('smoke')})"
+    )
+    print(
+        f"ok: {len(speedup_rows)} speedup rows all verdict-equal, "
+        f"{len(reuse_rows)} index-reuse rows cache-served; {gate}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import gc
 import json
+import multiprocessing
 import os
 import sys
 import time
@@ -245,66 +246,223 @@ def parallel_benchmark(
     *,
     smoke: bool = False,
     workers: Sequence[int] = (1, 2, 4),
-    levels: Sequence[str] = ("ser", "si"),
+    levels: Sequence[str] = ("ser", "si", "sser"),
     num_groups: int = 8,
-    total_txns: Optional[int] = None,
+    sizes: Optional[Sequence[int]] = None,
 ) -> Dict[str, object]:
-    """Serial vs sharded verification on a disjoint-key history.
+    """Serial vs sharded verification on mmap-backed disjoint-key segments.
 
-    The full-size run checks a >=50k-transaction history; ``smoke`` drops to
-    ~1k transactions for CI.  Every parallel verdict is asserted equal to
-    the serial one before timings are reported.
+    The full run sweeps a ~50k-transaction tier and a 1M-transaction tier
+    (the Cobra/PolySI-class regime the scale-out kernel targets); ``smoke``
+    drops to ~1k transactions for CI.  Histories carry timestamps so SSER —
+    the level that exercises the tree-reduction merge — is part of the
+    sweep.  Every history is written to a ``.seg`` segment and checked via
+    ``source_path`` references, the configuration ``repro check --workers``
+    uses, so the numbers include (and expose) the real IPC costs: every
+    ``speedup`` row records the pickled payload bytes shipped to workers,
+    the parent index build (or reuse) time, and the SSER merge wall-clock,
+    alongside the timings.
 
-    Speedup rows are only meaningful when the machine can actually run the
-    requested fan-out: every row records the ``cpu_count`` it was measured
-    on, and rows with ``workers > cpu_count`` are marked ``advisory: true``
-    (process fan-out still works there, it just timeshares one core, so a
-    speedup < 1 is expected and regression tooling must skip those rows).
+    Two row kinds come back, tagged ``kind``:
+
+    * ``"speedup"`` — serial vs ``workers=N`` timings.  Parallel verdicts
+      are asserted equal to serial before timings are reported
+      (``verdicts_equal``).  Rows with ``workers > cpu_count`` are marked
+      ``advisory: true`` and record the *effective* (clamped) worker count
+      — the executor refuses to oversubscribe, so such rows measure the
+      inline fallback, not a fictional fan-out; regression tooling must
+      skip them.
+    * ``"index-reuse"`` — the epoch-log re-check loop at the largest tier:
+      cold ``HistoryIndex.from_columns`` build vs rehydrating the
+      CRC-stamped ``INDEX.cache`` written beside the epochs.  ``reuse_ok``
+      asserts the reload skipped index construction entirely (the build
+      counter is unchanged) and came in under half the cold build time.
     """
-    if total_txns is None:
-        total_txns = 1_000 if smoke else 51_200
+    import shutil
+    import tempfile
+    import warnings as _warnings
+
+    from ..history.columnar import ColumnarHistory, write_history_segment
+    from ..parallel import check_parallel
+
+    if sizes is None:
+        sizes = [1_000] if smoke else [51_200, 1_000_000]
     sessions_per_group = 4
-    txns_per_session = max(1, total_txns // (num_groups * sessions_per_group))
-    history = make_disjoint_history(
-        num_groups=num_groups,
-        sessions_per_group=sessions_per_group,
-        txns_per_session=txns_per_session,
-    )
-    num_txns = history.num_transactions()
 
     cpu_count = os.cpu_count() or 1
     rows: List[Dict[str, object]] = []
-    for level_name in levels:
-        level = _LEVELS[level_name]
-        started = time.perf_counter()
-        serial = MTChecker().verify(history, level)
-        serial_seconds = time.perf_counter() - started
-        for count in workers:
-            started = time.perf_counter()
-            result = MTChecker(workers=count).verify(history, level)
-            elapsed = time.perf_counter() - started
-            assert result.satisfied == serial.satisfied, (level_name, count)
-            assert result.num_transactions == serial.num_transactions
-            rows.append(
-                {
-                    "level": level_name.upper(),
-                    "txns": num_txns,
-                    "workers": count,
-                    "cpu_count": cpu_count,
-                    "advisory": count > cpu_count,
-                    "serial_s": round(serial_seconds, 4),
-                    "parallel_s": round(elapsed, 4),
-                    "speedup": round(serial_seconds / max(elapsed, 1e-9), 2),
-                    "verdict": result.satisfied,
-                }
+    tmpdir = tempfile.mkdtemp(prefix="repro-bench-parallel-")
+    try:
+        for size in sizes:
+            txns_per_session = max(1, size // (num_groups * sessions_per_group))
+            history = make_disjoint_history(
+                num_groups=num_groups,
+                sessions_per_group=sessions_per_group,
+                txns_per_session=txns_per_session,
+                timestamps=True,
             )
+            num_txns = history.num_transactions()
+            segment_path = os.path.join(tmpdir, f"bench-{size}.seg")
+            write_history_segment(history, segment_path)
+            del history
+            gc.collect()
+            columns = ColumnarHistory.load(segment_path, mmap=True)
+
+            size_workers = [w for w in workers if size <= 100_000 or w in (1, 4)]
+            for level_name in levels:
+                level = _LEVELS[level_name]
+                started = time.perf_counter()
+                serial = MTChecker().verify(columns, level)
+                serial_seconds = time.perf_counter() - started
+                for count in size_workers:
+                    stats: Dict[str, object] = {}
+                    with _warnings.catch_warnings():
+                        _warnings.simplefilter("ignore", RuntimeWarning)
+                        started = time.perf_counter()
+                        result = check_parallel(
+                            None,
+                            level,
+                            workers=count,
+                            columns=columns,
+                            source_path=segment_path,
+                            stats=stats,
+                        )
+                        elapsed = time.perf_counter() - started
+                    verdicts_equal = (
+                        result.satisfied == serial.satisfied
+                        and result.num_transactions == serial.num_transactions
+                    )
+                    assert verdicts_equal, (level_name, count)
+                    rows.append(
+                        {
+                            "kind": "speedup",
+                            "level": level_name.upper(),
+                            "txns": num_txns,
+                            "workers": count,
+                            "workers_effective": stats.get("workers_effective", count),
+                            "cpu_count": cpu_count,
+                            "advisory": count > cpu_count,
+                            "serial_s": round(serial_seconds, 4),
+                            "parallel_s": round(elapsed, 4),
+                            "speedup": round(serial_seconds / max(elapsed, 1e-9), 2),
+                            "verdict": result.satisfied,
+                            "verdicts_equal": verdicts_equal,
+                            "shards": stats.get("shards", 1),
+                            "payload_bytes": stats.get("payload_bytes", 0),
+                            "index_build_s": round(
+                                float(stats.get("index_build_s", 0.0)), 4
+                            ),
+                            "merge_s": round(float(stats.get("merge_s", 0.0)), 4),
+                        }
+                    )
+
+            if size == max(sizes):
+                rows.append(
+                    _index_reuse_row(
+                        columns, os.path.join(tmpdir, f"epochs-{size}.epochs")
+                    )
+                )
+            del columns
+            gc.collect()
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
     return {
         "suite": "parallel",
         "smoke": smoke,
         "cpu_count": os.cpu_count(),
-        "transactions": num_txns,
+        "sizes": list(sizes),
         "num_groups": num_groups,
         "rows": rows,
+    }
+
+
+def _reuse_probe(epochs_dir: str, mode: str, queue) -> None:
+    """Child-process probe: time one cold index build or one cache reload.
+
+    Runs in a freshly spawned interpreter so both measurements start from
+    the same pristine heap — exactly the state a real checker process is
+    in when it opens an epoch log.  Measuring both in one long-lived bench
+    process instead would be noise: by that point its allocator arenas are
+    fragmented by millions of earlier allocations, and the same decode
+    loops run an order of magnitude slower than they do for actual users.
+    """
+    from ..core.index import HistoryIndex
+    from ..history.epochlog import EpochLog
+
+    log = EpochLog.open(epochs_dir)
+    log_columns = log.to_columns()
+    builds_before = HistoryIndex.builds
+    started = time.perf_counter()
+    if mode == "cold":
+        index = HistoryIndex.from_columns(log_columns)
+        elapsed = time.perf_counter() - started
+        log.cache_index(index)
+    else:
+        index = log.cached_index(log_columns)
+        elapsed = time.perf_counter() - started
+    queue.put(
+        {
+            "seconds": elapsed,
+            "txns": log_columns.num_transactions,
+            "loaded": index is not None,
+            "skipped_build": HistoryIndex.builds == builds_before,
+            "num_committed": -1 if index is None else index.num_committed,
+        }
+    )
+
+
+def _index_reuse_row(columns, epochs_dir: str) -> Dict[str, object]:
+    """Measure cold index build vs cached-index rehydration on an epoch log."""
+    from ..history.epochlog import EpochLogWriter
+
+    with EpochLogWriter(epochs_dir, epoch_transactions=4096) as writer:
+        for txn in columns.iter_transactions():
+            writer.append(txn)
+
+    ctx = multiprocessing.get_context("spawn")
+
+    def probe(mode: str) -> Dict[str, object]:
+        queue = ctx.Queue()
+        proc = ctx.Process(target=_reuse_probe, args=(epochs_dir, mode, queue))
+        proc.start()
+        try:
+            result = queue.get(timeout=3600)
+        finally:
+            proc.join()
+        assert proc.exitcode == 0, (mode, proc.exitcode)
+        return result
+
+    # Several trials each, best-of taken: single-trial wall clocks on a
+    # shared/virtualised box swing 2-3x, and the minimum is the standard
+    # noise-robust estimator for CPU-bound work.
+    cold_probes = [probe("cold") for _ in range(2)]
+    warm_probes = [probe("warm") for _ in range(3)]
+
+    cold_seconds = min(float(p["seconds"]) for p in cold_probes)
+    reuse_seconds = min(float(p["seconds"]) for p in warm_probes)
+    num_txns = int(cold_probes[0]["txns"])
+    skipped_build = all(
+        bool(p["loaded"]) and bool(p["skipped_build"]) for p in warm_probes
+    )
+    assert skipped_build
+    assert all(
+        p["num_committed"] == cold_probes[0]["num_committed"]
+        for p in warm_probes
+    )
+    reuse_ok = skipped_build and reuse_seconds < 0.5 * cold_seconds
+    # The ratio only means something once the build is non-trivial: at
+    # smoke scale (~1k txns) the cache's fixed open/parse cost can exceed
+    # the whole cold build, so the < 0.5x bar is asserted at full size.
+    if num_txns >= 50_000:
+        assert reuse_ok, (reuse_seconds, cold_seconds)
+    return {
+        "kind": "index-reuse",
+        "txns": num_txns,
+        "cold_build_s": round(cold_seconds, 4),
+        "reuse_s": round(reuse_seconds, 4),
+        "reuse_ratio": round(reuse_seconds / max(cold_seconds, 1e-9), 3),
+        "skipped_build": skipped_build,
+        "reuse_ok": reuse_ok,
     }
 
 

@@ -55,6 +55,7 @@ from typing import List, Optional, Sequence
 from .core.anomalies import ANOMALY_NAMES, anomaly_catalog
 from .core.checker import MTChecker
 from .core.incremental import CheckerSession, stream_order
+from .core.index import HistoryIndex
 from .core.model import INITIAL_TXN_ID
 from .core.result import IsolationLevel
 from .db.database import Database
@@ -384,7 +385,23 @@ def _check_epochlog(args: argparse.Namespace) -> int:
     checker = MTChecker(strict_mt=args.strict_mt, workers=args.workers)
     if not args.stream:
         columns = log.to_columns()
-        result = checker.verify(columns, _LEVELS[args.level])
+        # Re-checking the same epoch directory is the common loop, so the
+        # batch index is cached beside the epochs (CRC-stamped against the
+        # manifest) and rehydrated here instead of rebuilt from columns.
+        index = log.cached_index(columns)
+        if index is None:
+            index = HistoryIndex.from_columns(columns)
+            log.cache_index(index)
+        from .parallel import check_parallel
+
+        result = check_parallel(
+            None,
+            _LEVELS[args.level],
+            workers=args.workers or 1,
+            strict_mt=args.strict_mt,
+            index=index,
+            columns=columns,
+        )
         print(result.format())
         return 0 if result.satisfied else 1
     session = checker.session(_LEVELS[args.level], window=args.window)

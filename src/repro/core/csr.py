@@ -393,6 +393,46 @@ class CSRGraph:
             self._multigraph = graph
         return self._multigraph
 
+    def append_remapped(
+        self,
+        wire: WireCSR,
+        node_map: Sequence[int],
+        key_map: Sequence[int],
+    ) -> None:
+        """Append another graph's edge rows with ids translated into this one.
+
+        ``node_map[local_dense] -> this graph's dense node id`` and
+        ``key_map[local_kid] -> this graph's dense key id`` are the
+        translation arrays for the wire graph's own interning; unkeyed
+        edges (``key_id == -1``) stay unkeyed.  Edge rows are appended in
+        the wire's order, so composing remaps over a reduction tree yields
+        byte-identical edge columns to remapping every leaf directly — the
+        invariant the SSER tree merge relies on.  Invalidates any compiled
+        CSR/multigraph state.
+        """
+        _node_ids, _key_names, src_b, dst_b, etype_b, key_b = wire
+        src = array("i")
+        src.frombytes(src_b)
+        dst = array("i")
+        dst.frombytes(dst_b)
+        etype = array("i")
+        etype.frombytes(etype_b)
+        key_id = array("i")
+        key_id.frombytes(key_b)
+        src_append = self.src.append
+        dst_append = self.dst.append
+        et_append = self.etype.append
+        kid_append = self.key_id.append
+        for s, t, e, k in zip(src, dst, etype, key_id):
+            src_append(node_map[s])
+            dst_append(node_map[t])
+            et_append(e)
+            kid_append(key_map[k] if k >= 0 else -1)
+        self._indptr = None
+        self._indices = None
+        self._self_loop = -1
+        self._multigraph = None
+
     # ------------------------------------------------------------------
     # Process-boundary wire format
     # ------------------------------------------------------------------

@@ -51,8 +51,16 @@ builds the index itself, so standalone use keeps working.
 
 from __future__ import annotations
 
+import gc
+import json
+import os
+import sys
+import zlib
+from array import array
+from pathlib import Path
 from typing import (
     TYPE_CHECKING,
+    Any,
     Dict,
     Iterator,
     List,
@@ -61,6 +69,7 @@ from typing import (
     Sequence,
     Set,
     Tuple,
+    Union,
 )
 
 from .model import (
@@ -75,7 +84,52 @@ from .model import (
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from ..history.columnar import ColumnarHistory
 
-__all__ = ["ReadRecord", "VersionEntry", "HistoryIndex"]
+__all__ = [
+    "ReadRecord",
+    "VersionEntry",
+    "HistoryIndex",
+    "INDEX_WIRE_FORMAT",
+    "INDEX_CACHE_MAGIC",
+]
+
+#: Version tag of the dense-index wire format (bumped on layout changes;
+#: mismatching cache files are silently rebuilt, never misread).
+INDEX_WIRE_FORMAT = "repro-history-index-v1"
+
+#: File magic of the CRC-framed on-disk index cache.
+INDEX_CACHE_MAGIC = b"REPROIDX1\n"
+
+#: The flat buffers of the wire format, in serialization order.  Every
+#: buffer is the raw bytes of an ``array`` with the given typecode; the
+#: dict/list structures of the live index are flattened into parallel
+#: columns (`*_has_value` marks entries whose value is ``None``).
+_WIRE_BUFFERS: Tuple[Tuple[str, str], ...] = (
+    ("txn_ids", "q"),
+    ("session_of", "q"),
+    ("status_of", "b"),
+    ("committed_mask", "b"),
+    ("txn_key_offsets", "q"),
+    ("txn_key_ids", "i"),
+    ("final_kid", "i"),
+    ("final_value", "q"),
+    ("final_has_value", "b"),
+    ("final_pos", "q"),
+    ("inter_kid", "i"),
+    ("inter_value", "q"),
+    ("inter_has_value", "b"),
+    ("inter_pos", "q"),
+    ("read_reader_pos", "q"),
+    ("read_kid", "i"),
+    ("read_value", "q"),
+    ("read_writer_pos", "q"),
+    ("read_writes_key", "b"),
+    ("read_written_value", "q"),
+    ("read_written_has", "b"),
+    ("row_order", "q"),
+    ("so_pairs", "q"),
+    ("rt_pairs", "q"),
+)
+_WIRE_TYPECODES: Dict[str, str] = dict(_WIRE_BUFFERS)
 
 #: Columnar ``statuses`` codes this module branches on (single source of
 #: truth: :data:`repro.core.model.STATUS_CODES`).
@@ -133,6 +187,10 @@ class HistoryIndex:
 
     #: Total number of indexes constructed (test instrumentation).
     builds = 0
+    #: Total number of indexes rehydrated from the wire format / cache files
+    #: (kept separate from :attr:`builds` so tests can assert a cache hit
+    #: skipped the construction scan entirely).
+    wire_loads = 0
 
     def __init__(self, history: History) -> None:
         type(self).builds += 1
@@ -852,6 +910,318 @@ class HistoryIndex:
 
             self._mt_problems = validate_mt_history(self.history)
         return self._mt_problems
+
+    # ------------------------------------------------------------------
+    # Wire format and on-disk cache
+    # ------------------------------------------------------------------
+    def to_wire(self) -> Dict[str, Any]:
+        """Flatten the dense core into compact, picklable buffers.
+
+        The result carries everything :meth:`from_columns` would have
+        derived — interning, version-chain write slots, resolved read
+        edges, plus the (forced) SO and reduced-RT pair caches, which are
+        the expensive per-check passes worth shipping/caching.  The object
+        layer is *not* serialized: a rehydrated index materialises objects
+        lazily from the columns handed to :meth:`from_wire`.
+        """
+        buffers: Dict[str, array] = {
+            name: array(code) for name, code in _WIRE_BUFFERS
+        }
+        buffers["txn_ids"].extend(self.txn_ids)
+        buffers["session_of"].extend(self._session_of)
+        buffers["status_of"].frombytes(bytes(self._status_of))
+        buffers["committed_mask"].frombytes(bytes(self._committed_mask))
+
+        offsets = buffers["txn_key_offsets"]
+        offsets.append(0)
+        key_ids = buffers["txn_key_ids"]
+        total = 0
+        for kids in self.txn_keys:
+            key_ids.extend(kids)
+            total += len(kids)
+            offsets.append(total)
+
+        for prefix, slots in (
+            ("final", self._final_pos),
+            ("inter", self._intermediate_pos),
+        ):
+            kid_col = buffers[f"{prefix}_kid"]
+            val_col = buffers[f"{prefix}_value"]
+            has_col = buffers[f"{prefix}_has_value"]
+            pos_col = buffers[f"{prefix}_pos"]
+            for (kid, value), pos in slots.items():
+                kid_col.append(kid)
+                val_col.append(0 if value is None else value)
+                has_col.append(0 if value is None else 1)
+                pos_col.append(pos)
+
+        reader_col = buffers["read_reader_pos"]
+        rkid_col = buffers["read_kid"]
+        rval_col = buffers["read_value"]
+        writer_col = buffers["read_writer_pos"]
+        rmw_col = buffers["read_writes_key"]
+        written_col = buffers["read_written_value"]
+        written_has = buffers["read_written_has"]
+        for pos in sorted(self._reads_dense):
+            for kid, value, writer_pos, writes_key, written in self._reads_dense[pos]:
+                reader_col.append(pos)
+                rkid_col.append(kid)
+                rval_col.append(value)
+                writer_col.append(writer_pos)
+                rmw_col.append(1 if writes_key else 0)
+                written_col.append(0 if written is None else written)
+                written_has.append(0 if written is None else 1)
+
+        if self._row_order is not None:
+            buffers["row_order"].extend(self._row_order)
+        for a, b in self.session_order_id_pairs():
+            buffers["so_pairs"].append(a)
+            buffers["so_pairs"].append(b)
+        for a, b in self.real_time_id_pairs(reduced=True):
+            buffers["rt_pairs"].append(a)
+            buffers["rt_pairs"].append(b)
+
+        # Force (and ship) the INT pre-pass verdict when it is clean: a
+        # rehydrated index then skips the whole scan.  A dirty (or
+        # unknowable) pre-pass is NOT shipped — violations carry object
+        # descriptions, so consumers recompute them from the attached
+        # columns instead.
+        if self._int_violations is None and self._history is None and self._columns is None:
+            int_clean = False
+        else:
+            int_clean = not self.int_violations()
+        return {
+            "format": INDEX_WIRE_FORMAT,
+            "key_names": list(self.key_names),
+            "has_initial": self._has_initial,
+            "has_row_order": self._row_order is not None,
+            "int_clean": int_clean,
+            "buffers": {name: buf.tobytes() for name, buf in buffers.items()},
+        }
+
+    @classmethod
+    def from_wire(
+        cls,
+        wire: Dict[str, Any],
+        columns: Optional["ColumnarHistory"] = None,
+    ) -> "HistoryIndex":
+        """Rehydrate an index from :meth:`to_wire` buffers — no history scan.
+
+        ``columns`` re-attaches the backing segment so the lazy object
+        layer (counterexample labeling, ``int_violations``, strict MT
+        validation) keeps working; it must be the exact segment the wire
+        was derived from.  Without columns the dense accessors — which is
+        all the CSR kernel and the SSER merger consume — remain available.
+        """
+        if wire.get("format") != INDEX_WIRE_FORMAT:
+            raise ValueError(f"unsupported index wire format: {wire.get('format')!r}")
+        if columns is not None and not wire["has_row_order"]:
+            raise ValueError(
+                "cannot attach columns: the wire index was built from an "
+                "object history and carries no column row order"
+            )
+        # Rehydration is a pure allocation burst — millions of small
+        # containers, no garbage, no reference cycles — so automatic
+        # collection is paused for its duration.  Without this, gen-2
+        # passes over a large live heap (the attached columns alone hold
+        # millions of objects) dominate the load time at
+        # million-transaction scale.
+        was_enabled = gc.isenabled()
+        if was_enabled:
+            gc.disable()
+        try:
+            return cls._decode_wire(wire, columns)
+        finally:
+            if was_enabled:
+                gc.enable()
+
+    @classmethod
+    def _decode_wire(
+        cls,
+        wire: Dict[str, Any],
+        columns: Optional["ColumnarHistory"],
+    ) -> "HistoryIndex":
+        cols: Dict[str, array] = {}
+        for name, code in _WIRE_BUFFERS:
+            buf = array(code)
+            buf.frombytes(wire["buffers"][name])
+            cols[name] = buf
+
+        self = cls.__new__(cls)
+        type(self).wire_loads += 1
+        self._history = None
+        self._columns = columns
+        self._transactions = None
+        self._init_core()
+
+        self.txn_ids = list(cols["txn_ids"])
+        self.txn_dense = {txn_id: pos for pos, txn_id in enumerate(self.txn_ids)}
+        self.key_names = list(wire["key_names"])
+        self.key_dense = {name: kid for kid, name in enumerate(self.key_names)}
+        self._session_of = list(cols["session_of"])
+        self._status_of = bytearray(cols["status_of"].tobytes())
+        self._committed_mask = bytearray(cols["committed_mask"].tobytes())
+        self._has_initial = bool(wire["has_initial"])
+
+        offsets = cols["txn_key_offsets"]
+        key_ids = list(cols["txn_key_ids"])
+        self.txn_keys = [
+            key_ids[offsets[i]:offsets[i + 1]] for i in range(len(offsets) - 1)
+        ]
+
+        for pos, (txn_id, committed) in enumerate(
+            zip(self.txn_ids, self._committed_mask)
+        ):
+            if committed:
+                self.committed_txn_ids.append(txn_id)
+                self.committed_ids.add(txn_id)
+                self._committed_pos.append(pos)
+                if txn_id != INITIAL_TXN_ID:
+                    self._committed_non_initial_pos.append(pos)
+
+        for prefix, slots in (
+            ("final", self._final_pos),
+            ("inter", self._intermediate_pos),
+        ):
+            for kid, value, has, pos in zip(
+                cols[f"{prefix}_kid"],
+                cols[f"{prefix}_value"],
+                cols[f"{prefix}_has_value"],
+                cols[f"{prefix}_pos"],
+            ):
+                slots[(kid, value if has else None)] = pos
+
+        # ``to_wire`` emits read rows grouped by ascending reader position,
+        # so one bucket lookup per run (not per row) suffices.
+        reads_dense = self._reads_dense
+        current_pos = -1
+        bucket: List[Tuple[int, int, int, bool, Optional[int]]] = []
+        for pos, kid, value, writer_pos, writes_key, written, has_written in zip(
+            cols["read_reader_pos"],
+            cols["read_kid"],
+            cols["read_value"],
+            cols["read_writer_pos"],
+            cols["read_writes_key"],
+            cols["read_written_value"],
+            cols["read_written_has"],
+        ):
+            if pos != current_pos:
+                bucket = reads_dense.setdefault(pos, [])
+                current_pos = pos
+            bucket.append(
+                (kid, value, writer_pos, bool(writes_key), written if has_written else None)
+            )
+
+        if wire["has_row_order"]:
+            self._row_order = list(cols["row_order"])
+        if wire.get("int_clean"):
+            self._int_violations = []
+        so = list(cols["so_pairs"])
+        self._session_id_pairs = list(zip(so[0::2], so[1::2]))
+        rt = list(cols["rt_pairs"])
+        self._rt_id_pairs[True] = list(zip(rt[0::2], rt[1::2]))
+        return self
+
+    def save_cache(self, path: Union[str, Path], *, fingerprint: Dict[str, Any]) -> Path:
+        """Persist the wire form as a CRC-stamped cache file (atomic write).
+
+        ``fingerprint`` identifies the history snapshot the index was built
+        from (e.g. the epoch-log manifest's txn-id range and per-epoch
+        CRCs); :meth:`load_cache` only returns an index when the
+        fingerprint matches exactly, so a grown or rewritten history can
+        never be served a stale index.
+        """
+        wire = self.to_wire()
+        buffers = wire["buffers"]
+        payload = b"".join(buffers[name] for name, _code in _WIRE_BUFFERS)
+        header = json.dumps(
+            {
+                "format": INDEX_WIRE_FORMAT,
+                "byteorder": sys.byteorder,
+                "fingerprint": fingerprint,
+                "key_names": wire["key_names"],
+                "has_initial": wire["has_initial"],
+                "has_row_order": wire["has_row_order"],
+                "int_clean": wire["int_clean"],
+                "buffers": [
+                    [name, code, len(buffers[name])] for name, code in _WIRE_BUFFERS
+                ],
+                "crc32": zlib.crc32(payload),
+                "payload_bytes": len(payload),
+            },
+            separators=(",", ":"),
+            sort_keys=True,
+        ).encode("utf-8")
+        path = Path(path)
+        tmp = path.with_name(f".{path.name}.tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(INDEX_CACHE_MAGIC + header + b"\n" + payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load_cache(
+        cls,
+        path: Union[str, Path],
+        *,
+        fingerprint: Dict[str, Any],
+        columns: Optional["ColumnarHistory"] = None,
+    ) -> Optional["HistoryIndex"]:
+        """Load a :meth:`save_cache` file, or ``None`` when it cannot be used.
+
+        Every failure mode — missing file, foreign byte order, truncated
+        payload, CRC mismatch, or a fingerprint that no longer matches the
+        history — invalidates the cache silently: the caller rebuilds from
+        columns and (best-effort) rewrites the cache.
+        """
+        try:
+            blob = Path(path).read_bytes()
+        except OSError:
+            return None
+        if not blob.startswith(INDEX_CACHE_MAGIC):
+            return None
+        header_line, _, payload = blob[len(INDEX_CACHE_MAGIC):].partition(b"\n")
+        try:
+            header = json.loads(header_line)
+        except ValueError:
+            return None
+        if (
+            header.get("format") != INDEX_WIRE_FORMAT
+            or header.get("byteorder") != sys.byteorder
+            or header.get("fingerprint") != fingerprint
+            or header.get("buffers") is None
+            or len(payload) != header.get("payload_bytes")
+            or zlib.crc32(payload) != header.get("crc32")
+        ):
+            return None
+        expected = [[name, code] for name, code in _WIRE_BUFFERS]
+        recorded = [entry[:2] for entry in header["buffers"]]
+        if recorded != expected:
+            return None
+        view = memoryview(payload)
+        buffers: Dict[str, Any] = {}
+        offset = 0
+        for name, _code, nbytes in header["buffers"]:
+            buffers[name] = view[offset:offset + nbytes]
+            offset += nbytes
+        if offset != len(payload):
+            return None
+        try:
+            return cls.from_wire(
+                {
+                    "format": INDEX_WIRE_FORMAT,
+                    "key_names": header["key_names"],
+                    "has_initial": header["has_initial"],
+                    "has_row_order": header["has_row_order"],
+                    "int_clean": header.get("int_clean", False),
+                    "buffers": buffers,
+                },
+                columns=columns,
+            )
+        except (ValueError, KeyError):
+            return None
 
     # ------------------------------------------------------------------
     # Misc

@@ -39,6 +39,7 @@ import math
 import mmap as _mmap_module
 import os
 import sys
+import zlib
 from array import array
 from pathlib import Path
 from typing import (
@@ -74,6 +75,8 @@ __all__ = [
     "load_history_segment",
     "SEGMENT_FORMAT",
     "SEGMENT_MAGIC",
+    "file_crc32",
+    "segment_token",
 ]
 
 SEGMENT_FORMAT = "repro-history-segment-v1"
@@ -106,6 +109,36 @@ def is_segment_path(path: Union[str, Path]) -> bool:
     """Whether ``path`` looks like a columnar segment file (by suffix)."""
     name = Path(path).name.lower()
     return name.endswith(".seg") or name.endswith(".seg.gz")
+
+
+def file_crc32(path: Union[str, Path]) -> int:
+    """CRC-32 of a file's raw bytes (streamed; no decompression).
+
+    Content fingerprint for segment-adjacent caches — e.g. the
+    ``<segment>.idx`` sidecar written by
+    :meth:`~repro.core.index.HistoryIndex.save_cache` — so a cache built
+    from one segment can never be served for another.
+    """
+    crc = 0
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(1 << 20)
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc)
+    return crc & 0xFFFFFFFF
+
+
+def segment_token(path: Union[str, Path]) -> Tuple[int, int]:
+    """Cheap identity token for a segment file: ``(size, mtime_ns)``.
+
+    Keys the per-worker warm segment/index caches in
+    :mod:`repro.parallel.executor` — stat-only, so it can be computed per
+    payload without touching the file contents; any rewrite of the segment
+    changes the token and invalidates the cached mappings.
+    """
+    st = os.stat(path)
+    return (st.st_size, st.st_mtime_ns)
 
 
 class ColumnarHistory:

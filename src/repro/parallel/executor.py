@@ -10,34 +10,54 @@
    identical either way, so worker counts never change the result);
 3. merge the shard verdicts (:mod:`repro.parallel.merge`); SSER
    additionally reassembles the shard graphs under the global real-time
-   order, which is the one relation that crosses shard boundaries.
+   order — pairwise, as a reduction tree scheduled across the same pool,
+   so merge cost is O(log shards) wall-clock.
 
-Shards cross the process boundary as **columnar wire buffers**
-(:meth:`~repro.history.columnar.ColumnarHistory.to_wire`): a handful of raw
-``array`` byte strings per shard instead of a pickled object graph of
-``Transaction``/``Operation`` instances.  Workers rebuild their index with
-:meth:`~repro.core.index.HistoryIndex.from_columns`, so a shard check never
-materialises per-transaction Python objects on the accept path — the
-instrumentation test in ``tests/test_columnar.py`` asserts no ``Transaction``
-is ever pickled.
+Three scale-out mechanisms keep the pipeline copy- and rebuild-free:
+
+* **Shared-mmap worker pool.**  The pool is a single persistent
+  :class:`~concurrent.futures.ProcessPoolExecutor` reused across
+  ``check_parallel`` calls (grown on demand, torn down via
+  :func:`shutdown_pool` / atexit).  With ``source_path`` set, shard
+  payloads degenerate to ``("segref", path, rows, keys, token)``
+  references: every worker memory-maps the segment once (OS page cache —
+  one physical copy fleet-wide) and serves shard *and* merge tasks from
+  row slices.
+* **Warm per-worker index caches.**  Workers cache the segment map and
+  each shard's built :class:`~repro.core.index.HistoryIndex` keyed by
+  ``(path, file token, rows)``, so repeated checks of the same source —
+  the epoch-log re-verification loop — skip ``from_columns`` entirely.
+* **Shipped/cached parent index.**  ``reuse_index=True`` persists the
+  parent's dense index beside the source segment
+  (:meth:`HistoryIndex.save_cache`, CRC-stamped) and rehydrates it on the
+  next check instead of rebuilding; epoch-log directories get the same
+  treatment via :meth:`~repro.history.epochlog.EpochLog.cached_index`.
 
 Invariant: **sharded verdicts equal serial verdicts on every history** —
 the randomized equivalence suites (``tests/test_parallel.py``,
-``tests/test_columnar.py``) enforce it across SER/SI/SSER, every simulated
-engine, and injected faults.
+``tests/test_scaleout.py``, ``tests/test_columnar.py``) enforce it across
+SER/SI/SSER, every simulated engine, injected faults, and every
+reduction-tree shape.
 
 The pool is a best-effort optimisation: environments where processes
 cannot be spawned (sandboxes, restricted containers) transparently fall
-back to inline execution.
+back to inline execution, and worker counts beyond ``os.cpu_count()`` are
+clamped (with a warning) since extra processes would only timeshare.
 """
 
 from __future__ import annotations
 
+import atexit
+import os
+import pickle
 import time
+import warnings
+from array import array
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.checkers import (
     GRAPH_CHECKED_LEVELS,
@@ -46,13 +66,16 @@ from ..core.checkers import (
     check_sser,
     raise_if_not_mt,
 )
+from ..core.csr import WireCSR
 from ..core.graph import build_dependency
 from ..core.index import HistoryIndex
 from ..core.model import History
 from ..core.result import CheckResult, IsolationLevel
-from ..history.columnar import ColumnarHistory, WireColumns
+from ..history.columnar import ColumnarHistory, WireColumns, file_crc32, segment_token
 from .merge import (
     ShardOutcome,
+    finalize_sser_wires,
+    merge_csr_wires,
     merge_shard_results,
     merge_sser_csr,
     merge_sser_graphs,
@@ -60,17 +83,81 @@ from .merge import (
 )
 from .partition import DEFAULT_MAX_SHARDS, Shard, partition_columns, partition_history
 
-__all__ = ["check_parallel", "make_payload"]
+__all__ = ["check_parallel", "make_payload", "shutdown_pool"]
 
 #: Segment-reference payload body: workers memory-map ``path`` themselves
 #: and slice their rows locally, so N workers share one physical copy of
-#: the segment (OS page cache) and the parent pickles only row numbers.
-_SegRef = Tuple[str, str, List[int], List[str]]
+#: the segment (OS page cache) and the parent pickles only row numbers —
+#: shipped as a flat ``array('q')``, which pickles as raw bytes.  The
+#: trailing token — ``(st_size, st_mtime_ns)`` — keys the per-worker warm
+#: caches and invalidates them when the file is rewritten.
+_SegRef = Tuple[str, str, Sequence[int], List[str], Tuple[int, int]]
 
 #: One shard task shipped to a worker process: the shard's columnar wire
 #: buffers — or a :data:`_SegRef` into an mmap-able segment file — plus the
 #: check configuration.  Contains no ``Transaction``s either way.
 _Payload = Tuple[int, Union[WireColumns, _SegRef], IsolationLevel, bool, bool]
+
+#: Below this many committed transactions the pool is pure overhead
+#: (process dispatch + pickling dwarf the shard checks), so fan-out runs
+#: inline regardless of the requested worker count.  Results are identical
+#: either way; only where the shard checks execute changes.
+_MIN_POOL_TXNS = 4096
+
+# ----------------------------------------------------------------------
+# Persistent pool (parent side)
+# ----------------------------------------------------------------------
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+_POOL_BROKEN = False
+
+
+def _cpu_count() -> int:
+    return os.cpu_count() or 1
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared worker pool, created lazily and grown on demand.
+
+    Reusing one pool across ``check_parallel`` calls is what makes the
+    per-worker warm caches effective: the second check of the same source
+    hits processes that already mapped the segment and built the shard
+    indexes.
+    """
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None and _POOL_WORKERS < workers:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+    if _POOL is None:
+        _POOL = ProcessPoolExecutor(max_workers=workers)
+        _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent pool (tests, interpreter exit)."""
+    global _POOL, _POOL_WORKERS, _POOL_BROKEN
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+    _POOL = None
+    _POOL_WORKERS = 0
+    _POOL_BROKEN = False
+
+
+atexit.register(shutdown_pool)
+
+
+def _mark_pool_broken() -> None:
+    """Remember that process spawning failed; stop retrying this process."""
+    global _POOL, _POOL_WORKERS, _POOL_BROKEN
+    _POOL_BROKEN = True
+    if _POOL is not None:
+        try:
+            _POOL.shutdown(wait=False)
+        except Exception:
+            pass
+    _POOL = None
+    _POOL_WORKERS = 0
 
 
 def check_parallel(
@@ -85,6 +172,8 @@ def check_parallel(
     dense: bool = True,
     columns: Optional[ColumnarHistory] = None,
     source_path: Optional[Union[str, Path]] = None,
+    reuse_index: bool = False,
+    stats: Optional[Dict[str, object]] = None,
 ) -> CheckResult:
     """Verify a history against ``level`` via the sharded pipeline.
 
@@ -94,6 +183,10 @@ def check_parallel(
         level: SER, SI, SSER, or LIN (checked as SSER on plain histories).
         workers: number of OS processes to fan shard checks out over;
             ``1`` runs the same shard checks inline (identical result).
+            Counts beyond ``os.cpu_count()`` are clamped with a warning —
+            extra processes would only timeshare the same cores — and
+            histories below :data:`_MIN_POOL_TXNS` committed transactions
+            run inline regardless (the pool would be pure overhead).
         strict_mt: validate the history against Definition 9 up front and
             raise :class:`~repro.core.checkers.MTHistoryError` on failure.
         transitive_ww: forward the unoptimized BUILDDEPENDENCY variant to
@@ -117,6 +210,16 @@ def check_parallel(
             and slices its own rows, so the parent neither materialises
             nor pickles per-shard columns.  Verdicts are identical with
             and without it.
+        reuse_index: persist the parent's built index beside
+            ``source_path`` (``<path>.idx``, CRC-stamped against the
+            segment's content) and rehydrate it on repeated checks instead
+            of rebuilding with ``from_columns``.  Requires ``columns`` and
+            ``source_path``; ignored when an ``index`` is supplied.
+        stats: optional dict filled with scale-out metrics for this call:
+            ``workers_requested`` / ``workers_effective``, ``shards``,
+            ``inline``, ``index_build_s`` / ``index_reuse_s``,
+            ``payload_bytes`` (pickled shard payload total), and
+            ``merge_s`` (SSER merge wall-clock).
     """
     if level not in GRAPH_CHECKED_LEVELS:
         raise ValueError(f"unsupported isolation level for sharded checking: {level}")
@@ -127,13 +230,37 @@ def check_parallel(
     if level is IsolationLevel.LINEARIZABILITY:
         level = IsolationLevel.STRICT_SERIALIZABILITY
 
+    requested = workers
+    cpu = _cpu_count()
+    if workers > cpu:
+        warnings.warn(
+            f"workers={workers} exceeds this machine's {cpu} CPU core(s); "
+            f"clamping to {cpu} (extra processes would only timeshare)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        workers = cpu
+
     started = time.perf_counter()
     if index is None:
+        index_started = time.perf_counter()
+        reused = False
         if history is not None:
             index = HistoryIndex.build(history)
         else:
             assert columns is not None
-            index = HistoryIndex.from_columns(columns)
+            if reuse_index and source_path is not None:
+                index = _load_or_build_cached_index(source_path, columns)
+                reused = index is not None
+            if index is None:
+                index = HistoryIndex.from_columns(columns)
+                if reuse_index and source_path is not None:
+                    _store_cached_index(source_path, index)
+        if stats is not None:
+            key = "index_reuse_s" if reused else "index_build_s"
+            stats[key] = time.perf_counter() - index_started
+    elif stats is not None:
+        stats["index_build_s"] = 0.0
 
     if strict_mt:
         raise_if_not_mt(index)
@@ -148,6 +275,17 @@ def check_parallel(
             max_shards=max_shards,
             materialize=source_path is None,
         )
+    effective = workers
+    inline_small = effective > 1 and index.num_committed < _MIN_POOL_TXNS
+    if inline_small:
+        effective = 1
+    if stats is not None:
+        stats.update(
+            workers_requested=requested,
+            workers_effective=effective,
+            shards=len(shards),
+            inline=effective <= 1,
+        )
     if len(shards) == 1:
         # Fully connected history: the serial pipeline on the shared index
         # is already optimal (and strict validation has been done above).
@@ -161,7 +299,9 @@ def check_parallel(
         make_payload(shard, level, transitive_ww, dense, source_path=source_path)
         for shard in shards
     ]
-    outcomes = _execute(payloads, workers)
+    if stats is not None:
+        stats["payload_bytes"] = sum(len(pickle.dumps(p)) for p in payloads)
+    outcomes = _execute(payloads, effective)
     outcomes.sort(key=lambda o: o.shard_index)
 
     elapsed = time.perf_counter() - started
@@ -173,10 +313,20 @@ def check_parallel(
             # pre-pass-first ordering.
             pre.num_transactions = index.num_committed
             return pre
+        merge_started = time.perf_counter()
         if dense:
-            result = merge_sser_csr(outcomes, index, elapsed_seconds=elapsed)
+            wires = [o.csr for o in outcomes if o.csr is not None]
+            wires = _reduce_wires(wires, effective)
+            result = finalize_sser_wires(
+                wires,
+                index,
+                num_transactions=sum(o.num_transactions for o in outcomes),
+                elapsed_seconds=elapsed,
+            )
         else:
             result = merge_sser_graphs(outcomes, index, elapsed_seconds=elapsed)
+        if stats is not None:
+            stats["merge_s"] = time.perf_counter() - merge_started
     else:
         result = merge_shard_results(level, outcomes, elapsed_seconds=elapsed)
     result.elapsed_seconds = time.perf_counter() - started
@@ -197,11 +347,19 @@ def make_payload(
     shards from the object partitioner are column-encoded here — either
     way the payload pickles as raw bytes, never as ``Transaction`` objects.
     With ``source_path`` set (and the shard carrying its source rows), the
-    payload degenerates to a ``("segref", path, rows, keys)`` reference:
-    the worker memory-maps the segment and slices the rows itself.
+    payload degenerates to a ``("segref", path, rows, keys, token)``
+    reference: the worker memory-maps the segment and slices the rows
+    itself, with ``token`` keying its warm segment/index caches.
     """
     if source_path is not None and shard.rows is not None:
-        ref: _SegRef = ("segref", str(source_path), list(shard.rows), list(shard.keys))
+        rows = shard.rows if isinstance(shard.rows, array) else array("q", shard.rows)
+        ref: _SegRef = (
+            "segref",
+            str(source_path),
+            rows,
+            list(shard.keys),
+            segment_token(source_path),
+        )
         return (shard.index, ref, level, transitive_ww, dense)
     columns = shard.columns
     if columns is None:
@@ -211,20 +369,93 @@ def make_payload(
 
 
 # ----------------------------------------------------------------------
+# Parent-side index cache (reuse_index=True)
+# ----------------------------------------------------------------------
+def _index_cache_path(source_path: Union[str, Path]) -> Path:
+    return Path(f"{source_path}.idx")
+
+
+def _segment_fingerprint(source_path: Union[str, Path]) -> Dict[str, object]:
+    return {"crc32": file_crc32(source_path), "size": os.stat(source_path).st_size}
+
+
+def _load_or_build_cached_index(
+    source_path: Union[str, Path], columns: ColumnarHistory
+) -> Optional[HistoryIndex]:
+    try:
+        fingerprint = _segment_fingerprint(source_path)
+    except OSError:
+        return None
+    return HistoryIndex.load_cache(
+        _index_cache_path(source_path), fingerprint=fingerprint, columns=columns
+    )
+
+
+def _store_cached_index(source_path: Union[str, Path], index: HistoryIndex) -> None:
+    try:
+        index.save_cache(
+            _index_cache_path(source_path),
+            fingerprint=_segment_fingerprint(source_path),
+        )
+    except OSError:
+        pass  # read-only directory: caching is best-effort
+
+
+# ----------------------------------------------------------------------
 # Worker-side machinery
 # ----------------------------------------------------------------------
-def _run_shard(payload: _Payload) -> ShardOutcome:
-    """Check one shard; module-level so process pools can import it."""
-    shard_index, wire, level, transitive_ww, dense = payload
-    if wire and wire[0] == "segref":
-        _, path, shard_rows, shard_keys = wire
+#: Per-process warm caches (populated inside pool workers; the persistent
+#: pool keeps the processes — and therefore these maps — alive across
+#: check_parallel calls).  ``_SEGMENT_CACHE`` maps one mmap per segment
+#: file; ``_SHARD_INDEX_CACHE`` keeps built shard indexes keyed by the
+#: file identity token plus the exact row/key slice.
+_WORKER_CACHE_LIMIT = 8
+_SEGMENT_CACHE: "OrderedDict[Tuple[str, Tuple[int, int]], ColumnarHistory]" = OrderedDict()
+_SHARD_INDEX_CACHE: "OrderedDict[tuple, Tuple[ColumnarHistory, HistoryIndex]]" = OrderedDict()
+
+
+def _cache_put(cache: OrderedDict, key, value) -> None:
+    cache[key] = value
+    cache.move_to_end(key)
+    while len(cache) > _WORKER_CACHE_LIMIT:
+        cache.popitem(last=False)
+
+
+def _mapped_segment(path: str, token: Tuple[int, int]) -> ColumnarHistory:
+    key = (path, token)
+    segment = _SEGMENT_CACHE.get(key)
+    if segment is None:
         segment = ColumnarHistory.load(path, mmap=True)
+        _cache_put(_SEGMENT_CACHE, key, segment)
+    return segment
+
+
+def _shard_columns_and_index(
+    wire: Union[WireColumns, _SegRef],
+) -> Tuple[ColumnarHistory, HistoryIndex]:
+    """Resolve a payload body to (columns, built index), warm-cached."""
+    if wire and wire[0] == "segref":
+        _, path, shard_rows, shard_keys, token = wire
+        cache_key = (path, token, tuple(shard_rows), tuple(shard_keys))
+        cached = _SHARD_INDEX_CACHE.get(cache_key)
+        if cached is not None:
+            _SHARD_INDEX_CACHE.move_to_end(cache_key)
+            return cached
+        segment = _mapped_segment(path, token)
         shard_columns = segment.slice_rows(
             shard_rows, restrict_initial_keys=shard_keys
         )
-    else:
-        shard_columns = ColumnarHistory.from_wire(wire)
-    shard_idx_obj = HistoryIndex.from_columns(shard_columns)
+        shard_index = HistoryIndex.from_columns(shard_columns)
+        _cache_put(_SHARD_INDEX_CACHE, cache_key, (shard_columns, shard_index))
+        return shard_columns, shard_index
+    shard_columns = ColumnarHistory.from_wire(wire)
+    return shard_columns, HistoryIndex.from_columns(shard_columns)
+
+
+def _run_shard(payload: _Payload) -> ShardOutcome:
+    """Check one shard; module-level so process pools can import it."""
+    shard_index, wire, level, transitive_ww, dense = payload
+    _shard_columns, shard_idx_obj = _shard_columns_and_index(wire)
 
     if level is IsolationLevel.STRICT_SERIALIZABILITY:
         int_violations = shard_idx_obj.int_violations()
@@ -277,14 +508,45 @@ def _run_shard(payload: _Payload) -> ShardOutcome:
     )
 
 
+def _merge_pair(pair: Tuple[WireCSR, WireCSR]) -> WireCSR:
+    """Pool task: one tree-reduction step over two shard wires."""
+    return merge_csr_wires(pair[0], pair[1])
+
+
 def _execute(payloads: List[_Payload], workers: int) -> List[ShardOutcome]:
     """Fan the shard checks out, falling back to inline execution."""
-    if workers <= 1 or len(payloads) <= 1:
+    if workers <= 1 or len(payloads) <= 1 or _POOL_BROKEN:
         return [_run_shard(p) for p in payloads]
     try:
-        with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
-            return list(pool.map(_run_shard, payloads))
+        return list(_get_pool(workers).map(_run_shard, payloads))
     except (OSError, BrokenProcessPool):
         # Process spawning unavailable (sandbox / resource limits): the
         # sharded pipeline still runs — just on this process.
+        _mark_pool_broken()
         return [_run_shard(p) for p in payloads]
+
+
+def _reduce_wires(wires: List[WireCSR], workers: int) -> List[WireCSR]:
+    """Tree-reduce shard CSR wires down to (at most) one root wire.
+
+    Each round pairs *adjacent* wires — ``(0,1), (2,3), …`` with an odd
+    tail passing through — and merges the pairs concurrently in the pool,
+    so a 32-shard merge takes 5 rounds of parallel pairwise work instead
+    of one serial 32-way pass.  Adjacent pairing preserves the global edge
+    concatenation order, so every tree shape (odd counts, single-wire
+    degenerate trees, inline execution) finalizes to byte-identical edge
+    columns and labeled cycles.
+    """
+    while len(wires) > 1:
+        pairs = [(wires[i], wires[i + 1]) for i in range(0, len(wires) - 1, 2)]
+        tail = [wires[-1]] if len(wires) % 2 else []
+        if workers > 1 and len(pairs) > 1 and not _POOL_BROKEN:
+            try:
+                merged = list(_get_pool(workers).map(_merge_pair, pairs))
+            except (OSError, BrokenProcessPool):
+                _mark_pool_broken()
+                merged = [merge_csr_wires(a, b) for a, b in pairs]
+        else:
+            merged = [merge_csr_wires(a, b) for a, b in pairs]
+        wires = merged + tail
+    return wires

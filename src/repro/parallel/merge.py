@@ -13,13 +13,25 @@ reassembles the per-shard dependency edges into one graph, adds the global
 (transitively reduced) real-time edges, and runs a single acyclicity check
 — exactly the graph the serial ``CHECKSSER`` would have built, with the
 expensive per-shard construction already done in parallel.
+
+Since the scale-out refactor the reassembly itself is **tree-shaped**:
+:func:`merge_csr_wires` pairwise-merges two shard CSR wire buffers (union
+interning, edge rows appended left-then-right through node/key remap
+arrays), which the executor schedules across the worker pool so merge cost
+is O(log shards) wall-clock instead of one serial global pass.  Because a
+pairwise merge of *adjacent* shards preserves the overall edge
+concatenation order, :func:`finalize_sser_wires` produces byte-identical
+edge columns — and therefore identical verdicts and labeled cycles — for
+every reduction-tree shape, including the degenerate single-wire tree.
+The legacy (``dense=False``) edge-tuple path is routed through the same
+remap helpers via :func:`wire_from_edges`, so the two paths cannot drift.
 """
 
 from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.checkers import classify_cycle
 from ..core.csr import CSRGraph, EDGE_TYPE_CODES, WireCSR
@@ -32,10 +44,15 @@ __all__ = [
     "merge_shard_results",
     "merge_sser_graphs",
     "merge_sser_csr",
+    "merge_csr_wires",
+    "finalize_sser_wires",
+    "wire_from_edges",
 ]
 
 #: Wire format of one dependency edge: ``(source, target, type name, key)``.
 WireEdge = Tuple[int, int, str, Optional[str]]
+
+_RT_CODE = EDGE_TYPE_CODES[EdgeType.RT]
 
 
 @dataclass
@@ -78,6 +95,142 @@ def merge_shard_results(
     return result
 
 
+# ----------------------------------------------------------------------
+# Shared remap helpers: every SSER merge goes through these
+# ----------------------------------------------------------------------
+def _remap_arrays(
+    wire: WireCSR,
+    node_dense: Dict[int, int],
+    key_dense: Dict[str, int],
+) -> Tuple[array, array]:
+    """Translation arrays from a wire graph's interning onto a target one."""
+    node_map = array("i", [node_dense[txn_id] for txn_id in wire[0]])
+    key_map = array("i", [key_dense[name] for name in wire[1]])
+    return node_map, key_map
+
+
+def merge_csr_wires(left: WireCSR, right: WireCSR) -> WireCSR:
+    """One tree-reduction step: merge two shard CSR wires into one.
+
+    The merged interning is the left wire's node ids / key names followed
+    by the right wire's unseen ones (shards share at most ``⊥T`` and no
+    keys, but the union is computed generally); edge rows are the left
+    wire's followed by the right wire's, each translated through remap
+    arrays.  Merging adjacent wires therefore preserves the global edge
+    concatenation order, which keeps the final merged graph byte-identical
+    for every reduction-tree shape.  Runs in worker processes — both
+    inputs and the result are compact picklable buffers.
+    """
+    node_ids: List[int] = list(left[0])
+    node_dense: Dict[int, int] = {txn_id: i for i, txn_id in enumerate(node_ids)}
+    for txn_id in right[0]:
+        if txn_id not in node_dense:
+            node_dense[txn_id] = len(node_ids)
+            node_ids.append(txn_id)
+    key_names: List[str] = list(left[1])
+    key_dense: Dict[str, int] = {name: i for i, name in enumerate(key_names)}
+    for name in right[1]:
+        if name not in key_dense:
+            key_dense[name] = len(key_names)
+            key_names.append(name)
+
+    merged = CSRGraph(node_ids, key_names)
+    for wire in (left, right):
+        merged.append_remapped(wire, *_remap_arrays(wire, node_dense, key_dense))
+    return merged.to_wire()
+
+
+def finalize_sser_wires(
+    wires: Sequence[WireCSR],
+    index: HistoryIndex,
+    *,
+    num_transactions: int,
+    level: IsolationLevel = IsolationLevel.STRICT_SERIALIZABILITY,
+    reduced_rt: bool = True,
+    elapsed_seconds: float = 0.0,
+) -> CheckResult:
+    """Remap merged shard wires onto the global index, add RT, check cycles.
+
+    The parent's final (cheap) step of the SSER merge: every wire's edge
+    rows are translated onto the global index's node/key interning in
+    order, the global (reduced) real-time edges are appended, and a single
+    Tarjan pass settles acyclicity.  Only a rejection materialises the
+    labeled multigraph, so the counterexample is identical whether the
+    wires arrive one-per-shard (flat merge) or as a single tree-reduced
+    root.
+    """
+    # Only the index's dense accessors are consumed, so a columnar-built
+    # index merges without materialising a single Transaction.
+    node_ids = list(index.committed_txn_ids)
+    global_dense = {txn_id: i for i, txn_id in enumerate(node_ids)}
+    merged = CSRGraph(node_ids, index.key_names)
+    for wire in wires:
+        merged.append_remapped(
+            wire, *_remap_arrays(wire, global_dense, index.key_dense)
+        )
+
+    src_append = merged.src.append
+    dst_append = merged.dst.append
+    et_append = merged.etype.append
+    kid_append = merged.key_id.append
+    for source_id, target_id in index.real_time_id_pairs(reduced=reduced_rt):
+        s = global_dense.get(source_id)
+        t = global_dense.get(target_id)
+        if s is not None and t is not None:
+            src_append(s)
+            dst_append(t)
+            et_append(_RT_CODE)
+            kid_append(-1)
+
+    if merged.has_cycle() is None:
+        result = CheckResult.ok(level, num_transactions)
+    else:
+        graph = merged.to_multigraph()
+        cycle = graph.find_cycle()
+        violation = classify_cycle(cycle, graph, level=level)
+        result = CheckResult.violated(level, [violation], num_transactions=num_transactions)
+    result.elapsed_seconds = elapsed_seconds
+    return result
+
+
+def wire_from_edges(
+    nodes: Sequence[int], edges: Sequence[WireEdge]
+) -> WireCSR:
+    """Encode a legacy edge-tuple shard outcome as CSR wire buffers.
+
+    The bridge that routes the ``dense=False`` worker path through the
+    same remap helpers as the dense one: node interning follows the
+    outcome's (sorted) node list, keys are interned in first-appearance
+    order, and edge types map through :data:`~repro.core.csr.EDGE_TYPE_CODES`.
+    """
+    node_dense = {txn_id: i for i, txn_id in enumerate(nodes)}
+    key_names: List[str] = []
+    key_dense: Dict[str, int] = {}
+    graph = CSRGraph(nodes, key_names)
+    src_append = graph.src.append
+    dst_append = graph.dst.append
+    et_append = graph.etype.append
+    kid_append = graph.key_id.append
+    for source, target, type_name, key in edges:
+        if key is None:
+            kid = -1
+        else:
+            kid = key_dense.get(key, -1)
+            if kid < 0:
+                kid = len(key_names)
+                key_dense[key] = kid
+                key_names.append(key)
+        src_append(node_dense[source])
+        dst_append(node_dense[target])
+        et_append(EDGE_TYPE_CODES[EdgeType[type_name]])
+        kid_append(kid)
+    graph.key_names = key_names
+    return graph.to_wire()
+
+
+# ----------------------------------------------------------------------
+# Level mergers
+# ----------------------------------------------------------------------
 def merge_sser_graphs(
     outcomes: List[ShardOutcome],
     index: HistoryIndex,
@@ -86,28 +239,27 @@ def merge_sser_graphs(
     reduced_rt: bool = True,
     elapsed_seconds: float = 0.0,
 ) -> CheckResult:
-    """Reassemble shard dependency graphs, add global RT, check acyclicity."""
+    """Legacy-path SSER merge: edge tuples in, one global acyclicity check.
+
+    Each outcome's serialized edge list is first encoded as CSR wire
+    buffers (:func:`wire_from_edges`) and then merged through exactly the
+    remap/finalize helpers the dense path uses, so legacy and dense merged
+    verdicts are pinned to each other by construction
+    (``tests/test_scaleout.py`` asserts it end to end).
+    """
     num_transactions = sum(o.num_transactions for o in outcomes)
-    graph = DependencyGraph()
-    for outcome in outcomes:
-        for node in outcome.nodes or ():
-            graph.add_node(node)
-        for source, target, type_name, key in outcome.edges or ():
-            graph.add_edge(source, target, EdgeType[type_name], key)
-
-    committed_ids = index.committed_ids
-    for source, target in index.real_time_pairs(reduced=reduced_rt):
-        if source.txn_id in committed_ids and target.txn_id in committed_ids:
-            graph.add_edge(source.txn_id, target.txn_id, EdgeType.RT)
-
-    cycle = graph.find_cycle()
-    if cycle is None:
-        result = CheckResult.ok(level, num_transactions)
-    else:
-        violation = classify_cycle(cycle, graph, level=level)
-        result = CheckResult.violated(level, [violation], num_transactions=num_transactions)
-    result.elapsed_seconds = elapsed_seconds
-    return result
+    wires = [
+        wire_from_edges(outcome.nodes or [], outcome.edges or [])
+        for outcome in outcomes
+    ]
+    return finalize_sser_wires(
+        wires,
+        index,
+        num_transactions=num_transactions,
+        level=level,
+        reduced_rt=reduced_rt,
+        elapsed_seconds=elapsed_seconds,
+    )
 
 
 def merge_sser_csr(
@@ -118,63 +270,26 @@ def merge_sser_csr(
     reduced_rt: bool = True,
     elapsed_seconds: float = 0.0,
 ) -> CheckResult:
-    """Dense counterpart of :func:`merge_sser_graphs`.
+    """Dense SSER merge: shard CSR wires in, one global acyclicity check.
 
     Shard workers ship their dependency graphs as compact ``array('i')``
-    buffers (:meth:`~repro.core.csr.CSRGraph.to_wire`); the merger remaps
-    each shard's local node/key interning onto the parent index's global
-    one with two translation arrays, appends the global (reduced) RT edges,
-    and runs a single Tarjan pass.  Only a rejection materialises the
-    labeled multigraph, so the counterexample equals what the legacy merge
-    would report.
+    buffers (:meth:`~repro.core.csr.CSRGraph.to_wire`); this remaps each
+    shard's local node/key interning onto the parent index's global one,
+    appends the global (reduced) RT edges, and runs a single Tarjan pass.
+    The executor may first tree-reduce the wires pairwise in the pool
+    (:func:`merge_csr_wires`) and hand a single root wire here — the
+    result is byte-identical either way.
     """
     num_transactions = sum(o.num_transactions for o in outcomes)
-    # Only the index's dense accessors are consumed, so a columnar-built
-    # index merges without materialising a single Transaction.
-    node_ids = list(index.committed_txn_ids)
-    global_dense = {txn_id: i for i, txn_id in enumerate(node_ids)}
-    key_dense = index.key_dense
-
-    src = array("i")
-    dst = array("i")
-    etype = array("i")
-    key_id = array("i")
-    src_append = src.append
-    dst_append = dst.append
-    et_append = etype.append
-    kid_append = key_id.append
-    for outcome in outcomes:
-        if outcome.csr is None:
-            continue
-        shard = CSRGraph.from_wire(outcome.csr)
-        node_map = array("i", [global_dense[txn_id] for txn_id in shard.node_ids])
-        key_map = array("i", [key_dense[name] for name in shard.key_names])
-        for s, t, e, k in zip(shard.src, shard.dst, shard.etype, shard.key_id):
-            src_append(node_map[s])
-            dst_append(node_map[t])
-            et_append(e)
-            kid_append(key_map[k] if k >= 0 else -1)
-
-    rt_code = EDGE_TYPE_CODES[EdgeType.RT]
-    for source_id, target_id in index.real_time_id_pairs(reduced=reduced_rt):
-        s = global_dense.get(source_id)
-        t = global_dense.get(target_id)
-        if s is not None and t is not None:
-            src_append(s)
-            dst_append(t)
-            et_append(rt_code)
-            kid_append(-1)
-
-    merged = CSRGraph(node_ids, index.key_names, src, dst, etype, key_id)
-    if merged.has_cycle() is None:
-        result = CheckResult.ok(level, num_transactions)
-    else:
-        graph = merged.to_multigraph()
-        cycle = graph.find_cycle()
-        violation = classify_cycle(cycle, graph, level=level)
-        result = CheckResult.violated(level, [violation], num_transactions=num_transactions)
-    result.elapsed_seconds = elapsed_seconds
-    return result
+    wires = [outcome.csr for outcome in outcomes if outcome.csr is not None]
+    return finalize_sser_wires(
+        wires,
+        index,
+        num_transactions=num_transactions,
+        level=level,
+        reduced_rt=reduced_rt,
+        elapsed_seconds=elapsed_seconds,
+    )
 
 
 def serialize_edges(graph: DependencyGraph) -> List[WireEdge]:

@@ -30,6 +30,7 @@ pickling any ``Transaction``.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -68,7 +69,9 @@ class Shard:
     #: Source rows of the slice within the parent segment (columnar front
     #: end) — lets the executor ship a (path, rows) reference instead of
     #: the sliced bytes when the segment lives in an mmap-able file.
-    rows: Optional[List[int]] = None
+    #: Stored as a flat ``array('q')`` so million-row segref payloads
+    #: pickle as raw bytes rather than lists of boxed ints.
+    rows: Optional[Sequence[int]] = None
 
 
 def partition_history(
@@ -176,7 +179,7 @@ def partition_columns(
 
     shards: List[Shard] = []
     for shard_idx, (keys, slots, _load) in enumerate(sized):
-        rows: List[int] = []
+        rows = array("q")
         if index.txn_ids and index.txn_ids[0] == INITIAL_TXN_ID:
             rows.append(index.column_row(0))
         committed = 0

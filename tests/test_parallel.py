@@ -352,5 +352,9 @@ class TestCli:
         assert code == 0
         payload = json.loads((tmp_path / "BENCH_parallel.json").read_text())
         assert payload["suite"] == "parallel" and payload["rows"]
-        assert all(row["verdict"] for row in payload["rows"])
+        speedup_rows = [r for r in payload["rows"] if r["kind"] == "speedup"]
+        assert speedup_rows
+        assert all(row["verdict"] for row in speedup_rows)
+        assert all(row["verdicts_equal"] for row in speedup_rows)
+        assert any(r["kind"] == "index-reuse" for r in payload["rows"])
         assert "speedup" in out or "parallel" in out
