@@ -42,6 +42,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Set
 
+from .. import obs
 from ..core.model import (
     History,
     Operation,
@@ -190,6 +191,7 @@ class Collector:
         except BaseException as exc:  # noqa: BLE001 - reported to collect()
             errors.append(exc)
             return
+        obs.gauge_add("repro_collector_sessions_in_flight", 1)
         try:
             for spec in specs:
                 retries_left = self.max_retries
@@ -198,11 +200,13 @@ class Collector:
                     if committed or not retryable or retries_left <= 0:
                         break
                     retries_left -= 1
+                    obs.inc("repro_collector_retries_total")
                     with self._record_lock:
                         stats.retries += 1
         except BaseException as exc:  # noqa: BLE001 - reported to collect()
             errors.append(exc)
         finally:
+            obs.gauge_add("repro_collector_sessions_in_flight", -1)
             session.close()
 
     def _attempt(self, session, session_id: int, spec, log: Session, stats: RunStats):
@@ -235,6 +239,8 @@ class Collector:
             session.abort()  # idempotent; most adapters already rolled back
             status = TransactionStatus.ABORTED
             retryable = getattr(exc, "retryable", True)
+            if retryable:
+                obs.inc("repro_collector_retryable_aborts_total")
         self._record(
             txn_id, session_id, operations, status, start_ts, log, stats,
             num_ops=len(operations),
@@ -258,6 +264,16 @@ class Collector:
     ) -> None:
         # One lock around the finish stamp, the log append, the stats update,
         # and the hook call: hooks observe transactions in finish_ts order.
+        if obs.enabled():
+            obs.inc("repro_collector_ops_total", num_ops)
+            obs.inc(
+                "repro_collector_txns_total",
+                status=(
+                    "committed"
+                    if status is TransactionStatus.COMMITTED
+                    else "aborted"
+                ),
+            )
         with self._record_lock:
             finish_ts = self._clock.tick()
             stats.operations += num_ops

@@ -1,0 +1,36 @@
+"""Environment metadata stamped into every ``BENCH_*.json``.
+
+Benchmark numbers are only comparable within one machine class; the PR 7
+parallel rows in particular are advisory on 1-core CI runners.  Rather
+than flagging that in comments, every benchmark JSON now carries an
+``env`` block so downstream tooling (and the CI gates) can detect the
+machine shape mechanically.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict
+
+__all__ = ["environment_metadata"]
+
+
+def environment_metadata() -> Dict[str, Any]:
+    """A JSON-safe description of the benchmarking environment."""
+    monotonic = time.get_clock_info("monotonic")
+    perf = time.get_clock_info("perf_counter")
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "monotonic_resolution": monotonic.resolution,
+        "perf_counter_resolution": perf.resolution,
+        "timestamp": time.time(),
+        "pid": os.getpid(),
+        "argv0": os.path.basename(sys.argv[0]) if sys.argv else "",
+    }

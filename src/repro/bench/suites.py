@@ -37,6 +37,7 @@ from ..core.incremental import CheckerSession, stream_order
 from ..core.index import HistoryIndex
 from ..core.model import History, Session, Transaction, read, write
 from ..core.result import IsolationLevel
+from .env import environment_metadata
 from .harness import generate_mt_history
 
 __all__ = [
@@ -842,7 +843,14 @@ def _prefix_history(history: History, stream: Sequence[Transaction], n: int) -> 
 
 
 def write_benchmark_json(payload: Dict[str, object], path: str) -> None:
-    """Persist one suite's payload as deterministic, diff-friendly JSON."""
+    """Persist one suite's payload as deterministic, diff-friendly JSON.
+
+    Every file is stamped with the environment it was measured on
+    (:func:`repro.bench.env.environment_metadata`) so numbers from
+    different machines are never compared as if they were peers.
+    """
+    payload = dict(payload)
+    payload.setdefault("env", environment_metadata())
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")

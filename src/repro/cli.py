@@ -52,6 +52,7 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
+from . import obs
 from .core.anomalies import ANOMALY_NAMES, anomaly_catalog
 from .core.checker import MTChecker
 from .core.incremental import CheckerSession, stream_order
@@ -137,6 +138,19 @@ def build_parser() -> argparse.ArgumentParser:
             "inline; verdicts are identical for every N)"
         ),
     )
+    check.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="batch only: print phase timings, graph sizes, and cache "
+        "counters alongside the verdict",
+    )
+    check.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="append structured JSONL span traces to PATH",
+    )
 
     watch = subparsers.add_parser(
         "watch",
@@ -173,6 +187,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="epoch logs only: delete epoch files once they age out of "
         "--window (requires --window and --checkpoint-every)",
+    )
+    watch.add_argument(
+        "--metrics-file",
+        default=None,
+        metavar="PATH",
+        help="write an atomic Prometheus-textfile metrics snapshot to PATH "
+        "every --metrics-every seconds, plus a one-line heartbeat "
+        "(epoch lag, txns/s, verdict) on stderr",
+    )
+    watch.add_argument(
+        "--metrics-every",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="metrics snapshot / heartbeat cadence (default: 5)",
+    )
+    watch.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="append structured JSONL span traces to PATH",
     )
 
     generate = subparsers.add_parser(
@@ -250,6 +285,12 @@ def build_parser() -> argparse.ArgumentParser:
     collect.add_argument(
         "--output", default=None, help="where to save the history (.json document or .jsonl stream)"
     )
+    collect.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="append structured JSONL span traces to PATH",
+    )
 
     convert = subparsers.add_parser(
         "convert",
@@ -308,10 +349,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
     checker = MTChecker(strict_mt=args.strict_mt, workers=args.workers)
     if not streaming:
         history = load_history(args.history)
-        result = checker.verify(history, _LEVELS[args.level])
+        result = checker.verify(history, _LEVELS[args.level], report=args.verbose)
         print(result.format())
         return 0 if result.satisfied else 1
 
+    if args.verbose:
+        print("note: -v telemetry applies to batch checks; streaming verdicts "
+              "already report their own timing")
     session = checker.session(_LEVELS[args.level], window=args.window)
     if is_stream_path(args.history):
         transactions = iter_history_jsonl(args.history)
@@ -340,16 +384,21 @@ def _check_segment(args: argparse.Namespace) -> int:
         if args.workers is not None and mappable:
             from .parallel import check_parallel
 
-            result = check_parallel(
-                None,
-                _LEVELS[args.level],
-                workers=args.workers,
-                strict_mt=args.strict_mt,
-                columns=columns,
-                source_path=args.history,
+            result = _maybe_report(
+                lambda: check_parallel(
+                    None,
+                    _LEVELS[args.level],
+                    workers=args.workers,
+                    strict_mt=args.strict_mt,
+                    columns=columns,
+                    source_path=args.history,
+                ),
+                args.verbose,
             )
         else:
-            result = checker.verify(columns, _LEVELS[args.level])
+            result = checker.verify(
+                columns, _LEVELS[args.level], report=args.verbose
+            )
         print(result.format())
         return 0 if result.satisfied else 1
     session = checker.session(_LEVELS[args.level], window=args.window)
@@ -394,13 +443,16 @@ def _check_epochlog(args: argparse.Namespace) -> int:
             log.cache_index(index)
         from .parallel import check_parallel
 
-        result = check_parallel(
-            None,
-            _LEVELS[args.level],
-            workers=args.workers or 1,
-            strict_mt=args.strict_mt,
-            index=index,
-            columns=columns,
+        result = _maybe_report(
+            lambda: check_parallel(
+                None,
+                _LEVELS[args.level],
+                workers=args.workers or 1,
+                strict_mt=args.strict_mt,
+                index=index,
+                columns=columns,
+            ),
+            args.verbose,
         )
         print(result.format())
         return 0 if result.satisfied else 1
@@ -464,6 +516,87 @@ def _finish_stream(session) -> int:
     return 0 if result.satisfied else 1
 
 
+def _maybe_report(run_check, verbose: bool):
+    """Run a batch check; with ``verbose`` wrap it in a telemetry report."""
+    if not verbose:
+        return run_check()
+    with obs.scoped() as reg:
+        result = run_check()
+    return obs.VerifyReport(result=result, metrics=reg.snapshot())
+
+
+class _WatchTelemetry:
+    """The watch service's metrics surface (``--metrics-file``).
+
+    Activates the process-wide registry so every instrumented layer under
+    the watch loop — epoch log, incremental checker, index — records into
+    it, then periodically (``--metrics-every``) publishes the checker
+    gauges, atomically rewrites the Prometheus textfile, and emits a
+    one-line heartbeat on stderr.  ``close()`` always writes a final
+    snapshot so the last state is scrape-able after exit.
+    """
+
+    def __init__(self, metrics_file: str, every: float) -> None:
+        self.metrics_file = metrics_file
+        self.every = every
+        self.registry = obs.enable(fresh=True)
+        self._last_update = float("-inf")
+        self._beat_txns = 0
+        self._beat_time = time.monotonic()
+
+    def update(self, session, ingested: int, lag: int, *, force: bool = False) -> None:
+        now = time.monotonic()
+        if not force and now - self._last_update < self.every:
+            return
+        self._last_update = now
+        session.checker.publish_metrics()
+        reg = self.registry
+        reg.set_gauge("repro_watch_epoch_lag", lag)
+        reg.set_gauge("repro_watch_txns_ingested", ingested)
+        reg.inc("repro_watch_heartbeats_total")
+        obs.write_textfile(self.metrics_file, reg)
+        rate = (ingested - self._beat_txns) / max(now - self._beat_time, 1e-9)
+        verdict = "ok" if session.checker.satisfied else "violated"
+        print(
+            f"[watch] txns={ingested} lag={lag} rate={rate:.0f}/s "
+            f"verdict={verdict}",
+            file=sys.stderr,
+            flush=True,
+        )
+        self._beat_txns = ingested
+        self._beat_time = now
+
+    def close(self, session, ingested: int, lag: int) -> None:
+        try:
+            self.update(session, ingested, lag, force=True)
+        finally:
+            obs.disable()
+
+
+def _flush_watch_checkpoint(log, session, args, next_epoch: int, ingested: int) -> None:
+    """Flush a final checkpoint before an abnormal watch exit (best-effort).
+
+    Mirrors the normal-exit condition: only when ``--checkpoint-every`` is
+    active, something was ingested, and the tail is not already covered by
+    a cadence checkpoint.  Failures (e.g. the log directory itself is
+    gone) degrade to a warning — the diagnostic that triggered the exit
+    matters more than the snapshot.
+    """
+    if (
+        not args.checkpoint_every
+        or next_epoch <= 0
+        or next_epoch % args.checkpoint_every == 0
+    ):
+        return
+    try:
+        log.save_checkpoint(
+            session.checkpoint(), epochs=next_epoch, transactions=ingested
+        )
+        print(f"flushed final checkpoint at epoch {next_epoch}", flush=True)
+    except OSError as exc:
+        print(f"warning: could not flush final checkpoint: {exc}")
+
+
 def _cmd_watch(args: argparse.Namespace) -> int:
     if is_epochlog_path(args.history):
         return _watch_epochlog(args)
@@ -481,61 +614,74 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         )
         return 2
     session = MTChecker().session(_LEVELS[args.level], window=args.window)
+    telemetry = (
+        _WatchTelemetry(args.metrics_file, args.metrics_every)
+        if args.metrics_file
+        else None
+    )
     started = time.monotonic()
     index = 0
-    with open_history_stream(args.history) as fh:
-        try:
-            header = parse_stream_header(fh.readline())
-        except (ValueError, EOFError) as exc:
-            print(f"error: {args.history}: {exc}")
-            return 2
-        initial = header.get("initial_transaction")
-        if initial is not None:
-            session.ingest(transaction_from_dict(initial))
-        # Lines are buffered until their terminating newline arrives, so a
-        # producer caught mid-append never aborts the watch.
-        pending_line = ""
-        while True:
+    try:
+        with open_history_stream(args.history) as fh:
             try:
-                chunk = fh.readline()
-            except EOFError:
-                # Torn gzip tail: the compressed stream ends mid-member (a
-                # live writer has not emitted the trailer yet).  gzip cannot
-                # resume a broken member, so stop at the verified prefix.
-                print(
-                    "warning: compressed stream is truncated mid-member "
-                    "(producer still writing?); stopping at the last "
-                    "complete transaction"
-                )
-                break
-            if chunk:
-                pending_line += chunk
-                if not pending_line.endswith("\n"):
-                    continue
-                line, pending_line = pending_line, ""
-                if not line.strip():
-                    continue
-                txn = transaction_from_dict(json.loads(line))
-                _report_violations(session.ingest(txn), txn, index)
-                index += 1
-                continue
-            if args.once:
-                break
-            if args.max_seconds is not None and time.monotonic() - started >= args.max_seconds:
-                break
-            if not os.path.exists(args.history):
-                # The fd keeps the deleted file readable on POSIX, but no
-                # producer can ever append to it again: stop cleanly at the
-                # verified prefix instead of polling a ghost forever.
-                print(
-                    f"error: {args.history}: stream deleted while being "
-                    "followed; stopping at the last complete transaction"
-                )
+                header = parse_stream_header(fh.readline())
+            except (ValueError, EOFError) as exc:
+                print(f"error: {args.history}: {exc}")
                 return 2
-            time.sleep(args.interval)
-        if pending_line.strip():
-            print(f"warning: ignoring incomplete trailing line ({len(pending_line)} bytes)")
-    return _finish_stream(session)
+            initial = header.get("initial_transaction")
+            if initial is not None:
+                session.ingest(transaction_from_dict(initial))
+            # Lines are buffered until their terminating newline arrives, so a
+            # producer caught mid-append never aborts the watch.
+            pending_line = ""
+            while True:
+                try:
+                    chunk = fh.readline()
+                except EOFError:
+                    # Torn gzip tail: the compressed stream ends mid-member (a
+                    # live writer has not emitted the trailer yet).  gzip cannot
+                    # resume a broken member, so stop at the verified prefix.
+                    print(
+                        "warning: compressed stream is truncated mid-member "
+                        "(producer still writing?); stopping at the last "
+                        "complete transaction"
+                    )
+                    break
+                if chunk:
+                    pending_line += chunk
+                    if not pending_line.endswith("\n"):
+                        continue
+                    line, pending_line = pending_line, ""
+                    if not line.strip():
+                        continue
+                    txn = transaction_from_dict(json.loads(line))
+                    _report_violations(session.ingest(txn), txn, index)
+                    index += 1
+                    if telemetry is not None:
+                        # JSONL streams have no epoch boundaries: lag is
+                        # always 0 (everything readable has been ingested).
+                        telemetry.update(session, index, 0)
+                    continue
+                if args.once:
+                    break
+                if args.max_seconds is not None and time.monotonic() - started >= args.max_seconds:
+                    break
+                if not os.path.exists(args.history):
+                    # The fd keeps the deleted file readable on POSIX, but no
+                    # producer can ever append to it again: stop cleanly at the
+                    # verified prefix instead of polling a ghost forever.
+                    print(
+                        f"error: {args.history}: stream deleted while being "
+                        "followed; stopping at the last complete transaction"
+                    )
+                    return 2
+                time.sleep(args.interval)
+            if pending_line.strip():
+                print(f"warning: ignoring incomplete trailing line ({len(pending_line)} bytes)")
+        return _finish_stream(session)
+    finally:
+        if telemetry is not None:
+            telemetry.close(session, index, 0)
 
 
 def _watch_epochlog(args: argparse.Namespace) -> int:
@@ -588,36 +734,56 @@ def _watch_epochlog(args: argparse.Namespace) -> int:
         )
         return 2
 
+    telemetry = (
+        _WatchTelemetry(args.metrics_file, args.metrics_every)
+        if args.metrics_file
+        else None
+    )
     started = time.monotonic()
-    while True:
-        while next_epoch < len(log.epochs):
-            segment = log.load_epoch(next_epoch)
-            _ingest_epoch(session, segment, ingested)
-            ingested += segment.num_transactions - (1 if segment.has_initial else 0)
-            next_epoch += 1
-            if args.checkpoint_every and next_epoch % args.checkpoint_every == 0:
-                log.save_checkpoint(
-                    session.checkpoint(), epochs=next_epoch, transactions=ingested
-                )
-                if args.retire:
-                    _retire_behind_window(log, args.window, next_epoch)
-        if args.once:
-            break
-        if args.max_seconds is not None and time.monotonic() - started >= args.max_seconds:
-            break
-        time.sleep(args.interval)
-        try:
-            log.refresh()
-        except EpochLogError as exc:
-            print(f"error: {exc}")
-            return 2
-    if args.checkpoint_every and next_epoch > 0 and next_epoch % args.checkpoint_every != 0:
-        # Final snapshot so the next invocation resumes at the tail even
-        # when the epoch count is not a multiple of the cadence.
-        log.save_checkpoint(
-            session.checkpoint(), epochs=next_epoch, transactions=ingested
-        )
-    return _finish_stream(session)
+    try:
+        while True:
+            while next_epoch < len(log.epochs):
+                segment = log.load_epoch(next_epoch)
+                _ingest_epoch(session, segment, ingested)
+                ingested += segment.num_transactions - (1 if segment.has_initial else 0)
+                next_epoch += 1
+                if args.checkpoint_every and next_epoch % args.checkpoint_every == 0:
+                    log.save_checkpoint(
+                        session.checkpoint(), epochs=next_epoch, transactions=ingested
+                    )
+                    if args.retire:
+                        _retire_behind_window(log, args.window, next_epoch)
+                if telemetry is not None:
+                    telemetry.update(
+                        session, ingested, len(log.epochs) - next_epoch
+                    )
+            if args.once:
+                break
+            if args.max_seconds is not None and time.monotonic() - started >= args.max_seconds:
+                break
+            time.sleep(args.interval)
+            try:
+                log.refresh()
+            except EpochLogError as exc:
+                print(f"error: {exc}")
+                # The diagnostic is fatal, but the verified prefix is not:
+                # persist it so the next invocation resumes instead of
+                # replaying (satellite fix — previously the tail since the
+                # last cadence checkpoint was silently lost on exit 2).
+                _flush_watch_checkpoint(log, session, args, next_epoch, ingested)
+                return 2
+        if args.checkpoint_every and next_epoch > 0 and next_epoch % args.checkpoint_every != 0:
+            # Final snapshot so the next invocation resumes at the tail even
+            # when the epoch count is not a multiple of the cadence.
+            log.save_checkpoint(
+                session.checkpoint(), epochs=next_epoch, transactions=ingested
+            )
+        return _finish_stream(session)
+    finally:
+        if telemetry is not None:
+            telemetry.close(
+                session, ingested, max(len(log.epochs) - next_epoch, 0)
+            )
 
 
 def _retire_behind_window(log: EpochLog, window: int, ingested_epochs: int) -> None:
@@ -854,21 +1020,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        obs.start_trace(trace_path)
     try:
-        if args.command == "check":
-            return _cmd_check(args)
-        if args.command == "watch":
-            return _cmd_watch(args)
-        if args.command == "generate":
-            return _cmd_generate(args)
-        if args.command == "collect":
-            return _cmd_collect(args)
-        if args.command == "convert":
-            return _cmd_convert(args)
-        if args.command == "anomaly":
-            return _cmd_anomaly(args)
-        if args.command == "bench":
-            return _cmd_bench(args)
+        with obs.trace_span(args.command):
+            if args.command == "check":
+                return _cmd_check(args)
+            if args.command == "watch":
+                return _cmd_watch(args)
+            if args.command == "generate":
+                return _cmd_generate(args)
+            if args.command == "collect":
+                return _cmd_collect(args)
+            if args.command == "convert":
+                return _cmd_convert(args)
+            if args.command == "anomaly":
+                return _cmd_anomaly(args)
+            if args.command == "bench":
+                return _cmd_bench(args)
     except BrokenPipeError:
         return 1  # stdout consumer (e.g. `| head`) went away mid-report
     except (OSError, EOFError) as exc:
@@ -880,6 +1050,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # Bad file format, malformed JSON, or invalid option combination.
         print(f"error: {exc}")
         return 2
+    finally:
+        if trace_path:
+            obs.stop_trace()
     parser.error(f"unknown command {args.command!r}")
     return 2
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Optional, Union
 
+from .. import obs
+from ..obs.report import VerifyReport
 from .checkers import GRAPH_CHECKED_LEVELS, check_ser, check_si, check_sser
 from .incremental import CheckerSession
 from .index import HistoryIndex
@@ -80,7 +82,9 @@ class MTChecker:
         self,
         history: Union[History, LWTHistory, "ColumnarHistory"],
         level: IsolationLevel,
-    ) -> CheckResult:
+        *,
+        report: bool = False,
+    ) -> Union[CheckResult, VerifyReport]:
         """Verify ``history`` against ``level`` and return a :class:`CheckResult`.
 
         For plain histories the shared :class:`HistoryIndex` is built exactly
@@ -93,7 +97,24 @@ class MTChecker:
         column-natively (:meth:`HistoryIndex.from_columns`) and the accept
         path — pre-passes, BUILDDEPENDENCY, acyclicity, and parallel shard
         dispatch — runs without materialising ``Transaction`` objects.
+
+        With ``report=True`` the check runs under a scoped telemetry
+        registry and returns a :class:`~repro.obs.report.VerifyReport` —
+        the same :class:`CheckResult` plus phase timings, graph sizes, and
+        cache/executor counters recorded while producing it (rendered by
+        ``repro check -v``).
         """
+        if report:
+            with obs.scoped() as reg:
+                result = self._verify(history, level)
+            return VerifyReport(result=result, metrics=reg.snapshot())
+        return self._verify(history, level)
+
+    def _verify(
+        self,
+        history: Union[History, LWTHistory, "ColumnarHistory"],
+        level: IsolationLevel,
+    ) -> CheckResult:
         if isinstance(history, LWTHistory):
             if level not in (
                 IsolationLevel.LINEARIZABILITY,
@@ -115,10 +136,12 @@ class MTChecker:
         if isinstance(history, ColumnarHistory):
             columns = history
             plain_history = None
-            index = HistoryIndex.from_columns(columns)
+            with obs.phase("index_build"):
+                index = HistoryIndex.from_columns(columns)
         else:
             plain_history = history
-            index = HistoryIndex.build(history)
+            with obs.phase("index_build"):
+                index = HistoryIndex.build(history)
         if self.workers is not None:
             from ..parallel import check_parallel  # deferred: parallel builds on core
 

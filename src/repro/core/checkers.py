@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 from typing import List, Optional, Sequence
 
+from .. import obs
 from .divergence import find_divergence
 from .graph import DependencyGraph, Edge, EdgeType, build_dependency
 from .index import HistoryIndex
@@ -163,14 +164,16 @@ def check_si(
         index = HistoryIndex.build(history)
     num_txns = index.num_committed
 
-    pre = _pre_checks(index, strict_mt=strict_mt)
+    with obs.phase("pre_checks"):
+        pre = _pre_checks(index, strict_mt=strict_mt)
     if pre is not None:
         pre.level = IsolationLevel.SNAPSHOT_ISOLATION
         pre.num_transactions = num_txns
         pre.elapsed_seconds = time.perf_counter() - started
         return pre
 
-    divergence = find_divergence(history, index=index)
+    with obs.phase("divergence"):
+        divergence = find_divergence(history, index=index)
     if early_divergence_exit and divergence is not None:
         result = CheckResult.violated(
             IsolationLevel.SNAPSHOT_ISOLATION,
@@ -185,27 +188,36 @@ def check_si(
         # Tarjan pass.  The legacy multigraph is only materialised when a
         # counterexample must be labeled, keeping violation output
         # byte-identical to the legacy pipeline.
-        csr = build_dependency(
-            history,
-            with_rt=False,
-            transitive_ww=transitive_ww,
-            index=index,
-            dense=True,
-        )
-        if csr.si_induced().has_cycle() is None:
+        with obs.phase("build_dependency"):
+            csr = build_dependency(
+                history,
+                with_rt=False,
+                transitive_ww=transitive_ww,
+                index=index,
+                dense=True,
+            )
+        obs.inc("repro_graph_builds_total")
+        obs.set_gauge("repro_graph_nodes", csr.num_nodes)
+        obs.set_gauge("repro_graph_edges", csr.num_edges)
+        with obs.phase("acyclicity"):
+            acyclic = csr.si_induced().has_cycle() is None
+        if acyclic:
             cycle = None
             graph = None
         else:
             graph = csr.to_multigraph()
             cycle = graph.si_induced_graph().find_cycle()
     else:
-        graph = build_dependency(
-            history,
-            with_rt=False,
-            transitive_ww=transitive_ww,
-            index=index,
-        )
-        cycle = graph.si_induced_graph().find_cycle()
+        with obs.phase("build_dependency"):
+            graph = build_dependency(
+                history,
+                with_rt=False,
+                transitive_ww=transitive_ww,
+                index=index,
+            )
+        obs.inc("repro_graph_builds_total")
+        with obs.phase("acyclicity"):
+            cycle = graph.si_induced_graph().find_cycle()
     if cycle is None and divergence is not None:
         # The induced graph can be acyclic even though the history violates
         # SI via DIVERGENCE (Example 3); completeness requires reporting it.
@@ -266,7 +278,8 @@ def _check_graph_level(
         index = HistoryIndex.build(history)
     num_txns = index.num_committed
 
-    pre = _pre_checks(index, strict_mt=strict_mt)
+    with obs.phase("pre_checks"):
+        pre = _pre_checks(index, strict_mt=strict_mt)
     if pre is not None:
         pre.level = level
         pre.num_transactions = num_txns
@@ -278,28 +291,37 @@ def _check_graph_level(
         # Edge objects, no per-root DFS re-densification.  Only a rejection
         # materialises the legacy multigraph, whose find_cycle/label_cycle
         # keep the counterexample byte-identical to the legacy pipeline.
-        csr = build_dependency(
-            history,
-            with_rt=with_rt,
-            transitive_ww=transitive_ww,
-            reduced_rt=reduced_rt,
-            index=index,
-            dense=True,
-        )
-        if csr.has_cycle() is None:
+        with obs.phase("build_dependency"):
+            csr = build_dependency(
+                history,
+                with_rt=with_rt,
+                transitive_ww=transitive_ww,
+                reduced_rt=reduced_rt,
+                index=index,
+                dense=True,
+            )
+        obs.inc("repro_graph_builds_total")
+        obs.set_gauge("repro_graph_nodes", csr.num_nodes)
+        obs.set_gauge("repro_graph_edges", csr.num_edges)
+        with obs.phase("acyclicity"):
+            acyclic = csr.has_cycle() is None
+        if acyclic:
             result = CheckResult.ok(level, num_txns)
             result.elapsed_seconds = time.perf_counter() - started
             return result
         graph = csr.to_multigraph()
     else:
-        graph = build_dependency(
-            history,
-            with_rt=with_rt,
-            transitive_ww=transitive_ww,
-            reduced_rt=reduced_rt,
-            index=index,
-        )
-    cycle = graph.find_cycle()
+        with obs.phase("build_dependency"):
+            graph = build_dependency(
+                history,
+                with_rt=with_rt,
+                transitive_ww=transitive_ww,
+                reduced_rt=reduced_rt,
+                index=index,
+            )
+        obs.inc("repro_graph_builds_total")
+    with obs.phase("acyclicity"):
+        cycle = graph.find_cycle()
     if cycle is None:
         result = CheckResult.ok(level, num_txns)
     else:

@@ -71,6 +71,7 @@ from typing import (
     Tuple,
 )
 
+from .. import obs
 from .checkers import MTHistoryError, classify_cycle
 from .graph import DependencyGraph, EdgeType
 from .intcheck import ops_int_candidate, transaction_int_violations
@@ -142,6 +143,9 @@ class PearceKellyOrder:
         self._succ: Dict[int, Dict[int, None]] = {}
         self._pred: Dict[int, Dict[int, None]] = {}
         self._counter = 0
+        #: Nodes visited by affected-region reorderings (plain int — this is
+        #: the hot path, so telemetry reads it lazily rather than per edge).
+        self.reorder_visits = 0
 
     def __contains__(self, node: int) -> bool:
         return node in self._ord
@@ -218,6 +222,7 @@ class PearceKellyOrder:
 
         # Re-map the affected nodes onto their own (sorted) index pool with
         # the backward region ordered entirely before the forward region.
+        self.reorder_visits += len(forward) + len(backward)
         backward.sort(key=self._ord.__getitem__)
         forward.sort(key=self._ord.__getitem__)
         pool = sorted(self._ord[node] for node in backward + forward)
@@ -525,6 +530,7 @@ class IncrementalChecker:
             if on_row_violations is not None and len(self._violations) > row_before:
                 on_row_violations(row, self._violations[row_before:])
         self._elapsed += time.perf_counter() - started
+        self.publish_metrics()
         return self._violations[before:]
 
     def _ingest_row(self, segment: "ColumnarHistory", row: int) -> None:
@@ -633,6 +639,24 @@ class IncrementalChecker:
         """Committed transactions ingested (excluding ``⊥T``)."""
         return self._num_committed
 
+    def publish_metrics(self) -> None:
+        """Publish the checker's running counters as telemetry gauges.
+
+        Called at coarse cadence (segment boundaries, ``result()``,
+        checkpoints) rather than per transaction, so the streaming hot path
+        carries no telemetry cost; a no-op while telemetry is disabled.
+        """
+        if not obs.enabled():
+            return
+        obs.set_gauge("repro_checker_txns_ingested", self._num_committed)
+        obs.set_gauge("repro_checker_violations", len(self._violations))
+        obs.set_gauge("repro_checker_window_evictions", self.evicted_count)
+        obs.set_gauge("repro_checker_stale_reads", self.stale_reads)
+        obs.set_gauge(
+            "repro_checker_pk_reorder_visits", self._topo.reorder_visits
+        )
+        obs.set_gauge("repro_checker_graph_nodes", len(self._topo))
+
     def result(self) -> CheckResult:
         """The verdict over everything ingested so far.
 
@@ -641,6 +665,7 @@ class IncrementalChecker:
         checker's.  Calling ``result`` does not end the stream; ingestion
         can continue afterwards.
         """
+        self.publish_metrics()
         violations = list(self._violations)
         violations.extend(self._pending_violations())
         if violations:
@@ -702,8 +727,10 @@ class IncrementalChecker:
         ``tests/test_incremental.py`` at every boundary of randomized
         streams).  The dictionary round-trips through ``json`` verbatim.
         """
+        started = time.perf_counter()
+        self.publish_metrics()
         topo = self._topo
-        return {
+        state = {
             "format": CHECKPOINT_STATE_FORMAT,
             "level": self.level.value,
             "window": self.window,
@@ -753,6 +780,12 @@ class IncrementalChecker:
             ],
             "sealed_fifo": [[k, v] for k, v in self._sealed_fifo],
         }
+        obs.observe(
+            "repro_checker_checkpoint_seconds",
+            time.perf_counter() - started,
+            op="save",
+        )
+        return state
 
     @classmethod
     def restore(cls, state: Dict[str, Any]) -> "IncrementalChecker":
@@ -767,6 +800,7 @@ class IncrementalChecker:
             raise ValueError(
                 f"not a {CHECKPOINT_STATE_FORMAT} checkpoint snapshot"
             )
+        restore_started = time.perf_counter()
         checker = cls(
             IsolationLevel(state["level"]),
             window=state["window"],
@@ -811,6 +845,11 @@ class IncrementalChecker:
             tid: [(k, v) for k, v in pairs] for tid, pairs in state["overwrote"]
         }
         checker._sealed_fifo = deque((k, v) for k, v in state["sealed_fifo"])
+        obs.observe(
+            "repro_checker_checkpoint_seconds",
+            time.perf_counter() - restore_started,
+            op="restore",
+        )
         return checker
 
     # ------------------------------------------------------------------

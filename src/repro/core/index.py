@@ -55,6 +55,7 @@ import gc
 import json
 import os
 import sys
+import time
 import zlib
 from array import array
 from pathlib import Path
@@ -72,6 +73,7 @@ from typing import (
     Union,
 )
 
+from .. import obs
 from .model import (
     INITIAL_TXN_ID,
     STATUS_CODES,
@@ -194,6 +196,7 @@ class HistoryIndex:
 
     def __init__(self, history: History) -> None:
         type(self).builds += 1
+        started = time.perf_counter()
         self._history: Optional[History] = history
         self._columns: Optional["ColumnarHistory"] = None
         self._transactions: Optional[List[Transaction]] = history.transactions(
@@ -202,6 +205,8 @@ class HistoryIndex:
         self._init_core()
         self._has_initial = history.initial_transaction is not None
         self._scan_objects()
+        obs.inc("repro_index_builds_total", source="objects")
+        obs.observe("repro_index_build_seconds", time.perf_counter() - started)
 
     @classmethod
     def build(cls, history: History) -> "HistoryIndex":
@@ -222,11 +227,14 @@ class HistoryIndex:
         """
         self = cls.__new__(cls)
         type(self).builds += 1
+        started = time.perf_counter()
         self._history = None
         self._columns = columns
         self._transactions = None
         self._init_core()
         self._scan_columns()
+        obs.inc("repro_index_builds_total", source="columns")
+        obs.observe("repro_index_build_seconds", time.perf_counter() - started)
         return self
 
     def _init_core(self) -> None:
@@ -1049,6 +1057,7 @@ class HistoryIndex:
 
         self = cls.__new__(cls)
         type(self).wire_loads += 1
+        obs.inc("repro_index_wire_loads_total")
         self._history = None
         self._columns = columns
         self._transactions = None
@@ -1176,6 +1185,21 @@ class HistoryIndex:
         history — invalidates the cache silently: the caller rebuilds from
         columns and (best-effort) rewrites the cache.
         """
+        index = cls._load_cache(path, fingerprint=fingerprint, columns=columns)
+        obs.inc(
+            "repro_index_cache_requests_total",
+            outcome="hit" if index is not None else "miss",
+        )
+        return index
+
+    @classmethod
+    def _load_cache(
+        cls,
+        path: Union[str, Path],
+        *,
+        fingerprint: Dict[str, Any],
+        columns: Optional["ColumnarHistory"] = None,
+    ) -> Optional["HistoryIndex"]:
         try:
             blob = Path(path).read_bytes()
         except OSError:

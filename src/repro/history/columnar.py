@@ -55,6 +55,7 @@ from typing import (
     Union,
 )
 
+from .. import obs
 from ..core.model import (
     INITIAL_TXN_ID,
     STATUS_CODES,
@@ -681,6 +682,18 @@ class SegmentWriter:
         if not self._closed:
             self.columns.save(self.path, compress=self._compress)
             self._closed = True
+            if obs.enabled():
+                obs.inc(
+                    "repro_segment_rows_written_total",
+                    self.columns.num_transactions,
+                )
+                try:
+                    obs.inc(
+                        "repro_segment_bytes_written_total",
+                        os.path.getsize(self.path),
+                    )
+                except OSError:
+                    pass
 
     def __enter__(self) -> "SegmentWriter":
         return self

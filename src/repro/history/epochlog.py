@@ -43,11 +43,13 @@ from __future__ import annotations
 import gzip
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+from .. import obs
 from ..core.model import INITIAL_TXN_ID, Transaction, make_initial_transaction
 from .columnar import ColumnarHistory
 
@@ -357,14 +359,19 @@ class EpochLogWriter:
         """
         if self._buffer.num_transactions == 0:
             return None
+        seal_started = time.perf_counter()
         epoch = len(self._entries)
         raw_name, gz_name = _epoch_file_names(epoch)
         name = gz_name if self.compress else raw_name
         path = self.directory / name
         tmp = self.directory / f".{name}.tmp"
         self._buffer.save(tmp, compress=self.compress)
+        fsync_started = time.perf_counter()
         with open(tmp, "rb") as fh:
             os.fsync(fh.fileno())
+        obs.observe(
+            "repro_epochlog_fsync_seconds", time.perf_counter() - fsync_started
+        )
         crc, size = _file_crc_and_size(tmp)
         os.replace(tmp, path)
         txn_ids = self._buffer.txn_ids
@@ -381,6 +388,12 @@ class EpochLogWriter:
         self._entries.append(entry)
         _write_manifest(self.directory, self._entries)
         self._buffer = ColumnarHistory()
+        obs.inc("repro_epochlog_epochs_sealed_total")
+        obs.inc("repro_epochlog_txns_sealed_total", entry.transactions)
+        obs.inc("repro_epochlog_bytes_written_total", entry.size_bytes)
+        obs.observe(
+            "repro_epochlog_seal_seconds", time.perf_counter() - seal_started
+        )
         return entry
 
     def close(self) -> None:
@@ -497,6 +510,7 @@ class EpochLog:
                     f"{self.directory}: epoch {entry.epoch} fails its checksum "
                     f"(file {entry.name} corrupted on disk)"
                 )
+        obs.inc("repro_epochlog_epochs_loaded_total")
         return ColumnarHistory.load(path, mmap=mmap)
 
     def iter_segments(
@@ -600,6 +614,7 @@ class EpochLog:
         validation and is skipped by :meth:`latest_checkpoint`), written
         atomically, and the newest two checkpoints are kept.
         """
+        write_started = time.perf_counter()
         payload = gzip.compress(
             json.dumps(
                 {"epochs": epochs, "transactions": transactions, "state": state},
@@ -624,6 +639,10 @@ class EpochLog:
                 stale.unlink()
             except OSError:
                 pass
+        obs.observe(
+            "repro_epochlog_checkpoint_write_seconds",
+            time.perf_counter() - write_started,
+        )
         return path
 
     def _checkpoint_paths(self) -> List[Path]:

@@ -59,6 +59,8 @@ from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import obs
+from ..obs import metrics as _obs_metrics
 from ..core.checkers import (
     GRAPH_CHECKED_LEVELS,
     check_ser,
@@ -95,7 +97,10 @@ _SegRef = Tuple[str, str, Sequence[int], List[str], Tuple[int, int]]
 
 #: One shard task shipped to a worker process: the shard's columnar wire
 #: buffers — or a :data:`_SegRef` into an mmap-able segment file — plus the
-#: check configuration.  Contains no ``Transaction``s either way.
+#: check configuration.  Contains no ``Transaction``s either way.  An
+#: optional sixth element (``with_metrics``) asks the worker to record its
+#: shard work into a fresh telemetry registry and ship the snapshot back on
+#: the outcome; five-element payloads remain valid (telemetry off).
 _Payload = Tuple[int, Union[WireColumns, _SegRef], IsolationLevel, bool, bool]
 
 #: Below this many committed transactions the pool is pure overhead
@@ -219,8 +224,75 @@ def check_parallel(
             ``workers_requested`` / ``workers_effective``, ``shards``,
             ``inline``, ``index_build_s`` / ``index_reuse_s``,
             ``payload_bytes`` (pickled shard payload total), and
-            ``merge_s`` (SSER merge wall-clock).
+            ``merge_s`` (SSER merge wall-clock).  A compatibility shim over
+            the :mod:`repro.obs` registry — the executor records
+            ``repro_executor_*`` series and this dict is populated from
+            them on the way out; new code should read the registry
+            directly (``obs.scoped()`` / ``repro watch --metrics-file``).
     """
+    with obs.maybe_scoped(stats is not None) as scoped_reg:
+        result = _check_parallel_impl(
+            history,
+            level,
+            workers=workers,
+            strict_mt=strict_mt,
+            transitive_ww=transitive_ww,
+            index=index,
+            max_shards=max_shards,
+            dense=dense,
+            columns=columns,
+            source_path=source_path,
+            reuse_index=reuse_index,
+        )
+        if stats is not None:
+            reg = scoped_reg if scoped_reg is not None else obs.registry()
+            if reg is not None:
+                _fill_stats_from_registry(stats, reg)
+        return result
+
+
+#: Legacy ``stats=`` dict keys and the registry series each one mirrors.
+_STATS_SERIES = (
+    ("workers_requested", "repro_executor_workers_requested", int),
+    ("workers_effective", "repro_executor_workers_effective", int),
+    ("shards", "repro_executor_shards", int),
+    ("inline", "repro_executor_inline", bool),
+    ("payload_bytes", "repro_executor_payload_bytes", int),
+    ("index_build_s", "repro_executor_index_build_seconds", float),
+    ("index_reuse_s", "repro_executor_index_reuse_seconds", float),
+    ("merge_s", "repro_executor_merge_seconds", float),
+)
+
+
+def _fill_stats_from_registry(
+    stats: Dict[str, object], reg: "_obs_metrics.MetricsRegistry"
+) -> None:
+    """Populate the legacy ``stats=`` dict from executor registry gauges.
+
+    Key presence matches the historical behaviour: a key appears only when
+    the corresponding series was recorded for this call (``merge_s`` only
+    on an SSER merge, ``index_reuse_s`` only on a cache rehydration, …).
+    """
+    for key, series, cast in _STATS_SERIES:
+        value = reg.value(series)
+        if value is not None:
+            stats[key] = cast(value)
+
+
+def _check_parallel_impl(
+    history: Optional[History],
+    level: IsolationLevel,
+    *,
+    workers: int,
+    strict_mt: bool,
+    transitive_ww: bool,
+    index: Optional[HistoryIndex],
+    max_shards: Optional[int],
+    dense: bool,
+    columns: Optional[ColumnarHistory],
+    source_path: Optional[Union[str, Path]],
+    reuse_index: bool,
+) -> CheckResult:
     if level not in GRAPH_CHECKED_LEVELS:
         raise ValueError(f"unsupported isolation level for sharded checking: {level}")
     if workers < 1:
@@ -229,6 +301,7 @@ def check_parallel(
         raise ValueError("either a history or its columns must be provided")
     if level is IsolationLevel.LINEARIZABILITY:
         level = IsolationLevel.STRICT_SERIALIZABILITY
+    obs.inc("repro_executor_checks_total")
 
     requested = workers
     cpu = _cpu_count()
@@ -246,46 +319,49 @@ def check_parallel(
         index_started = time.perf_counter()
         reused = False
         if history is not None:
-            index = HistoryIndex.build(history)
+            with obs.phase("index_build"):
+                index = HistoryIndex.build(history)
         else:
             assert columns is not None
             if reuse_index and source_path is not None:
                 index = _load_or_build_cached_index(source_path, columns)
                 reused = index is not None
             if index is None:
-                index = HistoryIndex.from_columns(columns)
+                with obs.phase("index_build"):
+                    index = HistoryIndex.from_columns(columns)
                 if reuse_index and source_path is not None:
                     _store_cached_index(source_path, index)
-        if stats is not None:
-            key = "index_reuse_s" if reused else "index_build_s"
-            stats[key] = time.perf_counter() - index_started
-    elif stats is not None:
-        stats["index_build_s"] = 0.0
+        obs.set_gauge(
+            "repro_executor_index_reuse_seconds"
+            if reused
+            else "repro_executor_index_build_seconds",
+            time.perf_counter() - index_started,
+        )
+    else:
+        obs.set_gauge("repro_executor_index_build_seconds", 0.0)
 
     if strict_mt:
         raise_if_not_mt(index)
 
-    if history is not None:
-        shards = partition_history(history, index=index, max_shards=max_shards)
-    else:
-        assert columns is not None
-        shards = partition_columns(
-            columns,
-            index=index,
-            max_shards=max_shards,
-            materialize=source_path is None,
-        )
+    with obs.phase("partition"):
+        if history is not None:
+            shards = partition_history(history, index=index, max_shards=max_shards)
+        else:
+            assert columns is not None
+            shards = partition_columns(
+                columns,
+                index=index,
+                max_shards=max_shards,
+                materialize=source_path is None,
+            )
     effective = workers
     inline_small = effective > 1 and index.num_committed < _MIN_POOL_TXNS
     if inline_small:
         effective = 1
-    if stats is not None:
-        stats.update(
-            workers_requested=requested,
-            workers_effective=effective,
-            shards=len(shards),
-            inline=effective <= 1,
-        )
+    obs.set_gauge("repro_executor_workers_requested", requested)
+    obs.set_gauge("repro_executor_workers_effective", effective)
+    obs.set_gauge("repro_executor_shards", len(shards))
+    obs.set_gauge("repro_executor_inline", 1 if effective <= 1 else 0)
     if len(shards) == 1:
         # Fully connected history: the serial pipeline on the shared index
         # is already optimal (and strict validation has been done above).
@@ -295,14 +371,27 @@ def check_parallel(
             return check_ser(history, transitive_ww=transitive_ww, index=index, dense=dense)
         return check_sser(history, transitive_ww=transitive_ww, index=index, dense=dense)
 
+    with_metrics = obs.enabled()
     payloads: List[_Payload] = [
-        make_payload(shard, level, transitive_ww, dense, source_path=source_path)
+        make_payload(
+            shard,
+            level,
+            transitive_ww,
+            dense,
+            source_path=source_path,
+            with_metrics=with_metrics,
+        )
         for shard in shards
     ]
-    if stats is not None:
-        stats["payload_bytes"] = sum(len(pickle.dumps(p)) for p in payloads)
-    outcomes = _execute(payloads, effective)
+    if with_metrics:
+        payload_bytes = sum(len(pickle.dumps(p)) for p in payloads)
+        obs.set_gauge("repro_executor_payload_bytes", payload_bytes)
+        obs.inc("repro_executor_payload_bytes_total", payload_bytes)
+    with obs.phase("shard_checks"):
+        outcomes = _execute(payloads, effective)
     outcomes.sort(key=lambda o: o.shard_index)
+    for outcome in outcomes:
+        obs.merge(outcome.metrics)
 
     elapsed = time.perf_counter() - started
     if level is IsolationLevel.STRICT_SERIALIZABILITY:
@@ -314,19 +403,21 @@ def check_parallel(
             pre.num_transactions = index.num_committed
             return pre
         merge_started = time.perf_counter()
-        if dense:
-            wires = [o.csr for o in outcomes if o.csr is not None]
-            wires = _reduce_wires(wires, effective)
-            result = finalize_sser_wires(
-                wires,
-                index,
-                num_transactions=sum(o.num_transactions for o in outcomes),
-                elapsed_seconds=elapsed,
-            )
-        else:
-            result = merge_sser_graphs(outcomes, index, elapsed_seconds=elapsed)
-        if stats is not None:
-            stats["merge_s"] = time.perf_counter() - merge_started
+        with obs.phase("merge"):
+            if dense:
+                wires = [o.csr for o in outcomes if o.csr is not None]
+                wires = _reduce_wires(wires, effective)
+                result = finalize_sser_wires(
+                    wires,
+                    index,
+                    num_transactions=sum(o.num_transactions for o in outcomes),
+                    elapsed_seconds=elapsed,
+                )
+            else:
+                result = merge_sser_graphs(outcomes, index, elapsed_seconds=elapsed)
+        obs.set_gauge(
+            "repro_executor_merge_seconds", time.perf_counter() - merge_started
+        )
     else:
         result = merge_shard_results(level, outcomes, elapsed_seconds=elapsed)
     result.elapsed_seconds = time.perf_counter() - started
@@ -340,6 +431,7 @@ def make_payload(
     dense: bool,
     *,
     source_path: Optional[Union[str, Path]] = None,
+    with_metrics: bool = False,
 ) -> _Payload:
     """The process-boundary task for one shard: columnar buffers only.
 
@@ -350,6 +442,12 @@ def make_payload(
     payload degenerates to a ``("segref", path, rows, keys, token)``
     reference: the worker memory-maps the segment and slices the rows
     itself, with ``token`` keying its warm segment/index caches.
+
+    ``with_metrics=True`` appends a sixth payload element asking the worker
+    to record its shard work (txns checked, cache hits, index builds) into
+    a fresh registry and attach the snapshot to the returned outcome; the
+    parent folds the snapshots into its own registry.  Five-element
+    payloads stay valid — telemetry stays off in the worker.
     """
     if source_path is not None and shard.rows is not None:
         rows = shard.rows if isinstance(shard.rows, array) else array("q", shard.rows)
@@ -360,12 +458,14 @@ def make_payload(
             list(shard.keys),
             segment_token(source_path),
         )
-        return (shard.index, ref, level, transitive_ww, dense)
-    columns = shard.columns
-    if columns is None:
-        assert shard.history is not None
-        columns = ColumnarHistory.from_history(shard.history)
-    return (shard.index, columns.to_wire(), level, transitive_ww, dense)
+        body: Tuple = (shard.index, ref, level, transitive_ww, dense)
+    else:
+        columns = shard.columns
+        if columns is None:
+            assert shard.history is not None
+            columns = ColumnarHistory.from_history(shard.history)
+        body = (shard.index, columns.to_wire(), level, transitive_ww, dense)
+    return body + (True,) if with_metrics else body
 
 
 # ----------------------------------------------------------------------
@@ -424,6 +524,10 @@ def _cache_put(cache: OrderedDict, key, value) -> None:
 def _mapped_segment(path: str, token: Tuple[int, int]) -> ColumnarHistory:
     key = (path, token)
     segment = _SEGMENT_CACHE.get(key)
+    obs.inc(
+        "repro_executor_segment_cache_total",
+        outcome="miss" if segment is None else "hit",
+    )
     if segment is None:
         segment = ColumnarHistory.load(path, mmap=True)
         _cache_put(_SEGMENT_CACHE, key, segment)
@@ -438,6 +542,10 @@ def _shard_columns_and_index(
         _, path, shard_rows, shard_keys, token = wire
         cache_key = (path, token, tuple(shard_rows), tuple(shard_keys))
         cached = _SHARD_INDEX_CACHE.get(cache_key)
+        obs.inc(
+            "repro_executor_shard_index_cache_total",
+            outcome="miss" if cached is None else "hit",
+        )
         if cached is not None:
             _SHARD_INDEX_CACHE.move_to_end(cache_key)
             return cached
@@ -453,9 +561,30 @@ def _shard_columns_and_index(
 
 
 def _run_shard(payload: _Payload) -> ShardOutcome:
-    """Check one shard; module-level so process pools can import it."""
-    shard_index, wire, level, transitive_ww, dense = payload
+    """Check one shard; module-level so process pools can import it.
+
+    Payloads carrying the ``with_metrics`` flag run under a fresh private
+    registry — never the process-global one, so an inline run cannot
+    double-count into the parent's — whose snapshot ships back on
+    ``ShardOutcome.metrics`` for the parent to fold in.
+    """
+    if len(payload) > 5 and payload[5]:
+        reg = _obs_metrics.MetricsRegistry()
+        parent = _obs_metrics.swap_active(reg)
+        try:
+            outcome = _run_shard_body(payload)
+            outcome.metrics = reg.snapshot()
+        finally:
+            _obs_metrics.swap_active(parent)
+        return outcome
+    return _run_shard_body(payload)
+
+
+def _run_shard_body(payload: _Payload) -> ShardOutcome:
+    shard_index, wire, level, transitive_ww, dense = payload[:5]
     _shard_columns, shard_idx_obj = _shard_columns_and_index(wire)
+    obs.inc("repro_executor_shard_checks_total")
+    obs.inc("repro_executor_shard_txns_total", shard_idx_obj.num_committed)
 
     if level is IsolationLevel.STRICT_SERIALIZABILITY:
         int_violations = shard_idx_obj.int_violations()
@@ -537,7 +666,9 @@ def _reduce_wires(wires: List[WireCSR], workers: int) -> List[WireCSR]:
     degenerate trees, inline execution) finalizes to byte-identical edge
     columns and labeled cycles.
     """
+    rounds = 0
     while len(wires) > 1:
+        rounds += 1
         pairs = [(wires[i], wires[i + 1]) for i in range(0, len(wires) - 1, 2)]
         tail = [wires[-1]] if len(wires) % 2 else []
         if workers > 1 and len(pairs) > 1 and not _POOL_BROKEN:
@@ -549,4 +680,5 @@ def _reduce_wires(wires: List[WireCSR], workers: int) -> List[WireCSR]:
         else:
             merged = [merge_csr_wires(a, b) for a, b in pairs]
         wires = merged + tail
+    obs.set_gauge("repro_executor_merge_rounds", rounds)
     return wires

@@ -70,6 +70,11 @@ class ShardOutcome:
     #: SSER only, dense path: the shard graph as compact CSR buffers — four
     #: raw ``array('i')`` byte strings instead of a pickled dict multigraph.
     csr: Optional[WireCSR] = None
+    #: Telemetry snapshot recorded while checking the shard (JSON-safe
+    #: numbers from ``MetricsRegistry.snapshot()``); ``None`` unless the
+    #: payload carried ``with_metrics``.  The parent folds these into its
+    #: registry — counters add, so any fold order yields the same totals.
+    metrics: Optional[Dict[str, object]] = None
 
 
 def merge_shard_results(

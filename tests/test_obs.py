@@ -1,0 +1,451 @@
+"""Tests for the telemetry subsystem (:mod:`repro.obs`).
+
+Covers the registry wire format (merge associativity, worker snapshot
+folding), the disabled-mode fast path (no allocation), the Prometheus
+textfile writer (atomic under a concurrent reader), the JSONL trace
+reader (torn-final-line tolerance), the ``stats=`` compatibility shim,
+``verify(report=True)``, and the CLI surfaces (``--metrics-file``,
+``--trace``, ``check -v``, and the checkpoint flush on an abnormal
+watch exit).
+"""
+
+import json
+import os
+import sys
+import threading
+import time
+
+import pytest
+
+from repro import MTChecker, IsolationLevel, obs
+from repro.cli import main
+from repro.core.anomalies import anomaly_history
+from repro.obs.metrics import MetricsRegistry, merge_snapshots
+from repro.parallel import check_parallel
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    """Telemetry is process-global state: never leak across tests."""
+    obs.disable()
+    obs.stop_trace()
+    yield
+    obs.disable()
+    obs.stop_trace()
+
+
+def _sample_registry(seed: int) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.inc("repro_executor_checks_total", seed)
+    reg.inc("repro_index_cache_requests_total", seed + 1, outcome="hit")
+    reg.set_gauge("repro_executor_shards", seed * 10)
+    reg.observe("repro_phase_seconds", 0.01 * seed, phase="index_build")
+    reg.observe("repro_phase_seconds", 3.0, phase="index_build")
+    return reg
+
+
+class TestRegistry:
+    def test_counters_gauges_histograms_roundtrip(self):
+        reg = _sample_registry(2)
+        assert reg.value("repro_executor_checks_total") == 2
+        assert reg.value("repro_index_cache_requests_total", outcome="hit") == 3
+        assert reg.value("repro_executor_shards") == 20
+        total, count = reg.histogram_stats("repro_phase_seconds", phase="index_build")
+        assert count == 2 and total == pytest.approx(3.02)
+
+    def test_merge_is_associative(self):
+        snaps = [_sample_registry(s).snapshot() for s in (1, 2, 3)]
+
+        left = MetricsRegistry()
+        left.merge(snaps[0])
+        left.merge(snaps[1])
+        right = MetricsRegistry()
+        right.merge(snaps[1])
+        right.merge(snaps[2])
+
+        ab_c = MetricsRegistry()
+        ab_c.merge(left.snapshot())
+        ab_c.merge(snaps[2])
+        a_bc = MetricsRegistry()
+        a_bc.merge(snaps[0])
+        a_bc.merge(right.snapshot())
+
+        assert ab_c.snapshot() == a_bc.snapshot()
+        # ... and equals the flat fold.
+        assert merge_snapshots(iter(snaps)) == ab_c.snapshot()
+
+    def test_merge_semantics(self):
+        reg = MetricsRegistry()
+        reg.inc("repro_executor_checks_total", 5)
+        reg.set_gauge("repro_executor_shards", 99)
+        reg.merge(_sample_registry(1).snapshot())
+        # Counters add; gauges are last-write-wins.
+        assert reg.value("repro_executor_checks_total") == 6
+        assert reg.value("repro_executor_shards") == 10
+
+    def test_merge_rejects_foreign_snapshots(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="metrics snapshot"):
+            reg.merge({"format": "somebody-elses-v9", "counters": {}})
+
+    def test_merge_rejects_mismatched_histogram_bounds(self):
+        a = MetricsRegistry()
+        a.observe("repro_phase_seconds", 0.1, phase="x")
+        b = MetricsRegistry()
+        b.observe("repro_phase_seconds", 0.1, buckets=(1.0, 2.0), phase="x")
+        a_snap = a.snapshot()
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            b.merge(a_snap)
+
+    def test_scoped_folds_into_parent(self):
+        parent = obs.enable(fresh=True)
+        with obs.scoped() as child:
+            obs.inc("repro_executor_checks_total")
+            assert obs.registry() is child
+        assert obs.registry() is parent
+        assert parent.value("repro_executor_checks_total") == 1
+
+
+class TestDisabledFastPath:
+    def test_disabled_recording_is_allocation_free(self):
+        assert not obs.enabled()
+        blocks = getattr(sys, "getallocatedblocks", None)
+        if blocks is None:
+            pytest.skip("sys.getallocatedblocks unavailable")
+
+        def hot_loop():
+            for _ in range(1000):
+                obs.inc("repro_collector_txns_total")
+                obs.set_gauge("repro_watch_epoch_lag", 3)
+                obs.observe("repro_phase_seconds", 0.1)
+                with obs.phase("ingest"):
+                    pass
+
+        hot_loop()  # warm caches (bytecode, method lookups)
+        before = blocks()
+        hot_loop()
+        delta = blocks() - before
+        assert delta < 50, f"disabled-mode telemetry allocated {delta} blocks"
+
+    def test_phase_returns_shared_null_context(self):
+        assert obs.phase("a") is obs.phase("b")
+
+
+class TestTextfile:
+    def test_render_exposes_whole_catalog_with_zero_fill(self):
+        text = obs.render(MetricsRegistry())
+        for family, (kind, _help) in obs.METRIC_CATALOG.items():
+            assert f"# TYPE {family} {kind}" in text
+        parsed = obs.parse_textfile(text)
+        assert parsed["repro_executor_checks_total"] == 0
+
+    def test_histogram_expansion(self):
+        reg = MetricsRegistry()
+        reg.observe("repro_phase_seconds", 0.01, phase="merge")
+        parsed = obs.parse_textfile(obs.render(reg))
+        assert parsed['repro_phase_seconds_count{phase="merge"}'] == 1
+        assert parsed['repro_phase_seconds_bucket{le="+Inf",phase="merge"}'] == 1
+        # Cumulative: every bucket at or above 0.025 saw the sample.
+        assert parsed['repro_phase_seconds_bucket{le="0.025",phase="merge"}'] == 1
+        assert parsed['repro_phase_seconds_bucket{le="0.001",phase="merge"}'] == 0
+
+    def test_atomic_rewrite_under_concurrent_reader(self, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        reg = MetricsRegistry()
+        obs.write_textfile(path, reg)
+        stop = threading.Event()
+        failures = []
+
+        def writer():
+            n = 0
+            while not stop.is_set():
+                reg.inc("repro_executor_checks_total")
+                reg.observe("repro_phase_seconds", 0.001, phase="x")
+                obs.write_textfile(path, reg)
+                n += 1
+            return n
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 1.0
+        reads = 0
+        try:
+            while time.monotonic() < deadline:
+                with open(path, encoding="utf-8") as fh:
+                    text = fh.read()
+                try:
+                    parsed = obs.parse_textfile(text)
+                except ValueError as exc:  # pragma: no cover - the failure mode
+                    failures.append(str(exc))
+                    break
+                # A torn write would lose the tail families.
+                if "repro_watch_heartbeats_total" not in parsed:
+                    failures.append("scrape saw a partial file")
+                    break
+                reads += 1
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+        assert not failures, failures[0]
+        assert reads > 0
+
+
+class TestTrace:
+    def test_spans_nest_and_parent_per_thread(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        writer = obs.TraceWriter(path)
+        with writer.span("outer"):
+            with writer.span("inner", detail=7):
+                pass
+        writer.close()
+        records = {r["name"]: r for r in obs.iter_trace(path)}
+        assert records["outer"]["parent"] is None
+        assert records["inner"]["parent"] == records["outer"]["id"]
+        assert records["inner"]["detail"] == 7
+        assert records["inner"]["dur"] >= 0
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        good = json.dumps({"name": "a", "id": 1, "parent": None, "ts": 0.0, "dur": 0.1})
+        path.write_text(good + "\n" + '{"name": "torn", "id"')
+        records = list(obs.iter_trace(str(path)))
+        assert [r["name"] for r in records] == ["a"]
+
+    def test_malformed_interior_line_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        good = json.dumps({"name": "a", "id": 1, "parent": None, "ts": 0.0, "dur": 0.1})
+        path.write_text("not json at all\n" + good + "\n")
+        with pytest.raises(ValueError, match="malformed trace record at line 1"):
+            list(obs.iter_trace(str(path)))
+
+    def test_error_field_recorded_on_exception(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        writer = obs.TraceWriter(path)
+        with pytest.raises(RuntimeError):
+            with writer.span("failing"):
+                raise RuntimeError("boom")
+        writer.close()
+        (record,) = obs.iter_trace(path)
+        assert record["error"] == "RuntimeError"
+
+
+class TestWorkerMetrics:
+    def _disjoint_history(self, shards=4, txns=6):
+        from repro.bench.suites import make_disjoint_history
+
+        return make_disjoint_history(
+            num_groups=shards, sessions_per_group=2, txns_per_session=txns,
+            keys_per_group=4,
+        )
+
+    def test_merged_registry_equals_sum_of_worker_snapshots(self):
+        history = self._disjoint_history()
+        committed = len(history.committed_transactions(include_initial=False))
+        with obs.scoped() as reg:
+            result = check_parallel(
+                history, IsolationLevel.SERIALIZABILITY, workers=4
+            )
+        assert result.satisfied
+        shards = int(reg.value("repro_executor_shards"))
+        assert shards > 1
+        # Every shard shipped a snapshot and the parent folded them all:
+        # the merged counters are exactly the sums over the workers.
+        assert reg.value("repro_executor_shard_checks_total") == shards
+        assert reg.value("repro_executor_shard_txns_total") == committed
+
+    def test_run_shard_ships_snapshot_only_when_asked(self):
+        from repro.core.index import HistoryIndex
+        from repro.parallel.executor import make_payload, _run_shard
+        from repro.parallel.partition import partition_history
+
+        history = self._disjoint_history(shards=2)
+        shards = partition_history(history, index=HistoryIndex.build(history))
+        plain = _run_shard(
+            make_payload(shards[0], IsolationLevel.SERIALIZABILITY, False, True)
+        )
+        assert plain.metrics is None
+        shipped = [
+            _run_shard(
+                make_payload(
+                    shard, IsolationLevel.SERIALIZABILITY, False, True,
+                    with_metrics=True,
+                )
+            )
+            for shard in shards
+        ]
+        merged = MetricsRegistry()
+        for outcome in shipped:
+            assert outcome.metrics is not None
+            merged.merge(outcome.metrics)
+        assert merged.value("repro_executor_shard_checks_total") == len(shards)
+        # Shipping metrics must not leave a registry active in the worker.
+        assert not obs.enabled()
+
+    def test_stats_shim_matches_registry(self):
+        history = self._disjoint_history()
+        stats = {}
+        with obs.scoped() as reg:
+            check_parallel(
+                history, IsolationLevel.SERIALIZABILITY, workers=2, stats=stats
+            )
+        assert stats["workers_requested"] == 2
+        assert stats["shards"] == int(reg.value("repro_executor_shards"))
+        assert stats["inline"] == bool(reg.value("repro_executor_inline"))
+        assert stats["payload_bytes"] == int(reg.value("repro_executor_payload_bytes"))
+        assert stats["index_build_s"] == reg.value("repro_executor_index_build_seconds")
+
+    def test_stats_shim_works_without_active_registry(self):
+        history = self._disjoint_history(shards=2)
+        stats = {}
+        check_parallel(history, IsolationLevel.SERIALIZABILITY, workers=1, stats=stats)
+        assert not obs.enabled()
+        assert stats["workers_effective"] == 1
+        assert "merge_s" not in stats  # SER: no SSER merge ran
+
+
+class TestVerifyReport:
+    def test_report_wraps_result_and_phases(self):
+        report = MTChecker().verify(
+            anomaly_history("LostUpdate"),
+            IsolationLevel.SNAPSHOT_ISOLATION,
+            report=True,
+        )
+        assert isinstance(report, obs.VerifyReport)
+        assert not report.satisfied and not report
+        assert report.level is IsolationLevel.SNAPSHOT_ISOLATION
+        phases = report.phases()
+        assert "index_build" in phases
+        text = report.format()
+        assert "VIOLATED" in text and "phases:" in text
+
+    def test_report_false_returns_plain_result(self):
+        result = MTChecker().verify(
+            anomaly_history("LostUpdate"), IsolationLevel.SNAPSHOT_ISOLATION
+        )
+        assert not isinstance(result, obs.VerifyReport)
+
+    def test_report_leaves_telemetry_disabled(self):
+        MTChecker().verify(
+            anomaly_history("WriteSkew"), IsolationLevel.SERIALIZABILITY, report=True
+        )
+        assert not obs.enabled()
+
+
+class TestCLISurfaces:
+    def _generate_epochs(self, path):
+        return main(
+            ["generate", "--isolation", "si", "--sessions", "4", "--txns", "20",
+             "--objects", "8", "--epoch-txns", "16", "--output", str(path)]
+        )
+
+    def test_watch_metrics_file_scrape(self, tmp_path, capsys):
+        path = tmp_path / "h.epochs"
+        assert self._generate_epochs(path) == 0
+        metrics = tmp_path / "metrics.prom"
+        code = main(
+            ["watch", "--once", "--level", "si", "--metrics-file", str(metrics),
+             "--metrics-every", "0", str(path)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "[watch]" in captured.err and "verdict=ok" in captured.err
+        parsed = obs.parse_textfile(metrics.read_text())
+        # The scrape exposes the instrumented families end to end...
+        assert parsed["repro_checker_txns_ingested"] > 0
+        assert parsed["repro_epochlog_epochs_loaded_total"] > 0
+        assert parsed["repro_watch_heartbeats_total"] > 0
+        assert parsed["repro_executor_checks_total"] == 0  # zero-filled catalog
+        assert "repro_collector_txns_total" in obs.render(MetricsRegistry())
+        # ...and the follower fully drained the log.
+        assert parsed["repro_watch_epoch_lag"] == 0
+        assert not obs.enabled()
+
+    def test_watch_jsonl_metrics_file(self, tmp_path, capsys):
+        path = tmp_path / "h.jsonl"
+        assert main(
+            ["generate", "--isolation", "si", "--sessions", "2", "--txns", "10",
+             "--objects", "6", "--output", str(path)]
+        ) == 0
+        metrics = tmp_path / "metrics.prom"
+        code = main(
+            ["watch", "--once", "--level", "si", "--metrics-file", str(metrics),
+             str(path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        parsed = obs.parse_textfile(metrics.read_text())
+        assert parsed["repro_watch_txns_ingested"] > 0
+        assert parsed["repro_watch_epoch_lag"] == 0
+        assert not obs.enabled()
+
+    def test_watch_flushes_checkpoint_on_regressed_log(self, tmp_path, capsys):
+        path = tmp_path / "h.epochs"
+        assert self._generate_epochs(path) == 0
+        capsys.readouterr()
+        segs = sorted(path.glob("epoch-*.seg"))
+        assert len(segs) > 1
+
+        # Regress the log while the follower sleeps between polls: the next
+        # refresh() raises, and the fix flushes the verified prefix first.
+        killer = threading.Timer(0.3, lambda: segs[-1].unlink())
+        killer.start()
+        try:
+            code = main(
+                ["watch", "--level", "si", "--interval", "0.05",
+                 "--max-seconds", "30", "--checkpoint-every", "100", str(path)]
+            )
+        finally:
+            killer.cancel()
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "regressed" in out
+        assert "flushed final checkpoint" in out
+        assert sorted(path.glob("checkpoint-*.ckpt"))
+
+    def test_check_verbose_prints_phase_report(self, tmp_path, capsys):
+        path = tmp_path / "h.json"
+        assert main(
+            ["generate", "--isolation", "si", "--sessions", "3", "--txns", "15",
+             "--objects", "8", "--output", str(path)]
+        ) == 0
+        assert main(["check", "--level", "si", "-v", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "SATISFIED" in out and "phases:" in out and "index_build" in out
+
+    def test_check_trace_writes_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "h.json"
+        assert main(
+            ["generate", "--isolation", "si", "--sessions", "3", "--txns", "15",
+             "--objects", "8", "--output", str(path)]
+        ) == 0
+        trace = tmp_path / "trace.jsonl"
+        assert main(["check", "--level", "ser", "--trace", str(trace), str(path)]) == 0
+        capsys.readouterr()
+        records = list(obs.iter_trace(str(trace)))
+        names = [r["name"] for r in records]
+        assert "check" in names and "index_build" in names
+        root = next(r for r in records if r["name"] == "check")
+        assert root["parent"] is None
+        assert all(
+            r["parent"] == root["id"] for r in records if r["name"] != "check"
+        )
+        assert not obs.tracing()
+
+
+class TestBenchEnvStamp:
+    def test_environment_metadata_fields(self):
+        from repro.bench.env import environment_metadata
+
+        meta = environment_metadata()
+        assert meta["cpu_count"] >= 1
+        assert meta["python_version"]
+        assert meta["platform"]
+
+    def test_written_benchmarks_are_stamped(self, tmp_path):
+        from repro.bench import write_benchmark_json
+
+        path = tmp_path / "BENCH_x.json"
+        write_benchmark_json({"suite": "x"}, str(path))
+        payload = json.loads(path.read_text())
+        assert payload["suite"] == "x"
+        assert payload["env"]["python_version"]
