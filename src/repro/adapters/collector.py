@@ -39,8 +39,8 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Set
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
 
 from .. import obs
 from ..core.model import (
@@ -54,6 +54,8 @@ from ..core.model import (
     write,
 )
 from ..db.errors import TransactionAborted
+from ..resilience import RetryPolicy
+from ..resilience.failpoints import fail_point
 from ..storage.clock import LogicalClock
 from ..workloads.runner import RunStats
 from ..workloads.spec import TransactionSpec, Workload
@@ -90,6 +92,27 @@ class CollectionResult:
     history: History
     stats: RunStats
     adapter_name: str = ""
+    #: Transactions whose outcome was never learned: the adapter hung past
+    #: ``txn_deadline`` and the session was abandoned with the attempt
+    #: recorded as :attr:`TransactionStatus.UNKNOWN`.
+    unknown: int = 0
+
+
+@dataclass
+class _InFlightTxn:
+    """What a session thread has published about its current attempt.
+
+    The deadline monitor in :meth:`Collector.collect` reads these to
+    build the ``UNKNOWN`` record for a hung transaction; ``operations``
+    is the live list the worker appends to (snapshot-copied under the
+    record lock when abandoning).
+    """
+
+    txn_id: int
+    session_id: int
+    start_ts: float
+    started_mono: float
+    operations: List[Operation] = field(default_factory=list)
 
 
 class Collector:
@@ -110,6 +133,18 @@ class Collector:
         setup_keys: pre-install the workload's keys via ``adapter.setup``
             so the history's ``⊥T`` matches the database's initial state.
         initial_value: value installed for each pre-populated key.
+        retry_policy: backoff between retries of one aborted transaction
+            (its attempt cap tops up ``max_retries``).  The default backs
+            off 2ms → 50ms with decorrelated jitter — enough to break the
+            lock-step re-collision of immediate retries without slowing a
+            healthy run measurably.
+        txn_deadline: seconds one transaction attempt may run before the
+            session is declared hung: the attempt is recorded with
+            :attr:`TransactionStatus.UNKNOWN` (its outcome genuinely is
+            unknown — the commit may still land) and :meth:`collect`
+            stops waiting on that thread, so a wedged adapter connection
+            can no longer hang the whole run.  ``None`` disables the
+            watchdog.
     """
 
     def __init__(
@@ -121,6 +156,8 @@ class Collector:
         on_transaction: Optional[Callable[[Transaction], object]] = None,
         setup_keys: bool = True,
         initial_value: int = 0,
+        retry_policy: Optional[RetryPolicy] = None,
+        txn_deadline: Optional[float] = None,
     ) -> None:
         self.adapter = adapter
         self.max_retries = max_retries
@@ -128,12 +165,21 @@ class Collector:
         self.on_transaction = on_transaction
         self.setup_keys = setup_keys
         self.initial_value = initial_value
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=max_retries + 1,
+            base_delay=0.002,
+            max_delay=0.05,
+            seed=0,
+        )
+        self.txn_deadline = txn_deadline
         self._clock = ThreadSafeClock()
         self._id_lock = threading.Lock()
         self._record_lock = threading.Lock()
         self._next_txn_id = 1
         self._value_counter = 0
         self._issued_values: Set[int] = set()
+        self._in_flight: Dict[int, _InFlightTxn] = {}
+        self._abandoned: Set[int] = set()
 
     # ------------------------------------------------------------------
     def collect(self, workload: Workload) -> CollectionResult:
@@ -156,8 +202,11 @@ class Collector:
         ]
         for thread in threads:
             thread.start()
-        for thread in threads:
-            thread.join()
+        if self.txn_deadline is None:
+            for thread in threads:
+                thread.join()
+        else:
+            self._join_with_deadline(threads, session_logs)
         if errors:
             raise errors[0]
 
@@ -173,7 +222,68 @@ class Collector:
             history=history,
             stats=stats,
             adapter_name=self.adapter.capabilities().name,
+            unknown=len(self._abandoned),
         )
+
+    def _join_with_deadline(
+        self, threads: List[threading.Thread], session_logs: List[Session]
+    ) -> None:
+        """Wait for the session threads, abandoning any that hang.
+
+        A session whose current attempt has been in flight longer than
+        ``txn_deadline`` is *abandoned*: the attempt is recorded as
+        ``UNKNOWN`` from its published in-flight state and the thread is
+        dropped from the wait set (it is a daemon — a wedged adapter call
+        cannot be interrupted from outside, only outwaited or outlived),
+        so the run completes instead of blocking forever in ``join``.
+        """
+        poll = max(min(self.txn_deadline / 4.0, 0.05), 0.001)
+        live = dict(enumerate(threads))
+        while live:
+            for sid in list(live):
+                if not live[sid].is_alive():
+                    live[sid].join()
+                    del live[sid]
+            if not live:
+                return
+            now = time.monotonic()
+            with self._record_lock:
+                hung = [
+                    record
+                    for sid, record in self._in_flight.items()
+                    if sid in live
+                    and now - record.started_mono >= self.txn_deadline
+                ]
+            for record in hung:
+                self._abandon_session(record, session_logs[record.session_id])
+                live.pop(record.session_id, None)
+            time.sleep(poll)
+
+    def _abandon_session(self, record: _InFlightTxn, log: Session) -> None:
+        """Record a hung attempt as ``UNKNOWN`` and stop tracking its session.
+
+        ``UNKNOWN`` is the honest status: the commit may still land after
+        we stop waiting.  Checkers reason only about committed
+        transactions, so the record is conservative — it can hide a
+        violation the hung commit would have exposed, never invent one.
+        """
+        obs.inc("repro_resilience_deadline_exceeded_total", component="collector")
+        with self._record_lock:
+            if record.session_id in self._abandoned:
+                return
+            self._abandoned.add(record.session_id)
+            self._in_flight.pop(record.session_id, None)
+            txn = Transaction(
+                txn_id=record.txn_id,
+                operations=list(record.operations),
+                session_id=record.session_id,
+                status=TransactionStatus.UNKNOWN,
+                start_ts=record.start_ts,
+                finish_ts=self._clock.tick(),
+            )
+            log.transactions.append(txn)
+            if self.on_transaction is not None:
+                self.on_transaction(txn)
 
     # ------------------------------------------------------------------
     # Per-session worker
@@ -193,16 +303,33 @@ class Collector:
             return
         obs.gauge_add("repro_collector_sessions_in_flight", 1)
         try:
-            for spec in specs:
-                retries_left = self.max_retries
+            for spec_index, spec in enumerate(specs):
+                # Fresh, deterministic backoff schedule per transaction:
+                # contending sessions decorrelate instead of re-colliding
+                # in lock-step the way immediate retries did.
+                delays = self.retry_policy.delays(
+                    seed=session_id * 1_000_003 + spec_index
+                )
                 while True:
                     committed, retryable = self._attempt(session, session_id, spec, log, stats)
-                    if committed or not retryable or retries_left <= 0:
+                    if session_id in self._abandoned:
+                        # The run stopped waiting on this session (deadline
+                        # watchdog); go silent rather than mutate shared
+                        # state behind a completed collect().
+                        return
+                    if committed or not retryable:
                         break
-                    retries_left -= 1
+                    delay = next(delays, None)
+                    if delay is None:
+                        break
                     obs.inc("repro_collector_retries_total")
+                    obs.inc(
+                        "repro_resilience_backoff_seconds_total", delay
+                    )
                     with self._record_lock:
                         stats.retries += 1
+                    if delay > 0:
+                        time.sleep(delay)
         except BaseException as exc:  # noqa: BLE001 - reported to collect()
             errors.append(exc)
         finally:
@@ -216,31 +343,43 @@ class Collector:
         and — when it aborted — whether the engine marked the abort as
         worth retrying (permanent failures are recorded but not re-run).
         """
+        fail_point("collector.txn.attempt")
         start_ts = self._clock.tick()
         txn_id = self._allocate_txn_id()
         operations: List[Operation] = []
+        record = _InFlightTxn(
+            txn_id, session_id, start_ts, time.monotonic(), operations
+        )
+        if self.txn_deadline is not None:
+            with self._record_lock:
+                self._in_flight[session_id] = record
         retryable = True
         try:
-            session.begin()
-            for planned in spec.operations:
-                if planned.is_read:
-                    value = session.read(planned.key)
-                    # An absent object reads as the initial value ⊥T installed.
-                    operations.append(
-                        read(planned.key, value if value is not None else self.initial_value)
-                    )
-                else:
-                    value = self._next_value(session_id)
-                    session.write(planned.key, value)
-                    operations.append(write(planned.key, value))
-            session.commit()
-            status = TransactionStatus.COMMITTED
-        except TransactionAborted as exc:
-            session.abort()  # idempotent; most adapters already rolled back
-            status = TransactionStatus.ABORTED
-            retryable = getattr(exc, "retryable", True)
-            if retryable:
-                obs.inc("repro_collector_retryable_aborts_total")
+            try:
+                session.begin()
+                for planned in spec.operations:
+                    if planned.is_read:
+                        value = session.read(planned.key)
+                        # An absent object reads as the initial value ⊥T installed.
+                        operations.append(
+                            read(planned.key, value if value is not None else self.initial_value)
+                        )
+                    else:
+                        value = self._next_value(session_id)
+                        session.write(planned.key, value)
+                        operations.append(write(planned.key, value))
+                session.commit()
+                status = TransactionStatus.COMMITTED
+            except TransactionAborted as exc:
+                session.abort()  # idempotent; most adapters already rolled back
+                status = TransactionStatus.ABORTED
+                retryable = getattr(exc, "retryable", True)
+                if retryable:
+                    obs.inc("repro_collector_retryable_aborts_total")
+        finally:
+            if self.txn_deadline is not None:
+                with self._record_lock:
+                    self._in_flight.pop(session_id, None)
         self._record(
             txn_id, session_id, operations, status, start_ts, log, stats,
             num_ops=len(operations),
@@ -275,6 +414,11 @@ class Collector:
                 ),
             )
         with self._record_lock:
+            if session_id in self._abandoned:
+                # The deadline monitor already recorded this session's
+                # transaction as UNKNOWN and collect() may have returned;
+                # a late-finishing attempt must not mutate shared state.
+                return
             finish_ts = self._clock.tick()
             stats.operations += num_ops
             if status is TransactionStatus.COMMITTED:

@@ -33,6 +33,8 @@ import tempfile
 from typing import Iterable, Optional
 
 from ..db.errors import retryable_sqlite_abort
+from ..resilience import RetryPolicy
+from ..resilience.failpoints import FailpointError, fail_point
 from .base import (
     AdapterAborted,
     AdapterCapabilities,
@@ -79,7 +81,15 @@ class SQLiteSession(AdapterSession):
     def commit(self) -> None:
         self._require_txn("commit")
         try:
+            # The chaos hook: an armed ``sqlite.commit`` rule surfaces as a
+            # retryable abort below, exercising the collector's real
+            # backoff-and-retry path against a real engine.
+            fail_point("sqlite.commit")
             self._execute("COMMIT")
+        except FailpointError as exc:
+            self.abort()
+            self._in_txn = False
+            raise AdapterAborted(f"injected commit failure: {exc}") from exc
         except Exception:
             self.abort()
             raise
@@ -136,6 +146,7 @@ class SQLiteAdapter(DatabaseAdapter):
         mode: str = "immediate",
         wal: bool = False,
         busy_timeout_ms: int = 2_000,
+        busy_retry: Optional[RetryPolicy] = None,
     ) -> None:
         if mode not in _BEGIN_MODES:
             raise ValueError(f"mode must be one of {_BEGIN_MODES}, got {mode!r}")
@@ -149,6 +160,12 @@ class SQLiteAdapter(DatabaseAdapter):
         self.mode = mode
         self.wal = wal
         self.busy_timeout_ms = busy_timeout_ms
+        # Admin statements (schema, setup, teardown reads) run outside the
+        # recorded history, so a busy engine is retried here with backoff
+        # rather than surfacing to the workload as a spurious failure.
+        self.busy_retry = busy_retry or RetryPolicy(
+            max_attempts=4, base_delay=0.01, max_delay=0.25, seed=0
+        )
         self._admin(
             "CREATE TABLE IF NOT EXISTS kv (key TEXT PRIMARY KEY, value INTEGER NOT NULL)"
         )
@@ -189,7 +206,16 @@ class SQLiteAdapter(DatabaseAdapter):
     # ------------------------------------------------------------------
     def _admin(self, sql: str, params: tuple = (), *, many=None, fetch: bool = False):
         """Run one administrative statement on a fresh, promptly-closed
-        connection (the journal-mode pragma is applied here, once per file)."""
+        connection (the journal-mode pragma is applied here, once per file).
+        Busy/locked errors are retried with backoff (``busy_retry``)."""
+        return self.busy_retry.run(
+            lambda: self._admin_once(sql, params, many=many, fetch=fetch),
+            retry_on=sqlite3.OperationalError,
+            should_retry=lambda exc: retryable_sqlite_abort(exc) is not None,
+            component="sqlite_admin",
+        )
+
+    def _admin_once(self, sql: str, params: tuple, *, many, fetch: bool):
         conn = sqlite3.connect(self.path, timeout=self.busy_timeout_ms / 1000.0)
         try:
             journal = "WAL" if self.wal else "DELETE"

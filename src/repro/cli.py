@@ -209,6 +209,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="append structured JSONL span traces to PATH",
     )
+    watch.add_argument(
+        "--supervise",
+        action="store_true",
+        help="epoch logs only: restart the checker after faults (I/O "
+        "errors, broken pools), resuming from the latest durable "
+        "checkpoint, with bounded backed-off restarts",
+    )
+    watch.add_argument(
+        "--max-restarts",
+        type=int,
+        default=5,
+        metavar="N",
+        help="with --supervise: give up after N restarts (default: 5)",
+    )
 
     generate = subparsers.add_parser(
         "generate", help="generate an MT workload, execute it on the simulator, and save the history"
@@ -252,6 +266,14 @@ def build_parser() -> argparse.ArgumentParser:
     collect.add_argument("--workload", choices=["mt", "gt"], default="mt", help="mini- or general-transaction workload")
     collect.add_argument("--seed", type=int, default=0)
     collect.add_argument("--max-retries", type=int, default=3, help="retries per aborted transaction")
+    collect.add_argument(
+        "--txn-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abandon a session whose transaction attempt hangs longer "
+        "than SECONDS (recorded as UNKNOWN) instead of blocking the run",
+    )
     collect.add_argument(
         "--isolation", default="si", help="simulated adapter only: engine (si, serializable, s2pl, read-committed)"
     )
@@ -572,6 +594,17 @@ class _WatchTelemetry:
         finally:
             obs.disable()
 
+    def finish(self) -> None:
+        """Deactivate the registry (the watch run is over).
+
+        Split from :meth:`close` for supervised runs: one telemetry
+        surface spans every restart attempt (counters accumulate across
+        restarts, which is what makes ``repro_resilience_restarts_total``
+        meaningful), so per-attempt code forces a final :meth:`update`
+        and only the outermost dispatcher calls ``finish``.
+        """
+        obs.disable()
+
 
 def _flush_watch_checkpoint(log, session, args, next_epoch: int, ingested: int) -> None:
     """Flush a final checkpoint before an abnormal watch exit (best-effort).
@@ -607,10 +640,11 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             ".epochs/ epoch log to follow it durably)"
         )
         return 2
-    if args.checkpoint_every is not None or args.no_resume or args.retire:
+    if args.checkpoint_every is not None or args.no_resume or args.retire or args.supervise:
         print(
-            "error: --checkpoint-every/--no-resume/--retire apply to epoch "
-            "log directories; JSONL streams are followed without checkpoints"
+            "error: --checkpoint-every/--no-resume/--retire/--supervise "
+            "apply to epoch log directories; JSONL streams are followed "
+            "without checkpoints"
         )
         return 2
     session = MTChecker().session(_LEVELS[args.level], window=args.window)
@@ -684,6 +718,16 @@ def _cmd_watch(args: argparse.Namespace) -> int:
             telemetry.close(session, index, 0)
 
 
+class _WatchControl:
+    """Control surface for an unsupervised watch run: never stops early,
+    never degrades.  ``--supervise`` substitutes a
+    :class:`~repro.resilience.Supervisor`, whose ``stop_requested`` flips
+    on SIGTERM/SIGINT."""
+
+    stop_requested = False
+    degraded = False
+
+
 def _watch_epochlog(args: argparse.Namespace) -> int:
     """Follow a growing epoch log; resume from its newest valid checkpoint.
 
@@ -692,7 +736,8 @@ def _watch_epochlog(args: argparse.Namespace) -> int:
     once at exit), and — with ``--retire`` — delete epoch files once every
     row in them has aged out of the ``--window`` bound.  A verifier killed
     at any point restarts from the newest checkpoint and reaches the same
-    verdict as an uninterrupted run.
+    verdict as an uninterrupted run; ``--supervise`` performs that restart
+    in-process after a fault instead of waiting for the next invocation.
     """
     if args.retire and (args.window is None or not args.checkpoint_every):
         print(
@@ -700,6 +745,70 @@ def _watch_epochlog(args: argparse.Namespace) -> int:
             "--window (bounded verifier) and --checkpoint-every (resume point)"
         )
         return 2
+    # One telemetry surface for the whole run, spanning supervised
+    # restarts, so resilience counters accumulate instead of resetting.
+    telemetry = (
+        _WatchTelemetry(args.metrics_file, args.metrics_every)
+        if args.metrics_file
+        else None
+    )
+    try:
+        if args.supervise:
+            return _watch_epochlog_supervised(args, telemetry)
+        return _watch_epochlog_run(args, _WatchControl(), telemetry)
+    finally:
+        if telemetry is not None:
+            telemetry.finish()
+
+
+def _watch_epochlog_supervised(args: argparse.Namespace, telemetry) -> int:
+    """Run the epoch-log watch under a restart supervisor.
+
+    Each fault (I/O error, broken worker pool, torn log state — anything
+    the attempt raises) is absorbed: the attempt is abandoned and a fresh
+    one resumes from the latest durable checkpoint after a backed-off
+    delay, up to ``--max-restarts`` times.  Deterministic config errors
+    (bad flags, unrecoverable logs) exit via return codes, not
+    exceptions, so they are never retried.  SIGTERM/SIGINT request a
+    cooperative stop: the attempt flushes a final checkpoint at the next
+    epoch boundary and exits cleanly.
+    """
+    from .resilience import Supervisor
+
+    supervisor = Supervisor(name="watch", max_restarts=args.max_restarts)
+    supervisor.install_signal_handlers()
+    try:
+        while True:
+            try:
+                code = _watch_epochlog_run(args, supervisor, telemetry)
+            except Exception as exc:  # noqa: BLE001 - absorbing faults is the job
+                if not supervisor.fault(exc):
+                    print(
+                        f"error: watch gave up after {supervisor.restarts} "
+                        f"restart(s): {exc}"
+                    )
+                    return 2
+                degraded = " [degraded]" if supervisor.degraded else ""
+                print(
+                    f"watch fault: {exc}; restarting from the latest "
+                    f"checkpoint{degraded} "
+                    f"(restart {supervisor.restarts}/{args.max_restarts})",
+                    flush=True,
+                )
+                continue
+            supervisor.succeed()
+            return code
+    finally:
+        supervisor.restore_signal_handlers()
+
+
+def _watch_epochlog_run(args: argparse.Namespace, control, telemetry) -> int:
+    """One watch attempt over an epoch log (the body ``--supervise`` restarts).
+
+    ``control`` supplies cooperative stop: when ``stop_requested`` flips,
+    the loop exits at the next epoch boundary — never mid-epoch, so any
+    checkpoint it flushes describes a prefix of fully-ingested epochs.
+    """
     log = EpochLog.open(args.history)
     level = _LEVELS[args.level]
 
@@ -734,15 +843,10 @@ def _watch_epochlog(args: argparse.Namespace) -> int:
         )
         return 2
 
-    telemetry = (
-        _WatchTelemetry(args.metrics_file, args.metrics_every)
-        if args.metrics_file
-        else None
-    )
     started = time.monotonic()
     try:
         while True:
-            while next_epoch < len(log.epochs):
+            while next_epoch < len(log.epochs) and not control.stop_requested:
                 segment = log.load_epoch(next_epoch)
                 _ingest_epoch(session, segment, ingested)
                 ingested += segment.num_transactions - (1 if segment.has_initial else 0)
@@ -757,11 +861,13 @@ def _watch_epochlog(args: argparse.Namespace) -> int:
                     telemetry.update(
                         session, ingested, len(log.epochs) - next_epoch
                     )
-            if args.once:
+            if args.once or control.stop_requested:
                 break
             if args.max_seconds is not None and time.monotonic() - started >= args.max_seconds:
                 break
             time.sleep(args.interval)
+            if control.stop_requested:
+                break
             try:
                 log.refresh()
             except EpochLogError as exc:
@@ -772,6 +878,11 @@ def _watch_epochlog(args: argparse.Namespace) -> int:
                 # last cadence checkpoint was silently lost on exit 2).
                 _flush_watch_checkpoint(log, session, args, next_epoch, ingested)
                 return 2
+        if control.stop_requested:
+            print(
+                f"stop requested; exiting at epoch boundary {next_epoch}",
+                flush=True,
+            )
         if args.checkpoint_every and next_epoch > 0 and next_epoch % args.checkpoint_every != 0:
             # Final snapshot so the next invocation resumes at the tail even
             # when the epoch count is not a multiple of the cadence.
@@ -781,8 +892,11 @@ def _watch_epochlog(args: argparse.Namespace) -> int:
         return _finish_stream(session)
     finally:
         if telemetry is not None:
-            telemetry.close(
-                session, ingested, max(len(log.epochs) - next_epoch, 0)
+            telemetry.update(
+                session,
+                ingested,
+                max(len(log.epochs) - next_epoch, 0),
+                force=True,
             )
 
 
@@ -883,7 +997,11 @@ def _cmd_collect(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     with adapter:
-        result = Collector(adapter, max_retries=args.max_retries).collect(workload)
+        result = Collector(
+            adapter,
+            max_retries=args.max_retries,
+            txn_deadline=args.txn_deadline,
+        ).collect(workload)
     stats = result.stats
     print(
         f"collected {stats.committed} committed / {stats.aborted} aborted "
@@ -891,6 +1009,12 @@ def _cmd_collect(args: argparse.Namespace) -> int:
         f"concurrent sessions in {stats.wall_seconds:.2f}s "
         f"(abort rate {stats.abort_rate:.1%})"
     )
+    if result.unknown:
+        print(
+            f"warning: {result.unknown} session(s) abandoned after "
+            f"--txn-deadline {args.txn_deadline}s; their last transactions "
+            "are recorded with status UNKNOWN"
+        )
     if args.chaos is not None:
         fired = {name: count for name, count in adapter.injections.items() if count}
         print(f"injected chaos: {fired or 'none fired'}")

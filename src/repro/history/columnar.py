@@ -56,6 +56,7 @@ from typing import (
 )
 
 from .. import obs
+from ..resilience.failpoints import fail_point
 from ..core.model import (
     INITIAL_TXN_ID,
     STATUS_CODES,
@@ -484,6 +485,7 @@ class ColumnarHistory:
             fh.write(b"\n")
             for column in columns:
                 fh.write(column.tobytes())
+        fail_point("columnar.segment.write", path=path)
 
     @classmethod
     def load(
@@ -501,6 +503,7 @@ class ColumnarHistory:
         unchanged.  Gzip segments and foreign-byteorder files silently fall
         back to the copying loader.
         """
+        fail_point("columnar.segment.load", path=path)
         with open(path, "rb") as raw:
             if raw.read(2) == b"\x1f\x8b":  # gzip magic
                 raw.seek(0)

@@ -51,6 +51,7 @@ from typing import TYPE_CHECKING, Any, Dict, Iterable, Iterator, List, Optional,
 
 from .. import obs
 from ..core.model import INITIAL_TXN_ID, Transaction, make_initial_transaction
+from ..resilience.failpoints import fail_point
 from .columnar import ColumnarHistory
 
 if TYPE_CHECKING:
@@ -165,6 +166,30 @@ def _atomic_write(path: Path, data: bytes) -> None:
     os.replace(tmp, path)
 
 
+def _sweep_stale_tmp(directory: Path) -> int:
+    """Remove orphaned ``.*.tmp`` files left by a crash mid-seal.
+
+    Every atomic write in the log uses a ``.{name}.tmp`` staging file; a
+    writer killed between the write and the rename strands it.  Stranded
+    temp files are never part of the recoverable prefix (recovery only
+    reads published names), so the only question is hygiene: without this
+    sweep they accumulate forever.  Called from crash-recovery entry
+    points only (:meth:`EpochLog.open`, :class:`EpochLogWriter`), never
+    from :meth:`EpochLog.refresh` — a live follower must not race a
+    concurrent writer's in-flight staging file.
+    """
+    swept = 0
+    for tmp in directory.glob(".*.tmp"):
+        try:
+            tmp.unlink()
+            swept += 1
+        except OSError:
+            pass  # concurrent sweep or permissions: hygiene is best-effort
+    if swept:
+        obs.inc("repro_epochlog_tmp_swept_total", swept)
+    return swept
+
+
 def _file_crc_and_size(path: Path) -> Tuple[int, int]:
     crc = 0
     size = 0
@@ -230,6 +255,7 @@ def _write_manifest(directory: Path, entries: Iterable[EpochInfo]) -> None:
         "format": EPOCHLOG_FORMAT,
         "epochs": [entry.to_dict() for entry in entries],
     }
+    fail_point("epochlog.manifest.commit", path=directory / MANIFEST_NAME)
     _atomic_write(
         directory / MANIFEST_NAME,
         json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n",
@@ -323,6 +349,7 @@ class EpochLogWriter:
         self.compress = compress
         self._closed = False
         self.directory.mkdir(parents=True, exist_ok=True)
+        _sweep_stale_tmp(self.directory)
 
         self._entries = _recover_entries(
             self.directory, _read_retired(self.directory)
@@ -366,13 +393,16 @@ class EpochLogWriter:
         path = self.directory / name
         tmp = self.directory / f".{name}.tmp"
         self._buffer.save(tmp, compress=self.compress)
+        fail_point("epochlog.seal.tmp_write", path=tmp)
         fsync_started = time.perf_counter()
+        fail_point("epochlog.seal.fsync", path=tmp)
         with open(tmp, "rb") as fh:
             os.fsync(fh.fileno())
         obs.observe(
             "repro_epochlog_fsync_seconds", time.perf_counter() - fsync_started
         )
         crc, size = _file_crc_and_size(tmp)
+        fail_point("epochlog.seal.rename", path=tmp)
         os.replace(tmp, path)
         txn_ids = self._buffer.txn_ids
         entry = EpochInfo(
@@ -439,6 +469,9 @@ class EpochLog:
         path = Path(directory)
         if not path.is_dir():
             raise EpochLogError(f"{path}: not an epoch log directory")
+        # Crash recovery includes hygiene: a writer killed mid-seal strands
+        # its ``.*.tmp`` staging file, which no future seal will ever reuse.
+        _sweep_stale_tmp(path)
         retired = _read_retired(path)
         return cls(path, _recover_entries(path, retired), retired)
 
@@ -633,6 +666,7 @@ class EpochLog:
             separators=(",", ":"),
         ).encode("utf-8")
         path = self.directory / f"checkpoint-{epochs:0{_EPOCH_DIGITS}d}.ckpt"
+        fail_point("epochlog.checkpoint.save", path=path)
         _atomic_write(path, CHECKPOINT_MAGIC + header + b"\n" + payload)
         for stale in self._checkpoint_paths()[:-_CHECKPOINTS_KEPT]:
             try:

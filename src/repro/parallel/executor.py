@@ -54,13 +54,16 @@ import time
 import warnings
 from array import array
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import obs
 from ..obs import metrics as _obs_metrics
+from ..resilience import CircuitBreaker, Deadline, RetryPolicy
+from ..resilience import failpoints as _failpoints
+from ..resilience.failpoints import fail_point
 from ..core.checkers import (
     GRAPH_CHECKED_LEVELS,
     check_ser,
@@ -114,11 +117,33 @@ _MIN_POOL_TXNS = 4096
 # ----------------------------------------------------------------------
 _POOL: Optional[ProcessPoolExecutor] = None
 _POOL_WORKERS = 0
-_POOL_BROKEN = False
+#: Gates pool (re)creation after faults.  Replaces the old sticky
+#: ``_POOL_BROKEN`` flag: a transient fault (one worker SIGKILLed, a
+#: sandbox hiccup) no longer disables fan-out for the rest of the
+#: process — the breaker re-admits a probe after ``reset_after`` and the
+#: pool self-heals.  Persistent faults (spawning impossible) trip it
+#: open and execution degrades to inline, exactly as before.
+_POOL_BREAKER = CircuitBreaker(failure_threshold=3, reset_after=30.0, name="executor_pool")
+#: Backoff between pool-respawn attempts inside one ``check_parallel``
+#: call; after these attempts the remaining shards run inline.
+_POOL_RETRY = RetryPolicy(max_attempts=3, base_delay=0.05, max_delay=0.5, seed=0)
 
 
 def _cpu_count() -> int:
     return os.cpu_count() or 1
+
+
+def _pool_worker_init() -> None:
+    """Pool-worker initializer: re-arm failpoints from the environment.
+
+    Fork inherits the parent's armed plan but *not* fresh fire counters,
+    and spawn inherits nothing; re-arming from ``REPRO_FAILPOINTS`` here
+    gives every worker its own deterministic plan regardless of start
+    method — and lets chaos suites arm worker-only rules by exporting the
+    spec without arming the parent.
+    """
+    if not _failpoints.activate_from_env():
+        _failpoints.deactivate()
 
 
 def _get_pool(workers: int) -> ProcessPoolExecutor:
@@ -134,28 +159,38 @@ def _get_pool(workers: int) -> ProcessPoolExecutor:
         _POOL.shutdown(wait=True)
         _POOL = None
     if _POOL is None:
-        _POOL = ProcessPoolExecutor(max_workers=workers)
+        fail_point("executor.pool.spawn")
+        _POOL = ProcessPoolExecutor(
+            max_workers=workers, initializer=_pool_worker_init
+        )
         _POOL_WORKERS = workers
     return _POOL
 
 
 def shutdown_pool() -> None:
     """Tear down the persistent pool (tests, interpreter exit)."""
-    global _POOL, _POOL_WORKERS, _POOL_BROKEN
+    global _POOL, _POOL_WORKERS
     if _POOL is not None:
         _POOL.shutdown(wait=True)
     _POOL = None
     _POOL_WORKERS = 0
-    _POOL_BROKEN = False
+    _POOL_BREAKER.reset()
 
 
 atexit.register(shutdown_pool)
 
 
-def _mark_pool_broken() -> None:
-    """Remember that process spawning failed; stop retrying this process."""
-    global _POOL, _POOL_WORKERS, _POOL_BROKEN
-    _POOL_BROKEN = True
+def _pool_fault(kind: str) -> None:
+    """Record one pool fault and tear the (possibly poisoned) pool down.
+
+    The breaker decides policy: under :data:`_POOL_BREAKER`'s threshold
+    the next attempt simply respawns the pool; past it, :func:`_execute`
+    and :func:`_reduce_wires` degrade to inline execution until the
+    breaker's reset window re-admits a probe.
+    """
+    global _POOL, _POOL_WORKERS
+    obs.inc("repro_resilience_pool_faults_total", kind=kind)
+    _POOL_BREAKER.record_failure()
     if _POOL is not None:
         try:
             _POOL.shutdown(wait=False)
@@ -178,6 +213,7 @@ def check_parallel(
     columns: Optional[ColumnarHistory] = None,
     source_path: Optional[Union[str, Path]] = None,
     reuse_index: bool = False,
+    task_timeout: Optional[float] = None,
     stats: Optional[Dict[str, object]] = None,
 ) -> CheckResult:
     """Verify a history against ``level`` via the sharded pipeline.
@@ -220,6 +256,14 @@ def check_parallel(
             segment's content) and rehydrate it on repeated checks instead
             of rebuilding with ``from_columns``.  Requires ``columns`` and
             ``source_path``; ignored when an ``index`` is supplied.
+        task_timeout: per-dispatch deadline, seconds: when the pool has
+            not returned every outstanding shard within this budget the
+            dispatch is considered hung (a stuck or killed worker), the
+            pool is torn down and respawned, and the unfinished shards are
+            re-submitted — bounded by the module retry policy — before
+            falling back to inline execution.  ``None`` (default) waits
+            indefinitely, as before.  Verdicts are identical on every
+            recovery path (shard checks are pure).
         stats: optional dict filled with scale-out metrics for this call:
             ``workers_requested`` / ``workers_effective``, ``shards``,
             ``inline``, ``index_build_s`` / ``index_reuse_s``,
@@ -243,6 +287,7 @@ def check_parallel(
             columns=columns,
             source_path=source_path,
             reuse_index=reuse_index,
+            task_timeout=task_timeout,
         )
         if stats is not None:
             reg = scoped_reg if scoped_reg is not None else obs.registry()
@@ -292,6 +337,7 @@ def _check_parallel_impl(
     columns: Optional[ColumnarHistory],
     source_path: Optional[Union[str, Path]],
     reuse_index: bool,
+    task_timeout: Optional[float] = None,
 ) -> CheckResult:
     if level not in GRAPH_CHECKED_LEVELS:
         raise ValueError(f"unsupported isolation level for sharded checking: {level}")
@@ -388,7 +434,7 @@ def _check_parallel_impl(
         obs.set_gauge("repro_executor_payload_bytes", payload_bytes)
         obs.inc("repro_executor_payload_bytes_total", payload_bytes)
     with obs.phase("shard_checks"):
-        outcomes = _execute(payloads, effective)
+        outcomes = _execute(payloads, effective, task_timeout=task_timeout)
     outcomes.sort(key=lambda o: o.shard_index)
     for outcome in outcomes:
         obs.merge(outcome.metrics)
@@ -576,11 +622,15 @@ def _run_shard(payload: _Payload) -> ShardOutcome:
             outcome.metrics = reg.snapshot()
         finally:
             _obs_metrics.swap_active(parent)
+        fail_point("executor.wire.return")
         return outcome
-    return _run_shard_body(payload)
+    outcome = _run_shard_body(payload)
+    fail_point("executor.wire.return")
+    return outcome
 
 
 def _run_shard_body(payload: _Payload) -> ShardOutcome:
+    fail_point("executor.shard.task")
     shard_index, wire, level, transitive_ww, dense = payload[:5]
     _shard_columns, shard_idx_obj = _shard_columns_and_index(wire)
     obs.inc("repro_executor_shard_checks_total")
@@ -642,17 +692,83 @@ def _merge_pair(pair: Tuple[WireCSR, WireCSR]) -> WireCSR:
     return merge_csr_wires(pair[0], pair[1])
 
 
-def _execute(payloads: List[_Payload], workers: int) -> List[ShardOutcome]:
-    """Fan the shard checks out, falling back to inline execution."""
-    if workers <= 1 or len(payloads) <= 1 or _POOL_BROKEN:
-        return [_run_shard(p) for p in payloads]
-    try:
-        return list(_get_pool(workers).map(_run_shard, payloads))
-    except (OSError, BrokenProcessPool):
-        # Process spawning unavailable (sandbox / resource limits): the
-        # sharded pipeline still runs — just on this process.
-        _mark_pool_broken()
-        return [_run_shard(p) for p in payloads]
+def _execute(
+    payloads: List[_Payload],
+    workers: int,
+    *,
+    task_timeout: Optional[float] = None,
+) -> List[ShardOutcome]:
+    """Fan the shard checks out; recover from pool faults; finish inline.
+
+    The recovery ladder, each rung bounded:
+
+    1. submit all unfinished shards to the pool, collecting results as
+       they complete (a fault in one shard does not discard the others);
+    2. on a broken pool, a spawn failure, or a ``task_timeout`` expiry,
+       tear the pool down (:func:`_pool_fault`), back off per
+       :data:`_POOL_RETRY`, respawn, and resubmit only the unfinished
+       shards — unless :data:`_POOL_BREAKER` has opened;
+    3. whatever remains after the retry budget runs inline on this
+       process.  Shard checks are pure, so every path yields identical
+       outcomes.
+    """
+    results: Dict[int, ShardOutcome] = {}
+    pending = list(range(len(payloads)))
+    if workers > 1 and len(payloads) > 1:
+        delays = _POOL_RETRY.delays()
+        while pending and _POOL_BREAKER.allow():
+            deadline = (
+                Deadline(task_timeout) if task_timeout is not None else None
+            )
+            try:
+                pool = _get_pool(workers)
+                futures = {
+                    pool.submit(_run_shard, payloads[i]): i for i in pending
+                }
+            except (OSError, BrokenProcessPool):
+                # Process spawning unavailable (sandbox / resource limits).
+                _pool_fault("spawn")
+                futures = {}
+            fault: Optional[str] = None
+            not_done = set(futures)
+            while not_done and fault is None:
+                done, not_done = wait(
+                    not_done,
+                    timeout=deadline.remaining() if deadline else None,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    obs.inc(
+                        "repro_resilience_deadline_exceeded_total",
+                        component="executor",
+                    )
+                    for future in not_done:
+                        future.cancel()
+                    fault = "timeout"
+                    break
+                for future in done:
+                    try:
+                        results[futures[future]] = future.result()
+                    except (OSError, BrokenProcessPool):
+                        # A dead worker poisons every sibling future; the
+                        # results already collected stay good.
+                        fault = "broken"
+                        break
+            pending = [i for i in range(len(payloads)) if i not in results]
+            if not pending:
+                _POOL_BREAKER.record_success()
+                return [results[i] for i in range(len(payloads))]
+            if fault is not None:
+                _pool_fault(fault)
+            delay = next(delays, None)
+            if delay is None:
+                break
+            obs.inc("repro_resilience_retries_total", component="executor")
+            time.sleep(delay)
+    # Inline completion: the sharded pipeline still runs — on this process.
+    for i in pending:
+        results[i] = _run_shard(payloads[i])
+    return [results[i] for i in range(len(payloads))]
 
 
 def _reduce_wires(wires: List[WireCSR], workers: int) -> List[WireCSR]:
@@ -671,11 +787,12 @@ def _reduce_wires(wires: List[WireCSR], workers: int) -> List[WireCSR]:
         rounds += 1
         pairs = [(wires[i], wires[i + 1]) for i in range(0, len(wires) - 1, 2)]
         tail = [wires[-1]] if len(wires) % 2 else []
-        if workers > 1 and len(pairs) > 1 and not _POOL_BROKEN:
+        if workers > 1 and len(pairs) > 1 and _POOL_BREAKER.allow():
             try:
                 merged = list(_get_pool(workers).map(_merge_pair, pairs))
+                _POOL_BREAKER.record_success()
             except (OSError, BrokenProcessPool):
-                _mark_pool_broken()
+                _pool_fault("merge")
                 merged = [merge_csr_wires(a, b) for a, b in pairs]
         else:
             merged = [merge_csr_wires(a, b) for a, b in pairs]

@@ -1,0 +1,31 @@
+"""Resilience layer: failpoints, retry/backoff policies, supervision.
+
+Three cooperating pieces, each usable alone:
+
+* :mod:`repro.resilience.failpoints` — deterministic fault injection at
+  registered IO/IPC boundaries (``REPRO_FAILPOINTS``-driven chaos);
+* :mod:`repro.resilience.policy` — :class:`RetryPolicy`,
+  :class:`Deadline`, and :class:`CircuitBreaker`, the shared
+  failure-handling arithmetic of the collector, executor, and adapters;
+* :mod:`repro.resilience.supervisor` — the bounded restart loop behind
+  ``repro watch --supervise``.
+"""
+
+from .failpoints import (
+    FAILPOINT_SITES,
+    FailpointError,
+    fail_point,
+)
+from .policy import CircuitBreaker, Deadline, DeadlineExceeded, RetryPolicy
+from .supervisor import Supervisor
+
+__all__ = [
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
+    "FAILPOINT_SITES",
+    "FailpointError",
+    "RetryPolicy",
+    "Supervisor",
+    "fail_point",
+]

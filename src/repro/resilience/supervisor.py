@@ -1,0 +1,162 @@
+"""A bounded, backed-off restart loop for long-running services.
+
+``repro watch --supervise`` wraps the follow loop in a
+:class:`Supervisor`: any checker / pool / epoch-log fault is recorded,
+a backoff from the restart :class:`~repro.resilience.policy.RetryPolicy`
+is slept, and the loop re-enters — resuming from the newest durable
+checkpoint, so a restart replays at most the tail since the last
+cadence snapshot.  The loop is *bounded*: when the restart budget is
+spent the last fault propagates instead of looping forever.
+
+Degradation is delegated to the supervisor's
+:class:`~repro.resilience.policy.CircuitBreaker`: rapid consecutive
+faults open it, and :attr:`Supervisor.degraded` turns ``True`` — the
+watch loop surfaces it (restart messages, the
+``repro_resilience_degraded`` gauge) so an operator sees a service that
+is technically up but limping.  Restarts always resume from the newest
+durable checkpoint: skipping resume would force a replay from epoch 0,
+which is impossible once ``--retire`` has GC'd old epochs.
+
+SIGTERM/SIGINT are converted into a cooperative stop flag
+(:meth:`install_signal_handlers`): the service checks
+:attr:`stop_requested` at its loop boundaries, flushes a final
+checkpoint, and exits with a verdict instead of dying mid-epoch.
+"""
+
+from __future__ import annotations
+
+import signal
+import time
+from typing import Callable, Iterator, Optional
+
+from .. import obs
+from .policy import CircuitBreaker, RetryPolicy
+
+__all__ = ["Supervisor"]
+
+
+class Supervisor:
+    """Restart bookkeeping for one supervised service loop.
+
+    Args:
+        name: ``component`` label on the ``repro_resilience_*`` series.
+        max_restarts: restart budget; ``fault()`` answers ``False`` (give
+            up) once it is spent.
+        policy: backoff between restarts; defaults to 0.2s → 5s
+            decorrelated jitter sized to ``max_restarts``.
+        breaker: trips :attr:`degraded` on rapid consecutive faults;
+            defaults to 3 failures / 30s reset.
+        sleep: injectable for tests.
+    """
+
+    def __init__(
+        self,
+        name: str = "watch",
+        *,
+        max_restarts: int = 5,
+        policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        self.name = name
+        self.max_restarts = max_restarts
+        self.policy = policy or RetryPolicy(
+            max_attempts=max_restarts + 1,
+            base_delay=0.2,
+            max_delay=5.0,
+            seed=0,
+        )
+        self.breaker = breaker or CircuitBreaker(
+            failure_threshold=3, reset_after=30.0, name=name
+        )
+        self.restarts = 0
+        self.last_fault: Optional[BaseException] = None
+        self.stop_requested = False
+        self._sleep = sleep
+        self._delays: Iterator[float] = self.policy.delays()
+        self._previous_handlers: dict = {}
+
+    # ------------------------------------------------------------------
+    # Fault accounting
+    # ------------------------------------------------------------------
+    def fault(self, exc: BaseException) -> bool:
+        """Record one fault; sleep the backoff and return ``True`` to restart.
+
+        Returns ``False`` when the restart budget is exhausted (caller
+        should surface ``exc``) or a stop was requested meanwhile.
+        """
+        self.last_fault = exc
+        self.breaker.record_failure()
+        if self.stop_requested:
+            return False
+        if self.restarts >= self.max_restarts:
+            return False
+        delay = next(self._delays, None)
+        if delay is None:
+            return False
+        self.restarts += 1
+        obs.inc("repro_resilience_restarts_total", component=self.name)
+        obs.set_gauge(
+            "repro_resilience_degraded",
+            1 if self.degraded else 0,
+            component=self.name,
+        )
+        self._sleep(delay)
+        return True
+
+    def succeed(self) -> None:
+        """The supervised body completed: close the breaker."""
+        self.breaker.record_success()
+        obs.set_gauge("repro_resilience_degraded", 0, component=self.name)
+
+    @property
+    def degraded(self) -> bool:
+        """Rapid consecutive faults tripped the breaker: shed optional work."""
+        return self.breaker.state != CircuitBreaker.CLOSED
+
+    # ------------------------------------------------------------------
+    # Generic restart loop
+    # ------------------------------------------------------------------
+    def run(self, body: Callable[["Supervisor"], object]):
+        """Run ``body(self)`` under supervision; return its result.
+
+        Any ``Exception`` from the body is passed through :meth:`fault`;
+        the body re-runs until it completes, the budget is spent (the
+        last fault re-raises), or a stop is requested mid-backoff.
+        """
+        while True:
+            try:
+                result = body(self)
+            except Exception as exc:  # noqa: BLE001 - the supervised boundary
+                if not self.fault(exc):
+                    raise
+                continue
+            self.succeed()
+            return result
+
+    # ------------------------------------------------------------------
+    # Signals
+    # ------------------------------------------------------------------
+    def request_stop(self, *_args: object) -> None:
+        """Ask the supervised loop to stop at its next boundary check."""
+        self.stop_requested = True
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to :meth:`request_stop` (main thread only)."""
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._previous_handlers[signum] = signal.signal(
+                    signum, self.request_stop
+                )
+            except (ValueError, OSError):  # non-main thread / unsupported
+                pass
+
+    def restore_signal_handlers(self) -> None:
+        for signum, handler in self._previous_handlers.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
+        self._previous_handlers.clear()

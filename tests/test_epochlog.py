@@ -252,12 +252,23 @@ class TestCrashRecovery:
         assert len(recovered) == len(log)
         assert recovered.epochs[-1].crc32 == log.epochs[-1].crc32
 
-    def test_leftover_temp_file_is_ignored(self, tmp_path, compress):
+    def test_leftover_temp_file_is_swept_on_open(self, tmp_path, compress):
         d, log = self._log_dir(tmp_path, compress)
         nxt = len(log)
-        (d / f".epoch-{nxt:05d}.seg.tmp").write_bytes(b"REPROSEG1\n{torn")
+        orphan = d / f".epoch-{nxt:05d}.seg.tmp"
+        orphan.write_bytes(b"REPROSEG1\n{torn")
         recovered = EpochLog.open(d)
         assert len(recovered) == len(log)
+        # The orphan is garbage from a crash mid-seal: open() deletes it so
+        # it can never be confused for live state or accumulate forever.
+        assert not orphan.exists()
+
+    def test_leftover_temp_file_is_swept_by_writer(self, tmp_path, compress):
+        d, log = self._log_dir(tmp_path, compress)
+        orphan = d / ".epoch-99999.seg.tmp"
+        orphan.write_bytes(b"stale")
+        EpochLogWriter(d, epoch_transactions=4, compress=compress)
+        assert not orphan.exists()
 
     def test_corrupt_epoch_fails_its_checksum_cleanly(self, tmp_path, compress):
         d, log = self._log_dir(tmp_path, compress)
