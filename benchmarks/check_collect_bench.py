@@ -1,0 +1,90 @@
+"""CI regression guard over ``BENCH_collect.json``.
+
+Fails (exit 1) when:
+
+* any row reports a threaded-vs-async verdict mismatch or an unsatisfied
+  verdict (``verdicts_equal`` / ``verdict`` must be ``true`` on every row
+  — the hardware-independent invariant, enforced unconditionally);
+* any row's async throughput falls below the threaded collector's
+  (``speedup`` under ``--min-speedup``, default 1.0 with a small noise
+  tolerance);
+* the run is a full (non-smoke) sweep and the best churn-regime speedup
+  at >= 1000 sessions falls below the headline floor (``--headline``,
+  default 3.0).  Smoke runs (CI-sized session counts) skip the headline
+  gate — 64-session fleets don't exercise the thread-spawn regime the
+  claim is about — but still enforce verdict equality and the >= 1x bar.
+
+Usage::
+
+    python benchmarks/check_collect_bench.py [BENCH_collect.json] \
+        [--min-speedup 1.0] [--headline 3.0]
+"""
+
+import argparse
+import json
+import sys
+
+#: Fractional tolerance on the per-row >=1x bar: wall-clock noise on a
+#: loaded CI runner must not fail a row that is within a whisker of parity.
+NOISE = 0.10
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("path", nargs="?", default="BENCH_collect.json")
+    parser.add_argument("--min-speedup", type=float, default=1.0)
+    parser.add_argument("--headline", type=float, default=3.0)
+    args = parser.parse_args(argv)
+
+    with open(args.path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    rows = [r for r in payload.get("rows", []) if r.get("kind") == "collect"]
+    if not rows:
+        print(f"error: {args.path} contains no collect rows")
+        return 1
+
+    failures = []
+    for row in rows:
+        label = f"{row.get('regime')} @ {row.get('sessions')} sessions"
+        if row.get("verdicts_equal") is not True:
+            failures.append(f"threaded vs async verdict mismatch on {label}")
+        if row.get("verdict") is not True:
+            failures.append(f"collected history not satisfied on {label}")
+        speedup = float(row.get("speedup", 0.0))
+        if speedup < args.min_speedup * (1.0 - NOISE):
+            failures.append(
+                f"async collector slower than threaded on {label}: "
+                f"{speedup}x < {args.min_speedup}x"
+            )
+
+    if not payload.get("smoke"):
+        churn = [
+            float(r["speedup"])
+            for r in rows
+            if r.get("regime") == "churn" and int(r.get("sessions", 0)) >= 1000
+        ]
+        best = max(churn, default=0.0)
+        if best < args.headline:
+            failures.append(
+                f"best churn speedup {best}x at >=1000 sessions is below "
+                f"the {args.headline}x headline floor"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    gate = (
+        "headline floor enforced"
+        if not payload.get("smoke")
+        else "headline floor skipped (smoke run)"
+    )
+    print(
+        f"ok: {len(rows)} collect rows all verdict-equal and >= "
+        f"{args.min_speedup}x; {gate}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,8 @@ from .core import (
     write,
 )
 from .adapters import (
+    AsyncCollectionResult,
+    AsyncCollector,
     ChaosAdapter,
     ChaosPlan,
     CollectionResult,
@@ -59,6 +61,7 @@ from .adapters import (
     SQLiteAdapter,
     collect_history,
     make_adapter,
+    make_async_adapter,
 )
 from .db import Database, DatabaseStats, FaultPlan, TransactionAborted
 from .history import (
@@ -82,6 +85,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AnomalyKind",
+    "AsyncCollectionResult",
+    "AsyncCollector",
     "CSRGraph",
     "ChaosAdapter",
     "ChaosPlan",
@@ -134,6 +139,7 @@ __all__ = [
     "is_mt_history",
     "load_history_segment",
     "make_adapter",
+    "make_async_adapter",
     "partition_columns",
     "partition_history",
     "read",

@@ -32,9 +32,26 @@ from .base import (
     DatabaseAdapter,
 )
 from .chaos import CHAOS_FAULTS, ChaosAdapter, ChaosPlan, ChaosSession
-from .collector import CollectionResult, Collector, ThreadSafeClock, collect_history
+from .collector import (
+    CollectionResult,
+    Collector,
+    CollectorBase,
+    ThreadSafeClock,
+    collect_history,
+)
 from .simulated import SimulatedAdapter, SimulatedSession
 from .sqlite import SQLiteAdapter, SQLiteSession
+from .aio import (
+    AsyncAdapterSession,
+    AsyncDatabaseAdapter,
+    AsyncSimulatedAdapter,
+    AsyncSimulatedSession,
+    BridgedAsyncAdapter,
+    BridgedAsyncSession,
+    ensure_async_adapter,
+    make_async_adapter,
+)
+from .acollector import AsyncCollectionResult, AsyncCollector
 
 __all__ = [
     "ADAPTER_NAMES",
@@ -43,12 +60,21 @@ __all__ = [
     "AdapterError",
     "AdapterSession",
     "AdapterStateError",
+    "AsyncAdapterSession",
+    "AsyncCollectionResult",
+    "AsyncCollector",
+    "AsyncDatabaseAdapter",
+    "AsyncSimulatedAdapter",
+    "AsyncSimulatedSession",
+    "BridgedAsyncAdapter",
+    "BridgedAsyncSession",
     "CHAOS_FAULTS",
     "ChaosAdapter",
     "ChaosPlan",
     "ChaosSession",
     "CollectionResult",
     "Collector",
+    "CollectorBase",
     "DatabaseAdapter",
     "SQLiteAdapter",
     "SQLiteSession",
@@ -56,7 +82,9 @@ __all__ = [
     "SimulatedSession",
     "ThreadSafeClock",
     "collect_history",
+    "ensure_async_adapter",
     "make_adapter",
+    "make_async_adapter",
 ]
 
 #: Adapter names resolvable by :func:`make_adapter` (and the CLI).

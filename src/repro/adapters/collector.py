@@ -61,7 +61,13 @@ from ..workloads.runner import RunStats
 from ..workloads.spec import TransactionSpec, Workload
 from .base import AdapterError, DatabaseAdapter
 
-__all__ = ["ThreadSafeClock", "Collector", "CollectionResult", "collect_history"]
+__all__ = [
+    "ThreadSafeClock",
+    "CollectorBase",
+    "Collector",
+    "CollectionResult",
+    "collect_history",
+]
 
 
 class ThreadSafeClock:
@@ -83,6 +89,121 @@ class ThreadSafeClock:
     def tick(self, amount: Optional[float] = None) -> float:
         with self._lock:
             return self._base.tick(amount)
+
+
+class CollectorBase:
+    """Recording contract shared by the threaded and async collectors.
+
+    One implementation of everything the checker's soundness rests on —
+    the shared monotonic clock, transaction-id allocation, the globally
+    unique write-value counter (Definition 9), the per-transaction
+    decorrelated retry schedule, and the abandoned-session bookkeeping
+    behind the deadline watchdogs — so the thread and coroutine front
+    ends cannot drift on the invariants.  Subclasses add only their
+    scheduling model: OS threads (:class:`Collector`) or coroutines
+    (:class:`~repro.adapters.acollector.AsyncCollector`).
+    """
+
+    def __init__(
+        self,
+        adapter,
+        *,
+        max_retries: int = 3,
+        record_aborted: bool = True,
+        on_transaction: Optional[Callable[[Transaction], object]] = None,
+        setup_keys: bool = True,
+        initial_value: int = 0,
+        retry_policy: Optional[RetryPolicy] = None,
+        txn_deadline: Optional[float] = None,
+    ) -> None:
+        self.adapter = adapter
+        self.max_retries = max_retries
+        self.record_aborted = record_aborted
+        self.on_transaction = on_transaction
+        self.setup_keys = setup_keys
+        self.initial_value = initial_value
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=max_retries + 1,
+            base_delay=0.002,
+            max_delay=0.05,
+            seed=0,
+        )
+        self.txn_deadline = txn_deadline
+        self._clock = ThreadSafeClock()
+        self._id_lock = threading.Lock()
+        self._record_lock = threading.Lock()
+        self._next_txn_id = 1
+        self._value_counter = 0
+        self._issued_values: Set[int] = set()
+        self._in_flight: Dict[int, object] = {}
+        self._abandoned: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Shared-state helpers
+    # ------------------------------------------------------------------
+    def _allocate_txn_id(self) -> int:
+        with self._id_lock:
+            return self._allocate_txn_id_unlocked()
+
+    def _allocate_txn_id_unlocked(self) -> int:
+        """Lock-free id allocation for single-threaded (event loop) use."""
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        return txn_id
+
+    def _next_value(self, session_id: int) -> int:
+        with self._id_lock:
+            return self._next_value_unlocked(session_id)
+
+    def _next_value_unlocked(self, session_id: int) -> int:
+        """Globally unique write values (client id + shared counter), with
+        the MT uniqueness invariant enforced rather than assumed.  The
+        lock-free variant exists for callers whose bookkeeping is confined
+        to one thread (the async collector's event loop)."""
+        self._value_counter += 1
+        value = session_id * 10_000_000 + self._value_counter
+        if value == self.initial_value:
+            # The pre-populated value already belongs to ⊥T; re-issuing
+            # it would break unique written values (session 0's values
+            # are the bare counter, so e.g. initial_value=7 collides
+            # with its 7th write — a timing-dependent FutureRead).
+            self._value_counter += 1
+            value = session_id * 10_000_000 + self._value_counter
+        if value in self._issued_values:
+            raise AdapterError(
+                f"unique-written-value invariant violated: {value} issued twice"
+            )
+        self._issued_values.add(value)
+        return value
+
+    def _retry_delays(self, session_id: int, spec_index: int):
+        """Fresh, deterministic backoff schedule per transaction:
+        contending sessions decorrelate instead of re-colliding in
+        lock-step the way immediate retries did."""
+        return self.retry_policy.delays(seed=session_id * 1_000_003 + spec_index)
+
+    def _mark_abandoned(self, session_id: int) -> bool:
+        """Claim a session's abandonment exactly once (deadline watchdogs).
+
+        Returns ``True`` when this caller wins the claim; the in-flight
+        record is dropped under the record lock so a late-finishing
+        attempt cannot double-record the session's transaction.
+        """
+        with self._record_lock:
+            if session_id in self._abandoned:
+                return False
+            self._abandoned.add(session_id)
+            self._in_flight.pop(session_id, None)
+            return True
+
+    @staticmethod
+    def _arrival_delay(traffic, session_id: int, txn_index: int) -> float:
+        """Seconds a session idles before its next transaction — the
+        workload's :class:`~repro.workloads.spec.TrafficShape` arrival
+        process (0 when the workload is unshaped)."""
+        if traffic is None:
+            return 0.0
+        return traffic.delay_before(session_id, txn_index)
 
 
 @dataclass
@@ -115,7 +236,7 @@ class _InFlightTxn:
     operations: List[Operation] = field(default_factory=list)
 
 
-class Collector:
+class Collector(CollectorBase):
     """Multi-threaded workload driver over a database adapter.
 
     One thread per workload session (a session is a serial stream of
@@ -147,39 +268,7 @@ class Collector:
             watchdog.
     """
 
-    def __init__(
-        self,
-        adapter: DatabaseAdapter,
-        *,
-        max_retries: int = 3,
-        record_aborted: bool = True,
-        on_transaction: Optional[Callable[[Transaction], object]] = None,
-        setup_keys: bool = True,
-        initial_value: int = 0,
-        retry_policy: Optional[RetryPolicy] = None,
-        txn_deadline: Optional[float] = None,
-    ) -> None:
-        self.adapter = adapter
-        self.max_retries = max_retries
-        self.record_aborted = record_aborted
-        self.on_transaction = on_transaction
-        self.setup_keys = setup_keys
-        self.initial_value = initial_value
-        self.retry_policy = retry_policy or RetryPolicy(
-            max_attempts=max_retries + 1,
-            base_delay=0.002,
-            max_delay=0.05,
-            seed=0,
-        )
-        self.txn_deadline = txn_deadline
-        self._clock = ThreadSafeClock()
-        self._id_lock = threading.Lock()
-        self._record_lock = threading.Lock()
-        self._next_txn_id = 1
-        self._value_counter = 0
-        self._issued_values: Set[int] = set()
-        self._in_flight: Dict[int, _InFlightTxn] = {}
-        self._abandoned: Set[int] = set()
+    adapter: DatabaseAdapter
 
     # ------------------------------------------------------------------
     def collect(self, workload: Workload) -> CollectionResult:
@@ -194,7 +283,7 @@ class Collector:
         threads = [
             threading.Thread(
                 target=self._run_session,
-                args=(sid, list(specs), session_logs[sid], stats, errors),
+                args=(sid, list(specs), session_logs[sid], stats, errors, workload.traffic),
                 name=f"collector-session-{sid}",
                 daemon=True,
             )
@@ -267,12 +356,10 @@ class Collector:
         transactions, so the record is conservative — it can hide a
         violation the hung commit would have exposed, never invent one.
         """
+        if not self._mark_abandoned(record.session_id):
+            return
         obs.inc("repro_resilience_deadline_exceeded_total", component="collector")
         with self._record_lock:
-            if record.session_id in self._abandoned:
-                return
-            self._abandoned.add(record.session_id)
-            self._in_flight.pop(record.session_id, None)
             txn = Transaction(
                 txn_id=record.txn_id,
                 operations=list(record.operations),
@@ -295,6 +382,7 @@ class Collector:
         log: Session,
         stats: RunStats,
         errors: List[BaseException],
+        traffic=None,
     ) -> None:
         try:
             session = self.adapter.session(session_id)
@@ -304,12 +392,10 @@ class Collector:
         obs.gauge_add("repro_collector_sessions_in_flight", 1)
         try:
             for spec_index, spec in enumerate(specs):
-                # Fresh, deterministic backoff schedule per transaction:
-                # contending sessions decorrelate instead of re-colliding
-                # in lock-step the way immediate retries did.
-                delays = self.retry_policy.delays(
-                    seed=session_id * 1_000_003 + spec_index
-                )
+                idle = self._arrival_delay(traffic, session_id, spec_index)
+                if idle > 0:
+                    time.sleep(idle)
+                delays = self._retry_delays(session_id, spec_index)
                 while True:
                     committed, retryable = self._attempt(session, session_id, spec, log, stats)
                     if session_id in self._abandoned:
@@ -438,32 +524,6 @@ class Collector:
             log.transactions.append(txn)
             if self.on_transaction is not None:
                 self.on_transaction(txn)
-
-    def _allocate_txn_id(self) -> int:
-        with self._id_lock:
-            txn_id = self._next_txn_id
-            self._next_txn_id += 1
-            return txn_id
-
-    def _next_value(self, session_id: int) -> int:
-        """Globally unique write values (client id + shared counter), with
-        the MT uniqueness invariant enforced rather than assumed."""
-        with self._id_lock:
-            self._value_counter += 1
-            value = session_id * 10_000_000 + self._value_counter
-            if value == self.initial_value:
-                # The pre-populated value already belongs to ⊥T; re-issuing
-                # it would break unique written values (session 0's values
-                # are the bare counter, so e.g. initial_value=7 collides
-                # with its 7th write — a timing-dependent FutureRead).
-                self._value_counter += 1
-                value = session_id * 10_000_000 + self._value_counter
-            if value in self._issued_values:
-                raise AdapterError(
-                    f"unique-written-value invariant violated: {value} issued twice"
-                )
-            self._issued_values.add(value)
-            return value
 
 
 def collect_history(

@@ -48,6 +48,7 @@ __all__ = [
     "e2e_benchmark",
     "io_benchmark",
     "service_benchmark",
+    "collect_benchmark",
     "write_benchmark_json",
 ]
 
@@ -334,6 +335,7 @@ def parallel_benchmark(
                         and result.num_transactions == serial.num_transactions
                     )
                     assert verdicts_equal, (level_name, count)
+                    advisory = count > cpu_count
                     rows.append(
                         {
                             "kind": "speedup",
@@ -342,7 +344,20 @@ def parallel_benchmark(
                             "workers": count,
                             "workers_effective": stats.get("workers_effective", count),
                             "cpu_count": cpu_count,
-                            "advisory": count > cpu_count,
+                            "advisory": advisory,
+                            **(
+                                {
+                                    "note": (
+                                        f"requested {count} workers on a "
+                                        f"{cpu_count}-core machine; the executor "
+                                        "clamped the fan-out, so this row measures "
+                                        "the inline fallback — re-measure on >= "
+                                        f"{count} cores before citing it"
+                                    )
+                                }
+                                if advisory
+                                else {}
+                            ),
                             "serial_s": round(serial_seconds, 4),
                             "parallel_s": round(elapsed, 4),
                             "speedup": round(serial_seconds / max(elapsed, 1e-9), 2),
@@ -827,6 +842,107 @@ def service_benchmark(
         "smoke": smoke,
         "cpu_count": os.cpu_count(),
         "sizes": list(sizes),
+        "rows": rows,
+    }
+
+
+def collect_benchmark(
+    *,
+    smoke: bool = False,
+    session_counts: Optional[Sequence[int]] = None,
+    max_inflight: int = 64,
+    isolation: str = "si",
+) -> Dict[str, object]:
+    """Threaded vs async collection throughput on the simulated adapter.
+
+    Both collectors execute the *same* generated workload against the same
+    engine and must produce histories with identical verdicts; only then
+    are the timings reported.  Two regimes per session count:
+
+    * ``"steady"`` — 5 transactions per session: thread spawn amortises,
+      so this measures per-transaction overhead (locks, object
+      materialisation vs direct-to-column rows).
+    * ``"churn"`` — 1 transaction per session, the ISSUE's session-churn
+      shape: a thread-per-session collector pays spawn/teardown per
+      transaction while the async worker pool reuses ``max_inflight``
+      coroutines, which is where the ≥3x headline lives.
+
+    The full run sweeps 1k/5k/10k sessions; ``smoke`` drops to 64/256 for
+    CI.  Rows record both wall clocks, throughputs, the speedup, and
+    ``verdicts_equal`` (asserted before timing is trusted).
+    """
+    from ..adapters import (
+        AsyncCollector,
+        AsyncSimulatedAdapter,
+        Collector,
+        SimulatedAdapter,
+    )
+    from ..history.columnar import ColumnarHistory
+    from ..workloads.mt_generator import MTWorkloadGenerator
+
+    if session_counts is None:
+        session_counts = [64, 256] if smoke else [1_000, 5_000, 10_000]
+    level = _LEVELS[isolation]
+
+    rows: List[Dict[str, object]] = []
+    for sessions in session_counts:
+        for regime, txns_per_session in (("steady", 5), ("churn", 1)):
+            workload = MTWorkloadGenerator(
+                num_sessions=sessions,
+                txns_per_session=txns_per_session,
+                num_objects=max(sessions * 2, 64),
+                distribution="uniform",
+                seed=7,
+            ).generate()
+
+            gc.collect()
+            started = time.perf_counter()
+            threaded = Collector(SimulatedAdapter(isolation)).collect(workload)
+            threaded_s = time.perf_counter() - started
+
+            gc.collect()
+            started = time.perf_counter()
+            asynced = AsyncCollector(
+                AsyncSimulatedAdapter(isolation), max_inflight=max_inflight
+            ).collect(workload)
+            async_s = time.perf_counter() - started
+
+            threaded_verdict = MTChecker().verify(
+                ColumnarHistory.from_history(threaded.history), level
+            )
+            async_verdict = MTChecker().verify(asynced.columns, level)
+            verdicts_equal = threaded_verdict.satisfied == async_verdict.satisfied
+            assert verdicts_equal, (sessions, regime)
+            assert async_verdict.satisfied, (sessions, regime)
+
+            rows.append(
+                {
+                    "kind": "collect",
+                    "regime": regime,
+                    "sessions": sessions,
+                    "txns_per_session": txns_per_session,
+                    "max_inflight": max_inflight,
+                    "isolation": isolation.upper(),
+                    "threaded_s": round(threaded_s, 4),
+                    "async_s": round(async_s, 4),
+                    "threaded_txns_s": round(threaded.stats.committed / max(threaded_s, 1e-9), 1),
+                    "async_txns_s": round(asynced.stats.committed / max(async_s, 1e-9), 1),
+                    "speedup": round(threaded_s / max(async_s, 1e-9), 2),
+                    "committed_threaded": threaded.stats.committed,
+                    "committed_async": asynced.stats.committed,
+                    "aborted_threaded": threaded.stats.aborted,
+                    "aborted_async": asynced.stats.aborted,
+                    "backpressure_stalls": asynced.backpressure_stalls,
+                    "verdict": async_verdict.satisfied,
+                    "verdicts_equal": verdicts_equal,
+                }
+            )
+    return {
+        "suite": "collect",
+        "smoke": smoke,
+        "cpu_count": os.cpu_count(),
+        "session_counts": list(session_counts),
+        "max_inflight": max_inflight,
         "rows": rows,
     }
 

@@ -251,7 +251,8 @@ def build_parser() -> argparse.ArgumentParser:
     collect = subparsers.add_parser(
         "collect",
         help="execute a workload against a real database through an adapter "
-        "(one thread per session) and record/verify the observed history",
+        "(one thread per session, or --async coroutines) and record/verify "
+        "the observed history",
     )
     collect.add_argument(
         "--adapter",
@@ -262,7 +263,43 @@ def build_parser() -> argparse.ArgumentParser:
     collect.add_argument("--sessions", type=int, default=4, help="concurrent client sessions (= threads)")
     collect.add_argument("--txns", type=int, default=100, help="transactions per session")
     collect.add_argument("--objects", type=int, default=50)
-    collect.add_argument("--distribution", default="uniform", help="uniform, zipf, hotspot, or exp")
+    collect.add_argument(
+        "--async",
+        dest="use_async",
+        action="store_true",
+        help="run sessions as coroutines over a bounded worker pool "
+        "(AsyncCollector) instead of one OS thread per session; sync "
+        "adapters are bridged through lane threads",
+    )
+    collect.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="M",
+        help="--async only: concurrently active sessions (default 256)",
+    )
+    collect.add_argument(
+        "--no-bridge",
+        action="store_true",
+        help="--async only: demand native async adapter support instead of "
+        "bridging the sync adapter (exit 2 if unsupported)",
+    )
+    collect.add_argument(
+        "--traffic",
+        choices=["steady", "bursty", "churn"],
+        default=None,
+        help="arrival-time shape for session transactions (default: "
+        "as-fast-as-possible)",
+    )
+    collect.add_argument(
+        "--think-time",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="with --traffic: mean exponential think time between a "
+        "session's transactions",
+    )
+    collect.add_argument("--distribution", default="uniform", help="uniform, zipf, hotzipf, hotspot, or exp")
     collect.add_argument("--workload", choices=["mt", "gt"], default="mt", help="mini- or general-transaction workload")
     collect.add_argument("--seed", type=int, default=0)
     collect.add_argument("--max-retries", type=int, default=3, help="retries per aborted transaction")
@@ -336,7 +373,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--suite",
-        choices=["core", "parallel", "incremental", "e2e", "io", "service", "all"],
+        choices=["core", "parallel", "incremental", "e2e", "io", "service", "collect", "all"],
         default="all",
         help="which suite to run",
     )
@@ -956,6 +993,7 @@ def _cmd_collect(args: argparse.Namespace) -> int:
     from .adapters import make_adapter
     from .adapters.collector import Collector
     from .workloads.gt_generator import GTWorkloadGenerator
+    from .workloads.spec import make_traffic_shape
 
     if args.check is None and args.output is None:
         print("error: nothing to do; pass --check LEVEL and/or --output PATH")
@@ -965,6 +1003,19 @@ def _cmd_collect(args: argparse.Namespace) -> int:
         return 2
     if args.workers is not None and args.check is None:
         print("error: --workers applies to verification; pass --check LEVEL")
+        return 2
+    if args.sessions <= 0 or args.txns <= 0:
+        print("error: --sessions and --txns must be positive")
+        return 2
+    if not args.use_async:
+        if args.max_inflight is not None:
+            print("error: --max-inflight applies to the async collector; pass --async")
+            return 2
+        if args.no_bridge:
+            print("error: --no-bridge applies to the async collector; pass --async")
+            return 2
+    elif args.max_inflight is not None and args.max_inflight <= 0:
+        print(f"error: --max-inflight must be positive, got {args.max_inflight}")
         return 2
 
     if args.workload == "mt":
@@ -984,29 +1035,80 @@ def _cmd_collect(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
     workload = generator.generate()
+    if args.traffic is not None:
+        workload.traffic = make_traffic_shape(
+            args.traffic, think_time=args.think_time, seed=args.seed
+        )
 
-    adapter = make_adapter(
-        args.adapter,
-        isolation=args.isolation,
-        path=args.db_path,
-        mode=args.mode,
-        wal=args.wal,
-        busy_timeout_ms=args.busy_timeout_ms,
-        chaos=args.chaos,
-        chaos_rate=args.chaos_rate,
-        seed=args.seed,
-    )
-    with adapter:
-        result = Collector(
-            adapter,
-            max_retries=args.max_retries,
-            txn_deadline=args.txn_deadline,
-        ).collect(workload)
+    columns = None
+    if args.use_async:
+        import asyncio
+
+        from .adapters import AsyncCollector, make_async_adapter
+        from .adapters.base import AdapterError
+
+        try:
+            adapter = make_async_adapter(
+                args.adapter,
+                isolation=args.isolation,
+                bridge=not args.no_bridge,
+                chaos=args.chaos,
+                **(
+                    {}
+                    if args.adapter == "simulated"
+                    else {
+                        "path": args.db_path,
+                        "mode": args.mode,
+                        "wal": args.wal,
+                        "busy_timeout_ms": args.busy_timeout_ms,
+                    }
+                ),
+                **({"chaos_rate": args.chaos_rate, "seed": args.seed}
+                   if args.chaos is not None else {}),
+            )
+        except AdapterError as exc:
+            print(f"error: {exc}")
+            return 2
+        try:
+            result = AsyncCollector(
+                adapter,
+                max_inflight=args.max_inflight if args.max_inflight is not None else 256,
+                bridge=not args.no_bridge,
+                max_retries=args.max_retries,
+                txn_deadline=args.txn_deadline,
+            ).collect(workload)
+        except AdapterError as exc:
+            print(f"error: {exc}")
+            return 2
+        finally:
+            asyncio.run(adapter.teardown())
+        columns = result.columns
+        chaos_source = getattr(adapter, "sync_adapter", adapter)
+    else:
+        adapter = make_adapter(
+            args.adapter,
+            isolation=args.isolation,
+            path=args.db_path,
+            mode=args.mode,
+            wal=args.wal,
+            busy_timeout_ms=args.busy_timeout_ms,
+            chaos=args.chaos,
+            chaos_rate=args.chaos_rate,
+            seed=args.seed,
+        )
+        with adapter:
+            result = Collector(
+                adapter,
+                max_retries=args.max_retries,
+                txn_deadline=args.txn_deadline,
+            ).collect(workload)
+        chaos_source = adapter
     stats = result.stats
+    mode = "coroutine" if args.use_async else "threaded"
     print(
         f"collected {stats.committed} committed / {stats.aborted} aborted "
         f"transactions from {result.adapter_name} with {args.sessions} "
-        f"concurrent sessions in {stats.wall_seconds:.2f}s "
+        f"{mode} sessions in {stats.wall_seconds:.2f}s "
         f"(abort rate {stats.abort_rate:.1%})"
     )
     if result.unknown:
@@ -1016,17 +1118,29 @@ def _cmd_collect(args: argparse.Namespace) -> int:
             "are recorded with status UNKNOWN"
         )
     if args.chaos is not None:
-        fired = {name: count for name, count in adapter.injections.items() if count}
+        fired = {
+            name: count
+            for name, count in chaos_source.injections.items()
+            if count
+        }
         print(f"injected chaos: {fired or 'none fired'}")
 
     if args.output is not None:
-        _save_history_output(result.history, args.output)
+        if columns is not None and is_segment_path(args.output):
+            # Async rows were born columnar; seal them without ever
+            # materialising Transaction objects.
+            columns.save(args.output)
+        else:
+            _save_history_output(result.history, args.output)
         print(f"wrote {args.output}")
 
     if args.check is None:
         return 0
     checker = MTChecker(workers=args.workers)
-    verdict = checker.verify(result.history, _LEVELS[args.check.lower()])
+    verdict = checker.verify(
+        columns if columns is not None else result.history,
+        _LEVELS[args.check.lower()],
+    )
     print(verdict.format())
     return 0 if verdict.satisfied else 1
 
@@ -1111,6 +1225,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from .bench.reporting import format_table
     from .bench.suites import (
+        collect_benchmark,
         core_benchmark,
         e2e_benchmark,
         incremental_benchmark,
@@ -1127,6 +1242,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "e2e": e2e_benchmark,
         "io": io_benchmark,
         "service": service_benchmark,
+        "collect": collect_benchmark,
     }
     selected = list(suites) if args.suite == "all" else [args.suite]
     # Fail on an unwritable destination before minutes of benchmarking, not after.

@@ -17,7 +17,10 @@ Four formats, one data model:
 """
 
 from .columnar import (
+    OP_READ,
+    OP_WRITE,
     ColumnarHistory,
+    ColumnBuilder,
     SegmentWriter,
     is_segment_path,
     load_history_segment,
@@ -54,6 +57,9 @@ from .serialization import (
 __all__ = [
     "CheckpointInfo",
     "ColumnarHistory",
+    "ColumnBuilder",
+    "OP_READ",
+    "OP_WRITE",
     "EpochInfo",
     "EpochLog",
     "EpochLogError",

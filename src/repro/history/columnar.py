@@ -65,16 +65,19 @@ from ..core.model import (
     Operation,
     OpType,
     Transaction,
+    TransactionStatus,
     history_from_stream,
-    make_initial_transaction,
 )
 
 __all__ = [
     "ColumnarHistory",
+    "ColumnBuilder",
     "SegmentWriter",
     "is_segment_path",
     "write_history_segment",
     "load_history_segment",
+    "OP_READ",
+    "OP_WRITE",
     "SEGMENT_FORMAT",
     "SEGMENT_MAGIC",
     "file_crc32",
@@ -87,9 +90,13 @@ SEGMENT_MAGIC = b"REPROSEG1\n"
 #: Op-kind codes used in the ``op_kinds`` column.  (Status codes in the
 #: ``statuses`` column are :data:`repro.core.model.STATUS_CODES`,
 #: re-exported here for segment consumers.)
-_READ, _WRITE = 0, 1
+OP_READ, OP_WRITE = 0, 1
+_READ, _WRITE = OP_READ, OP_WRITE
 
 _NAN = float("nan")
+#: Pre-built has-value run for :meth:`ColumnarHistory.append_row` (every
+#: collector-recorded operation carries a value).
+_ONES = b"\x01" * 256
 
 #: Process-boundary wire format: key names plus one raw buffer per column.
 WireColumns = Tuple[
@@ -247,8 +254,24 @@ class ColumnarHistory:
             self.key_names.append(key)
         return kid
 
-    def append(self, txn: Transaction) -> None:
-        """Append one transaction as a new row.
+    def append_raw(
+        self,
+        txn_id: int,
+        session_id: int,
+        status_code: int,
+        start_ts: Optional[float],
+        finish_ts: Optional[float],
+        ops: Iterable[Tuple[int, str, Optional[int]]],
+    ) -> None:
+        """Append one row from flat fields — the object-free accept path.
+
+        ``ops`` yields ``(kind_code, key, value)`` triples, where the kind
+        code is :data:`OP_READ`/:data:`OP_WRITE` and ``value`` is ``None``
+        for an operation without one.  ``status_code`` is a
+        :data:`repro.core.model.STATUS_CODES` value; timestamps may be
+        ``None``.  No :class:`Transaction`/:class:`Operation` objects are
+        touched, which is what lets the async collector feed rows straight
+        from its coroutines.
 
         Raises ``ValueError`` when an id or value falls outside the segment
         format's integer range (signed 64-bit for transaction/session ids
@@ -256,35 +279,35 @@ class ColumnarHistory:
         considered corrupt afterwards.
         """
         try:
-            self.txn_ids.append(txn.txn_id)
-            self.session_ids.append(txn.session_id)
-            self.statuses.append(STATUS_CODES[txn.status])
-            self.start_ts.append(_NAN if txn.start_ts is None else float(txn.start_ts))
-            self.finish_ts.append(_NAN if txn.finish_ts is None else float(txn.finish_ts))
+            self.txn_ids.append(txn_id)
+            self.session_ids.append(session_id)
+            self.statuses.append(status_code)
+            self.start_ts.append(_NAN if start_ts is None else float(start_ts))
+            self.finish_ts.append(_NAN if finish_ts is None else float(finish_ts))
             key_ids = self.key_ids
             key_names = self.key_names
             kinds_append = self.op_kinds.append
             keys_append = self.op_keys.append
             values_append = self.op_values.append
             has_append = self.op_has_value.append
-            for op in txn.operations:
-                kid = key_ids.get(op.key)
+            for kind, key, value in ops:
+                kid = key_ids.get(key)
                 if kid is None:
                     kid = len(key_names)
-                    key_ids[op.key] = kid
-                    key_names.append(op.key)
-                kinds_append(_WRITE if op.is_write else _READ)
+                    key_ids[key] = kid
+                    key_names.append(key)
+                kinds_append(kind)
                 keys_append(kid)
-                if op.value is None:
+                if value is None:
                     values_append(0)
                     has_append(0)
                 else:
-                    values_append(op.value)
+                    values_append(value)
                     has_append(1)
             self.op_offsets.append(len(self.op_kinds))
         except OverflowError as exc:
             raise ValueError(
-                f"transaction T{txn.txn_id} does not fit the columnar segment "
+                f"transaction T{txn_id} does not fit the columnar segment "
                 f"format (ids and values are signed 64-bit, distinct keys "
                 f"signed 32-bit): {exc}"
             ) from None
@@ -295,6 +318,70 @@ class ColumnarHistory:
                 "cannot append to a memory-mapped segment (loaded with "
                 "mmap=True); use slice_rows() to derive a mutable copy"
             ) from None
+
+    def append_row(
+        self,
+        txn_id: int,
+        session_id: int,
+        status_code: int,
+        start_ts: Optional[float],
+        finish_ts: Optional[float],
+        kinds: List[int],
+        keys: List[str],
+        values: List[int],
+    ) -> None:
+        """Append one row from parallel op lists — the hottest accept path.
+
+        Same contract as :meth:`append_raw` but takes the kinds/keys/values
+        as three equal-length lists with every value present (collectors
+        resolve reads to the observed value before recording), which lets
+        the op columns grow by ``extend`` instead of a per-op loop.
+        """
+        try:
+            self.txn_ids.append(txn_id)
+            self.session_ids.append(session_id)
+            self.statuses.append(status_code)
+            self.start_ts.append(_NAN if start_ts is None else float(start_ts))
+            self.finish_ts.append(_NAN if finish_ts is None else float(finish_ts))
+            key_ids = self.key_ids
+            try:
+                ids = [key_ids[key] for key in keys]
+            except KeyError:
+                ids = [self.key_id(key) for key in keys]
+            self.op_kinds.extend(kinds)
+            self.op_keys.extend(ids)
+            self.op_values.extend(values)
+            self.op_has_value.extend(_ONES[: len(kinds)] if len(kinds) <= len(_ONES)
+                                     else bytes(1 for _ in kinds))
+            self.op_offsets.append(len(self.op_kinds))
+        except OverflowError as exc:
+            raise ValueError(
+                f"transaction T{txn_id} does not fit the columnar segment "
+                f"format (ids and values are signed 64-bit, distinct keys "
+                f"signed 32-bit): {exc}"
+            ) from None
+        except AttributeError:
+            if isinstance(self.txn_ids, array):
+                raise
+            raise ValueError(
+                "cannot append to a memory-mapped segment (loaded with "
+                "mmap=True); use slice_rows() to derive a mutable copy"
+            ) from None
+
+    def append(self, txn: Transaction) -> None:
+        """Append one transaction as a new row (see :meth:`append_raw` for
+        the failure contract; this is the object-accepting wrapper)."""
+        self.append_raw(
+            txn.txn_id,
+            txn.session_id,
+            STATUS_CODES[txn.status],
+            txn.start_ts,
+            txn.finish_ts,
+            (
+                (_WRITE if op.is_write else _READ, op.key, op.value)
+                for op in txn.operations
+            ),
+        )
 
     __call__ = append
 
@@ -636,6 +723,82 @@ def load_history_segment(path: Union[str, Path]) -> ColumnarHistory:
     return ColumnarHistory.load(path)
 
 
+class ColumnBuilder:
+    """Reusable flat-column appender — the data plane's accept path.
+
+    Wraps one growing :class:`ColumnarHistory` and exposes the two entry
+    points every producer needs: :meth:`append_raw` for object-free flat
+    rows (the async collector's hot path) and :meth:`append` for legacy
+    :class:`Transaction` producers.  :class:`SegmentWriter` composes one of
+    these for persistence; the async collector drains its backpressure
+    queue into one directly, so no ``Transaction``/``Operation`` object is
+    ever constructed between the adapter and the columns.
+    """
+
+    __slots__ = ("columns",)
+
+    def __init__(self, columns: Optional[ColumnarHistory] = None) -> None:
+        self.columns = columns if columns is not None else ColumnarHistory()
+
+    def seed_initial(self, keys: Iterable[str], value: int = 0) -> None:
+        """Install ``⊥T`` (one committed write of ``value`` per key) as the
+        first row, without materialising the initial transaction."""
+        self.columns.append_raw(
+            INITIAL_TXN_ID,
+            -1,
+            STATUS_CODES[TransactionStatus.COMMITTED],
+            None,
+            None,
+            ((_WRITE, key, value) for key in keys),
+        )
+
+    def append_raw(
+        self,
+        txn_id: int,
+        session_id: int,
+        status_code: int,
+        start_ts: Optional[float],
+        finish_ts: Optional[float],
+        ops: Iterable[Tuple[int, str, Optional[int]]],
+    ) -> None:
+        """Append one flat row (see :meth:`ColumnarHistory.append_raw`)."""
+        self.columns.append_raw(
+            txn_id, session_id, status_code, start_ts, finish_ts, ops
+        )
+
+    def append_row(
+        self,
+        txn_id: int,
+        session_id: int,
+        status_code: int,
+        start_ts: Optional[float],
+        finish_ts: Optional[float],
+        kinds: List[int],
+        keys: List[str],
+        values: List[int],
+    ) -> None:
+        """Append one parallel-lists row (see
+        :meth:`ColumnarHistory.append_row`)."""
+        self.columns.append_row(
+            txn_id, session_id, status_code, start_ts, finish_ts,
+            kinds, keys, values,
+        )
+
+    def append(self, txn: Transaction) -> None:
+        """Append one materialised transaction."""
+        self.columns.append(txn)
+
+    __call__ = append
+
+    @property
+    def num_transactions(self) -> int:
+        return self.columns.num_transactions
+
+    @property
+    def num_operations(self) -> int:
+        return self.columns.num_operations
+
+
 class SegmentWriter:
     """Collect transactions live and persist them as one segment on close.
 
@@ -665,20 +828,37 @@ class SegmentWriter:
         initial_keys: Optional[Iterable[str]] = None,
         compress: Optional[bool] = None,
     ) -> None:
-        if initial_transaction is None and initial_keys is not None:
-            initial_transaction = make_initial_transaction(initial_keys)
         self.path = Path(path)
-        self.columns = ColumnarHistory()
+        self._builder = ColumnBuilder()
+        self.columns = self._builder.columns
         self._compress = compress
         self._closed = False
         if initial_transaction is not None:
-            self.columns.append(initial_transaction)
+            self._builder.append(initial_transaction)
+        elif initial_keys is not None:
+            self._builder.seed_initial(initial_keys)
 
     def write(self, txn: Transaction) -> None:
         """Append one transaction to the in-memory segment."""
-        self.columns.append(txn)
+        self._builder.append(txn)
 
     __call__ = write
+
+    def append_raw(
+        self,
+        txn_id: int,
+        session_id: int,
+        status_code: int,
+        start_ts: Optional[float],
+        finish_ts: Optional[float],
+        ops: Iterable[Tuple[int, str, Optional[int]]],
+    ) -> None:
+        """Append one flat row without materialising a transaction — lets
+        object-free producers (the async collector's drain task) stream
+        into a segment with zero object overhead."""
+        self._builder.append_raw(
+            txn_id, session_id, status_code, start_ts, finish_ts, ops
+        )
 
     def close(self) -> None:
         """Persist the segment (idempotent)."""

@@ -76,6 +76,21 @@ METRIC_CATALOG: Dict[str, Tuple[str, str]] = {
         "counter", "Aborted transactions that were retried"),
     "repro_collector_retryable_aborts_total": (
         "counter", "Aborts the engine marked as retryable"),
+    # Async collector (coroutine session multiplexer over a bounded budget).
+    "repro_acollector_sessions_in_flight": (
+        "gauge", "Async collector session coroutines currently active"),
+    "repro_acollector_txns_total": (
+        "counter", "Async collector transaction attempts recorded, by status label"),
+    "repro_acollector_ops_total": (
+        "counter", "Operations the async collector executed against the adapter"),
+    "repro_acollector_retries_total": (
+        "counter", "Aborted transactions the async collector retried"),
+    "repro_acollector_queue_depth": (
+        "gauge", "Finished rows waiting in the async collector's backpressure queue"),
+    "repro_acollector_backpressure_stalls_total": (
+        "counter", "Row publishes that found the backpressure queue full"),
+    "repro_acollector_txns_per_second": (
+        "gauge", "Committed throughput of the most recent async collection"),
     # Incremental checker (streaming verification).
     "repro_checker_txns_ingested": (
         "gauge", "Committed transactions ingested by the streaming checker"),

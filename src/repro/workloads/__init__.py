@@ -5,6 +5,7 @@ the runner that records histories from the database simulator."""
 from .distributions import (
     DISTRIBUTION_NAMES,
     ExponentialDistribution,
+    HotKeyZipfDistribution,
     HotspotDistribution,
     KeyDistribution,
     UniformDistribution,
@@ -23,7 +24,15 @@ from .list_append import (
 from .lwt_generator import LWTHistoryGenerator
 from .mt_generator import MTWorkloadGenerator, MTWorkloadMix
 from .runner import RunResult, RunStats, WorkloadRunner, run_workload
-from .spec import PlannedOpKind, PlannedOperation, TransactionSpec, Workload
+from .spec import (
+    TRAFFIC_SHAPE_NAMES,
+    PlannedOpKind,
+    PlannedOperation,
+    TrafficShape,
+    TransactionSpec,
+    Workload,
+    make_traffic_shape,
+)
 
 __all__ = [
     "AppendOp",
@@ -33,6 +42,7 @@ __all__ = [
     "ExponentialDistribution",
     "GTWorkloadGenerator",
     "GTWorkloadMix",
+    "HotKeyZipfDistribution",
     "HotspotDistribution",
     "KeyDistribution",
     "LWTHistoryGenerator",
@@ -44,12 +54,15 @@ __all__ = [
     "ReadListOp",
     "RunResult",
     "RunStats",
+    "TRAFFIC_SHAPE_NAMES",
+    "TrafficShape",
     "TransactionSpec",
     "UniformDistribution",
     "Workload",
     "WorkloadRunner",
     "ZipfianDistribution",
     "make_distribution",
+    "make_traffic_shape",
     "run_list_append_workload",
     "run_workload",
 ]

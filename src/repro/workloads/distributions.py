@@ -19,12 +19,13 @@ __all__ = [
     "UniformDistribution",
     "ZipfianDistribution",
     "HotspotDistribution",
+    "HotKeyZipfDistribution",
     "ExponentialDistribution",
     "make_distribution",
     "DISTRIBUTION_NAMES",
 ]
 
-DISTRIBUTION_NAMES = ("uniform", "zipf", "hotspot", "exp")
+DISTRIBUTION_NAMES = ("uniform", "zipf", "hotspot", "hotzipf", "exp")
 
 
 class KeyDistribution(abc.ABC):
@@ -115,6 +116,40 @@ class HotspotDistribution(KeyDistribution):
         return rng.randrange(self.hot_set_size, self.num_keys)
 
 
+class HotKeyZipfDistribution(KeyDistribution):
+    """Hot-key skew: a handful of celebrity keys take a fixed share of all
+    accesses, and the remaining traffic is zipfian over the long tail.
+
+    This is the cache-stampede shape of production key-value traffic —
+    sharper than :class:`ZipfianDistribution` (whose head probability decays
+    with the key-space size) and heavier-tailed than
+    :class:`HotspotDistribution` (whose non-hot accesses are uniform).
+    Under mini-transaction RMW workloads it maximises write-write conflict
+    pressure on the hot set while still exercising the full key space.
+    """
+
+    def __init__(
+        self,
+        num_keys: int,
+        hot_keys: int = 4,
+        hot_share: float = 0.8,
+        theta: float = 1.0,
+    ) -> None:
+        super().__init__(num_keys)
+        self.hot_keys = max(1, min(hot_keys, num_keys))
+        self.hot_share = hot_share
+        self._tail = (
+            ZipfianDistribution(num_keys - self.hot_keys, theta)
+            if num_keys > self.hot_keys
+            else None
+        )
+
+    def choose(self, rng: random.Random) -> int:
+        if self._tail is None or rng.random() < self.hot_share:
+            return rng.randrange(self.hot_keys)
+        return self.hot_keys + self._tail.choose(rng)
+
+
 class ExponentialDistribution(KeyDistribution):
     """Exponentially decaying access probability over the key space."""
 
@@ -138,6 +173,8 @@ def make_distribution(name: str, num_keys: int, **kwargs) -> KeyDistribution:
         return ZipfianDistribution(num_keys, **kwargs)
     if name == "hotspot":
         return HotspotDistribution(num_keys, **kwargs)
+    if name in ("hotzipf", "hot-zipf", "hotkey-zipf"):
+        return HotKeyZipfDistribution(num_keys, **kwargs)
     if name in ("exp", "exponential"):
         return ExponentialDistribution(num_keys, **kwargs)
     raise ValueError(f"unknown distribution {name!r}; known: {DISTRIBUTION_NAMES}")

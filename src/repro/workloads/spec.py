@@ -11,10 +11,22 @@ as in the paper and in existing checkers).
 from __future__ import annotations
 
 import enum
+import random
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
-__all__ = ["PlannedOpKind", "PlannedOperation", "TransactionSpec", "Workload"]
+__all__ = [
+    "PlannedOpKind",
+    "PlannedOperation",
+    "TransactionSpec",
+    "TrafficShape",
+    "Workload",
+    "make_traffic_shape",
+    "TRAFFIC_SHAPE_NAMES",
+]
+
+#: Traffic-shape names accepted by :func:`make_traffic_shape` and the CLI.
+TRAFFIC_SHAPE_NAMES = ("steady", "bursty", "churn")
 
 
 class PlannedOpKind(enum.Enum):
@@ -77,6 +89,80 @@ class TransactionSpec:
         return len(self.operations)
 
 
+@dataclass(frozen=True)
+class TrafficShape:
+    """An arrival process for the collectors: *when* sessions issue work.
+
+    The planned operations are untouched — a shape only inserts idle time
+    before transactions, reproducing production access patterns that stress
+    a collector very differently from the default closed loop:
+
+    * ``think_time`` — mean of an exponential think time before every
+      transaction (open-loop arrivals instead of back-to-back issue).
+    * ``burst_len``/``burst_gap`` — bursty clients: ``burst_len``
+      transactions issued back to back, then ``burst_gap`` seconds of
+      silence (0 disables bursting).
+    * ``churn_stagger`` — session churn: each session starts at a random
+      offset in ``[0, churn_stagger)`` seconds, so the set of live
+      sessions ramps and overlaps instead of starting as one thundering
+      herd.
+
+    Delays are deterministic per ``(seed, session_id, txn_index)``, so a
+    shaped workload replays identically across collectors.
+    """
+
+    name: str = "steady"
+    think_time: float = 0.0
+    burst_len: int = 0
+    burst_gap: float = 0.0
+    churn_stagger: float = 0.0
+    seed: int = 0
+
+    def delay_before(self, session_id: int, txn_index: int) -> float:
+        """Seconds the session should idle before transaction ``txn_index``."""
+        rng = random.Random(
+            (self.seed << 32) ^ (session_id * 2_654_435_761) ^ txn_index
+        )
+        delay = 0.0
+        if txn_index == 0 and self.churn_stagger > 0:
+            delay += rng.uniform(0.0, self.churn_stagger)
+        if self.think_time > 0:
+            delay += rng.expovariate(1.0 / self.think_time)
+        if self.burst_len > 0 and txn_index > 0 and txn_index % self.burst_len == 0:
+            delay += self.burst_gap
+        return delay
+
+
+def make_traffic_shape(
+    name: str,
+    *,
+    think_time: float = 0.0,
+    burst_len: int = 8,
+    burst_gap: float = 0.05,
+    churn_stagger: float = 0.25,
+    seed: int = 0,
+) -> TrafficShape:
+    """Factory for the named shapes (see :data:`TRAFFIC_SHAPE_NAMES`)."""
+    normalized = name.lower()
+    if normalized == "steady":
+        return TrafficShape("steady", think_time=think_time, seed=seed)
+    if normalized == "bursty":
+        return TrafficShape(
+            "bursty",
+            think_time=think_time,
+            burst_len=burst_len,
+            burst_gap=burst_gap,
+            seed=seed,
+        )
+    if normalized == "churn":
+        return TrafficShape(
+            "churn", think_time=think_time, churn_stagger=churn_stagger, seed=seed
+        )
+    raise ValueError(
+        f"unknown traffic shape {name!r}; known: {', '.join(TRAFFIC_SHAPE_NAMES)}"
+    )
+
+
 @dataclass
 class Workload:
     """A full workload: per-session lists of transaction specs."""
@@ -84,6 +170,9 @@ class Workload:
     sessions: List[List[TransactionSpec]]
     keys: List[str]
     name: str = "workload"
+    #: Optional arrival process applied by the collectors (``None`` keeps
+    #: the default closed loop: every session issues back to back).
+    traffic: Optional[TrafficShape] = None
 
     @property
     def num_sessions(self) -> int:

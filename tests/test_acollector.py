@@ -1,0 +1,362 @@
+"""Tests for the async collection plane (aio adapters + AsyncCollector).
+
+The contract under test: histories collected by coroutine sessions must be
+*schedule-valid* (well-formed intervals, per-session ordering, globally
+unique written values) and reach verdicts identical to the threaded
+collector's across isolation levels, healthy and chaos-wrapped adapters,
+and the full ``max_inflight`` range — while constructing zero
+``Transaction``/``Operation`` objects on the accept path.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.adapters import (
+    AsyncCollector,
+    AsyncSimulatedAdapter,
+    BridgedAsyncAdapter,
+    Collector,
+    SimulatedAdapter,
+    SQLiteAdapter,
+    ensure_async_adapter,
+    make_adapter,
+    make_async_adapter,
+)
+from repro.adapters.aio import AsyncAdapterSession, AsyncDatabaseAdapter
+from repro.adapters.base import AdapterError
+from repro.core import model as core_model
+from repro.core.checker import MTChecker
+from repro.core.model import Transaction, TransactionStatus
+from repro.core.result import IsolationLevel
+from repro.history.columnar import ColumnarHistory
+from repro.workloads.mt_generator import MTWorkloadGenerator
+from repro.workloads.spec import make_traffic_shape
+
+LEVELS = {
+    "SI": IsolationLevel.SNAPSHOT_ISOLATION,
+    "SER": IsolationLevel.SERIALIZABILITY,
+    "SSER": IsolationLevel.STRICT_SERIALIZABILITY,
+}
+
+
+def small_workload(sessions=6, txns=20, objects=12, seed=3, distribution="uniform"):
+    return MTWorkloadGenerator(
+        num_sessions=sessions,
+        txns_per_session=txns,
+        num_objects=objects,
+        distribution=distribution,
+        seed=seed,
+    ).generate()
+
+
+def assert_schedule_valid(columns: ColumnarHistory) -> None:
+    """The recorded history is a well-formed schedule.
+
+    Intervals are positive, a session's transactions never overlap (the
+    collectors are one-transaction-at-a-time per session), transaction ids
+    are unique, and committed written values are globally unique.
+    """
+    history = columns.to_history()
+    seen_ids = set()
+    written = set()
+    for session in history.sessions:
+        prev_finish = None
+        for txn in session.transactions:
+            assert txn.txn_id not in seen_ids
+            seen_ids.add(txn.txn_id)
+            assert txn.start_ts is not None and txn.finish_ts is not None
+            assert txn.start_ts < txn.finish_ts
+            if prev_finish is not None:
+                assert txn.start_ts > prev_finish, (
+                    f"T{txn.txn_id} overlaps its session predecessor"
+                )
+            prev_finish = txn.finish_ts
+            if txn.status == TransactionStatus.COMMITTED:
+                for op in txn.operations:
+                    if op.is_write:
+                        assert op.value not in written
+                        written.add(op.value)
+
+
+# ----------------------------------------------------------------------
+# Threaded/async equivalence
+# ----------------------------------------------------------------------
+class TestAsyncThreadedEquivalence:
+    @pytest.mark.parametrize(
+        "engine, guaranteed",
+        [
+            ("si", ["SI"]),
+            ("serializable", ["SER", "SI"]),
+            ("s2pl", ["SSER", "SER", "SI"]),
+        ],
+    )
+    @pytest.mark.parametrize("max_inflight", [1, 8, 256])
+    def test_healthy_engines_reach_identical_verdicts(
+        self, engine, guaranteed, max_inflight
+    ):
+        workload = small_workload(sessions=8, txns=12, objects=10, seed=17)
+        threaded = Collector(SimulatedAdapter(engine)).collect(workload)
+        asynced = AsyncCollector(
+            AsyncSimulatedAdapter(engine), max_inflight=max_inflight
+        ).collect(workload)
+        assert asynced.stats.committed == threaded.stats.committed
+        assert_schedule_valid(asynced.columns)
+        checker = MTChecker()
+        threaded_columns = ColumnarHistory.from_history(threaded.history)
+        for level in guaranteed:
+            via_threads = checker.verify(threaded_columns, LEVELS[level])
+            via_async = checker.verify(asynced.columns, LEVELS[level])
+            assert via_threads.satisfied == via_async.satisfied
+            assert via_async.satisfied, (engine, level, via_async.violation)
+
+    @pytest.mark.parametrize("max_inflight", [1, 8, 256])
+    def test_chaos_faults_detected_through_both_collectors(self, max_inflight):
+        workload = small_workload(sessions=6, txns=30, objects=8, seed=5,
+                                  distribution="zipf")
+        threaded = Collector(
+            make_adapter("simulated", isolation="si", chaos="lost-write",
+                         chaos_rate=0.9, seed=5)
+        ).collect(workload)
+        async_adapter = make_async_adapter(
+            "simulated", isolation="si", chaos="lost-write",
+            chaos_rate=0.9, seed=5,
+        )
+        asynced = AsyncCollector(async_adapter, max_inflight=max_inflight).collect(
+            workload
+        )
+        assert async_adapter.sync_adapter.injections["lost_write"] > 0
+        checker = MTChecker()
+        via_threads = checker.verify(
+            ColumnarHistory.from_history(threaded.history), LEVELS["SER"]
+        )
+        via_async = checker.verify(asynced.columns, LEVELS["SER"])
+        assert not via_threads.satisfied
+        assert not via_async.satisfied
+        assert via_threads.satisfied == via_async.satisfied
+
+    def test_bridged_sqlite_collection_satisfies_ser(self, tmp_path):
+        workload = small_workload(sessions=6, txns=10, objects=8, seed=9)
+        adapter = SQLiteAdapter(str(tmp_path / "async.db"))
+        result = AsyncCollector(adapter, max_inflight=4).collect(workload)
+        assert_schedule_valid(result.columns)
+        verdict = MTChecker().verify(result.columns, LEVELS["SER"])
+        assert verdict.satisfied, verdict.violation
+
+    def test_traffic_shapes_apply_to_both_collectors(self):
+        workload = small_workload(sessions=6, txns=3, objects=8, seed=2)
+        workload.traffic = make_traffic_shape(
+            "churn", churn_stagger=0.002, think_time=0.0005, seed=1
+        )
+        threaded = Collector(SimulatedAdapter("si")).collect(workload)
+        asynced = AsyncCollector(AsyncSimulatedAdapter("si")).collect(workload)
+        assert threaded.stats.committed == asynced.stats.committed == 18
+        assert MTChecker().verify(asynced.columns, LEVELS["SI"]).satisfied
+
+
+# ----------------------------------------------------------------------
+# The object-free accept path
+# ----------------------------------------------------------------------
+class TestDirectToColumnIngest:
+    def test_zero_transaction_objects_on_accept_path(self, monkeypatch):
+        constructed = []
+        original_txn = Transaction.__init__
+        original_op = core_model.Operation.__init__
+
+        def counting_txn(self, *args, **kwargs):
+            constructed.append("txn")
+            return original_txn(self, *args, **kwargs)
+
+        def counting_op(self, *args, **kwargs):
+            constructed.append("op")
+            return original_op(self, *args, **kwargs)
+
+        monkeypatch.setattr(Transaction, "__init__", counting_txn)
+        monkeypatch.setattr(core_model.Operation, "__init__", counting_op)
+        workload = small_workload(sessions=5, txns=8, objects=10, seed=7)
+        result = AsyncCollector(AsyncSimulatedAdapter("si"), max_inflight=4).collect(
+            workload
+        )
+        assert constructed == [], (
+            f"{len(constructed)} model objects built on the accept path"
+        )
+        assert result.columns.num_transactions == result.stats.committed + 1
+        # Materialisation still works after the fact, off the hot path.
+        assert len(result.history.transactions()) == result.stats.committed + 1
+
+    def test_legacy_hook_sees_finish_ordered_transactions(self):
+        seen = []
+        workload = small_workload(sessions=6, txns=6, objects=10, seed=13)
+        AsyncCollector(
+            AsyncSimulatedAdapter("si"),
+            max_inflight=4,
+            on_transaction=seen.append,
+        ).collect(workload)
+        assert len(seen) == 36
+        assert all(isinstance(txn, Transaction) for txn in seen)
+        finishes = [txn.finish_ts for txn in seen]
+        assert finishes == sorted(finishes)
+
+    def test_backpressure_stalls_are_counted_and_lossless(self):
+        seen = []
+        workload = small_workload(sessions=12, txns=6, objects=10, seed=3)
+        result = AsyncCollector(
+            AsyncSimulatedAdapter("si"),
+            max_inflight=8,
+            queue_depth=1,
+            on_transaction=seen.append,
+        ).collect(workload)
+        assert result.backpressure_stalls > 0
+        assert len(seen) == 72  # every row survived the full queue
+        assert result.columns.num_transactions == 73
+
+
+# ----------------------------------------------------------------------
+# Deadline watchdog
+# ----------------------------------------------------------------------
+class _HangingSession(AsyncAdapterSession):
+    """Wedges forever on the first read; cancellation must unwind it."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    async def begin(self):
+        await self._inner.begin()
+
+    async def read(self, key):
+        await asyncio.Event().wait()
+
+    async def write(self, key, value):
+        await self._inner.write(key, value)
+
+    async def commit(self):
+        await self._inner.commit()
+
+    async def abort(self):
+        await self._inner.abort()
+
+
+class _HangingAdapter(AsyncDatabaseAdapter):
+    def __init__(self, hang_session_id=0):
+        self._inner = AsyncSimulatedAdapter("si")
+        self._hang = hang_session_id
+
+    def capabilities(self):
+        return self._inner.capabilities()
+
+    async def session(self, session_id):
+        session = await self._inner.session(session_id)
+        if session_id == self._hang:
+            return _HangingSession(session)
+        return session
+
+    async def setup(self, keys, initial_value=0):
+        await self._inner.setup(keys, initial_value)
+
+
+class TestDeadlineWatchdog:
+    def test_hung_session_recorded_unknown_and_cancelled(self):
+        workload = small_workload(sessions=4, txns=3, objects=8, seed=21)
+        result = AsyncCollector(
+            _HangingAdapter(hang_session_id=0),
+            max_inflight=4,
+            txn_deadline=0.05,
+        ).collect(workload)
+        assert result.unknown == 1
+        history = result.columns.to_history()
+        unknown = [
+            txn
+            for txn in history.transactions()
+            if txn.status == TransactionStatus.UNKNOWN
+        ]
+        assert len(unknown) == 1
+        assert unknown[0].session_id == 0
+        # The three healthy sessions finished their full quota.
+        assert result.stats.committed == 9
+
+
+# ----------------------------------------------------------------------
+# Construction and bridging errors
+# ----------------------------------------------------------------------
+class TestAsyncConstruction:
+    def test_sync_adapter_without_bridge_is_rejected(self, tmp_path):
+        adapter = SQLiteAdapter(str(tmp_path / "x.db"))
+        with pytest.raises(AdapterError, match="no native async support"):
+            ensure_async_adapter(adapter, bridge=False)
+        with pytest.raises(AdapterError, match="no native async support"):
+            AsyncCollector(adapter, bridge=False).collect(
+                small_workload(sessions=2, txns=2)
+            )
+
+    def test_native_async_adapter_passes_through(self):
+        adapter = AsyncSimulatedAdapter("si")
+        assert ensure_async_adapter(adapter, bridge=False) is adapter
+
+    def test_bridged_adapter_exposes_sync_adapter(self, tmp_path):
+        sync = SQLiteAdapter(str(tmp_path / "y.db"))
+        bridged = ensure_async_adapter(sync)
+        assert isinstance(bridged, BridgedAsyncAdapter)
+        assert bridged.sync_adapter is sync
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"max_inflight": 0}, {"max_inflight": -3}, {"queue_depth": 0}]
+    )
+    def test_nonpositive_bounds_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AsyncCollector(AsyncSimulatedAdapter("si"), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+class TestAsyncCLI:
+    def run_cli(self, argv, capsys):
+        from repro.cli import main
+
+        code = main(argv)
+        return code, capsys.readouterr().out
+
+    def test_async_simulated_collect_and_check(self, capsys):
+        code, out = self.run_cli(
+            ["collect", "--adapter", "simulated", "--async", "--sessions", "20",
+             "--txns", "3", "--objects", "16", "--check", "si"],
+            capsys,
+        )
+        assert code == 0
+        assert "coroutine sessions" in out
+        assert "SI: SATISFIED" in out
+
+    @pytest.mark.parametrize(
+        "argv, message",
+        [
+            (["collect", "--sessions", "0", "--txns", "5", "--check", "si"],
+             "must be positive"),
+            (["collect", "--sessions", "2", "--txns", "-1", "--check", "si"],
+             "must be positive"),
+            (["collect", "--max-inflight", "4", "--sessions", "2", "--txns", "2",
+              "--check", "si"],
+             "pass --async"),
+            (["collect", "--no-bridge", "--sessions", "2", "--txns", "2",
+              "--check", "si"],
+             "pass --async"),
+            (["collect", "--async", "--max-inflight", "0", "--sessions", "2",
+              "--txns", "2", "--adapter", "simulated", "--check", "si"],
+             "--max-inflight must be positive"),
+        ],
+    )
+    def test_inconsistent_flags_exit_2(self, argv, message, capsys):
+        code, out = self.run_cli(argv, capsys)
+        assert code == 2
+        assert "error:" in out
+        assert message in out
+
+    def test_no_bridge_with_sync_only_adapter_exits_2(self, capsys, tmp_path):
+        code, out = self.run_cli(
+            ["collect", "--adapter", "sqlite", "--async", "--no-bridge",
+             "--db-path", str(tmp_path / "z.db"), "--sessions", "2",
+             "--txns", "2", "--check", "ser"],
+            capsys,
+        )
+        assert code == 2
+        assert "error:" in out
+        assert "no native async support" in out
